@@ -1,0 +1,39 @@
+//! Applications over the XIA stack: the workloads of the SoftStage paper.
+//!
+//! - [`SeqFetcher`]: a minimal sequential chunk downloader (the *XChunkP*
+//!   pattern) for stationary hosts and benchmarks,
+//! - [`xftp_client`]: the paper's Xftp baseline — a roaming FTP-style
+//!   client with the legacy handoff policy and **no** staging,
+//! - [`softstage_client`]: the same client with SoftStage enabled,
+//! - [`PlaybackModel`]: video-on-demand analysis over chunk completion
+//!   times (startup delay, rebuffering), supporting the paper's §V
+//!   extension discussion,
+//! - [`build_origin`]: an origin content server in one call.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod playback;
+pub mod seq;
+pub mod server;
+
+pub use playback::{PlaybackModel, PlaybackReport};
+pub use seq::SeqFetcher;
+pub use server::build_origin;
+
+use softstage::{SoftStageClient, SoftStageConfig};
+use xia_addr::{Dag, Xid};
+
+/// The paper's Xftp baseline: an FTP-style client that fetches `chunks`
+/// sequentially from their origin DAGs while roaming — identical stack and
+/// mobility handling to SoftStage, but no staging and the legacy
+/// (immediate, RSS-driven) handoff policy.
+pub fn xftp_client(chunks: Vec<(Xid, Dag)>) -> SoftStageClient {
+    SoftStageClient::new(chunks, SoftStageConfig::baseline())
+}
+
+/// A SoftStage-enabled FTP-style client with the paper's default
+/// configuration (reactive staging, chunk-aware handoff).
+pub fn softstage_client(chunks: Vec<(Xid, Dag)>) -> SoftStageClient {
+    SoftStageClient::new(chunks, SoftStageConfig::default())
+}

@@ -1,0 +1,52 @@
+//! Fig. 6 micro-benchmark kernels at reduced scale (8 MB downloads), one
+//! per panel dimension.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simnet::{SimDuration, SimTime};
+use softstage::SoftStageConfig;
+use softstage_experiments::{build, ExperimentParams, MB, MBPS};
+
+fn run_once(params: &ExperimentParams, baseline: bool) -> f64 {
+    let schedule = params.alternating_schedule(SimDuration::from_secs(2000));
+    let config = if baseline {
+        SoftStageConfig::baseline()
+    } else {
+        SoftStageConfig::default()
+    };
+    let result = build(params, &schedule, config).run(SimTime::ZERO + SimDuration::from_secs(2000));
+    result.completion.expect("finished").as_secs_f64()
+}
+
+fn small(mutator: impl FnOnce(&mut ExperimentParams)) -> ExperimentParams {
+    let mut p = ExperimentParams {
+        file_size: 8 * MB,
+        chunk_size: MB,
+        ..ExperimentParams::default()
+    };
+    mutator(&mut p);
+    p
+}
+
+fn fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6-8MB");
+    g.sample_size(10);
+    let cases: Vec<(&str, ExperimentParams)> = vec![
+        ("defaults", small(|_| {})),
+        ("a-chunk-2MB", small(|p| p.chunk_size = 2 * MB)),
+        ("b-encounter-3s", small(|p| p.encounter = SimDuration::from_secs(3))),
+        ("c-disconnect-32s", small(|p| p.disconnection = SimDuration::from_secs(32))),
+        ("d-loss-37pct", small(|p| p.wireless_loss = 0.37)),
+        ("e-internet-15mbps", small(|p| p.internet_bw_bps = 15 * MBPS)),
+        ("f-rtt-100ms", small(|p| p.internet_rtt = SimDuration::from_millis(100))),
+    ];
+    for (name, params) in &cases {
+        g.bench_function(format!("softstage/{name}"), |b| {
+            b.iter(|| run_once(params, false))
+        });
+        g.bench_function(format!("xftp/{name}"), |b| b.iter(|| run_once(params, true)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

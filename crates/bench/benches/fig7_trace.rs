@@ -1,0 +1,24 @@
+//! Fig. 7 trace replay at reduced scale (120 s trace).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use softstage_experiments::fig7;
+use vehicular::{synthesize_wardriving, WardrivingParams};
+
+fn fig7_bench(c: &mut Criterion) {
+    let trace = synthesize_wardriving(
+        "bench",
+        WardrivingParams {
+            coverage: 0.85,
+            mean_burst_s: 20.0,
+            total_s: 120.0,
+        },
+        3,
+    );
+    let mut g = c.benchmark_group("fig7-120s");
+    g.sample_size(10);
+    g.bench_function("replay-both-clients", |b| b.iter(|| fig7::replay(&trace, 3)));
+    g.finish();
+}
+
+criterion_group!(benches, fig7_bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! §IV-D handoff policy comparison at reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simnet::{SimDuration, SimTime};
+use softstage::{HandoffPolicy, SoftStageConfig};
+use softstage_experiments::{build, ExperimentParams, MB};
+use vehicular::CoverageSchedule;
+
+fn run_policy(policy: HandoffPolicy) -> f64 {
+    let params = ExperimentParams {
+        file_size: 16 * MB,
+        chunk_size: 2 * MB,
+        ..ExperimentParams::default()
+    };
+    let schedule = CoverageSchedule::overlapping(
+        params.encounter,
+        SimDuration::from_secs(3),
+        2,
+        SimDuration::from_secs(2000),
+    );
+    let config = SoftStageConfig {
+        policy,
+        ..SoftStageConfig::default()
+    };
+    let result =
+        build(&params, &schedule, config).run(SimTime::ZERO + SimDuration::from_secs(2000));
+    result.completion.expect("finished").as_secs_f64()
+}
+
+fn handoff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("handoff-16MB");
+    g.sample_size(10);
+    g.bench_function("default-policy", |b| b.iter(|| run_policy(HandoffPolicy::Default)));
+    g.bench_function("chunk-aware-policy", |b| {
+        b.iter(|| run_policy(HandoffPolicy::ChunkAware))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, handoff);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Benchmark crate: see the `benches/` directory. Each Criterion bench
+//! regenerates (a scaled-down instance of) one of the paper's tables or
+//! figures; the full-scale regeneration lives in the
+//! `softstage-experiments` crate's `reproduce` binary.

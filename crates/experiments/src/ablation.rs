@@ -1,0 +1,158 @@
+//! Ablations of SoftStage's design choices (DESIGN.md §5).
+//!
+//! Each ablation disables one mechanism and measures the 64 MB default
+//! download, quantifying what that mechanism buys:
+//!
+//! - **gap-aware staging depth** — without the reactive gap term the VNF
+//!   idles through disconnections,
+//! - **pre-staging into handoff targets** (step ④),
+//! - **chunk-aware handoff** (vs the legacy policy),
+//! - **staging itself** (the Xftp baseline),
+//! - **edge cache eviction policy** under a constrained cache.
+
+use simnet::{SimDuration, SimTime};
+use softstage::{CoordinatorConfig, HandoffPolicy, SoftStageConfig};
+
+use crate::params::ExperimentParams;
+use crate::report::Table;
+use crate::testbed;
+
+fn deadline() -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(4_000)
+}
+
+/// Runs the 64 MB alternating (hard-handoff) scenario; returns seconds.
+fn run_with(params: &ExperimentParams, config: SoftStageConfig) -> f64 {
+    let schedule = params.alternating_schedule(SimDuration::from_secs(4_000));
+    let result = testbed::build(params, &schedule, config).run(deadline());
+    assert!(result.content_ok, "ablation run must finish: {result:?}");
+    result.completion.expect("checked").as_secs_f64()
+}
+
+/// Runs the 64 MB overlapping-coverage scenario (soft handoffs every 9 s).
+fn run_overlap(params: &ExperimentParams, config: SoftStageConfig) -> f64 {
+    let schedule = vehicular::CoverageSchedule::overlapping(
+        params.encounter,
+        SimDuration::from_secs(3),
+        2,
+        SimDuration::from_secs(4_000),
+    );
+    let result = testbed::build(params, &schedule, config).run(deadline());
+    assert!(result.content_ok, "ablation run must finish: {result:?}");
+    result.completion.expect("checked").as_secs_f64()
+}
+
+/// The full ablation table. Each mechanism is ablated in a scenario that
+/// actually exercises it: the gap-aware staging depth under a slow
+/// Internet with hard handoffs, and the handoff mechanisms under
+/// overlapping coverage.
+pub fn run(seed: u64) -> Table {
+    let mut t = Table::new(
+        "ablation",
+        "Design ablations: 64 MB download time",
+        "s",
+    );
+
+    // --- staging depth, under a 15 Mbps Internet with 8 s gaps ---
+    let slow_internet = ExperimentParams {
+        seed,
+        internet_bw_bps: 15 * crate::params::MBPS,
+        ..ExperimentParams::default()
+    };
+    t.push(
+        "15Mbps: full softstage",
+        None,
+        run_with(&slow_internet, SoftStageConfig::default()),
+    );
+    let shallow = SoftStageConfig {
+        coordinator: CoordinatorConfig {
+            initial_depth: 2,
+            max_depth: 3,
+            alpha: 0.3,
+        },
+        ..SoftStageConfig::default()
+    };
+    t.push(
+        "15Mbps: no gap-aware depth (<=3)",
+        None,
+        run_with(&slow_internet, shallow),
+    );
+    t.push(
+        "15Mbps: no staging (xftp)",
+        None,
+        run_with(&slow_internet, SoftStageConfig::baseline()),
+    );
+
+    // --- handoff mechanisms, under 3 s coverage overlap ---
+    let params = ExperimentParams {
+        seed,
+        ..ExperimentParams::default()
+    };
+    t.push(
+        "overlap: full softstage",
+        None,
+        run_overlap(&params, SoftStageConfig::default()),
+    );
+    t.push(
+        "overlap: no handoff pre-staging",
+        None,
+        run_overlap(
+            &params,
+            SoftStageConfig {
+                prestage_depth: 0,
+                ..SoftStageConfig::default()
+            },
+        ),
+    );
+    t.push(
+        "overlap: legacy handoff policy",
+        None,
+        run_overlap(
+            &params,
+            SoftStageConfig {
+                policy: HandoffPolicy::Default,
+                ..SoftStageConfig::default()
+            },
+        ),
+    );
+    t.push(
+        "overlap: no staging (xftp)",
+        None,
+        run_overlap(&params, SoftStageConfig::baseline()),
+    );
+
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MB;
+
+    /// The ablation ordering must hold at reduced scale: full SoftStage is
+    /// at least as fast as the depth-capped variant, which beats no
+    /// staging at all.
+    #[test]
+    fn ablation_ordering_small_scale() {
+        let params = ExperimentParams {
+            file_size: 12 * MB,
+            chunk_size: MB,
+            ..ExperimentParams::default()
+        };
+        let full = run_with(&params, SoftStageConfig::default());
+        let shallow = run_with(
+            &params,
+            SoftStageConfig {
+                coordinator: CoordinatorConfig {
+                    initial_depth: 2,
+                    max_depth: 3,
+                    alpha: 0.3,
+                },
+                ..SoftStageConfig::default()
+            },
+        );
+        let none = run_with(&params, SoftStageConfig::baseline());
+        assert!(full <= shallow * 1.05, "gap-aware depth helps: {full} vs {shallow}");
+        assert!(shallow < none, "even shallow staging beats none: {shallow} vs {none}");
+    }
+}

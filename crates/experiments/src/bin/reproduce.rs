@@ -1,0 +1,74 @@
+//! Regenerates the SoftStage paper's tables and figures.
+//!
+//! ```text
+//! reproduce [fig5|fig6|fig6a|fig6b|fig6c|fig6d|fig6e|fig6f|handoff|fig7|all] [--seed N] [--json PATH]
+//! ```
+
+use std::io::Write as _;
+
+use softstage_experiments::report::Table;
+use softstage_experiments::{ablation, fig5, fig6, fig7, handoff};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut target = "all".to_owned();
+    let mut seed = 42u64;
+    let mut json_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            "--json" => {
+                json_path = Some(it.next().cloned().unwrap_or_else(|| usage("--json needs a path")));
+            }
+            other if !other.starts_with('-') => target = other.to_owned(),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+
+    let tables: Vec<Table> = match target.as_str() {
+        "fig5" => vec![fig5::run(seed)],
+        "fig6" => fig6::run_all(seed),
+        "fig6a" => vec![fig6::chunk_size(seed)],
+        "fig6b" => vec![fig6::encounter(seed)],
+        "fig6c" => vec![fig6::disconnection(seed)],
+        "fig6d" => vec![fig6::loss(seed)],
+        "fig6e" => vec![fig6::bandwidth(seed)],
+        "fig6f" => vec![fig6::latency(seed)],
+        "handoff" => vec![handoff::run(seed)],
+        "fig7" => vec![fig7::run(seed)],
+        "ablation" => vec![ablation::run(seed)],
+        "all" => {
+            let mut all = vec![fig5::run(seed)];
+            all.extend(fig6::run_all(seed));
+            all.push(handoff::run(seed));
+            all.push(fig7::run(seed));
+            all.push(ablation::run(seed));
+            all
+        }
+        other => usage(&format!("unknown target {other}")),
+    };
+
+    for t in &tables {
+        println!("{}", t.render());
+    }
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&tables).expect("tables serialize");
+        let mut f = std::fs::File::create(&path).expect("create json output");
+        f.write_all(json.as_bytes()).expect("write json output");
+        println!("wrote {path}");
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: reproduce [fig5|fig6|fig6a..fig6f|handoff|fig7|ablation|all] [--seed N] [--json PATH]"
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,172 @@
+//! Fig. 6: SoftStage vs Xftp gain across the Table III parameter sweeps.
+//!
+//! Every panel downloads a 64 MB file while the client alternates between
+//! two edge networks (encounter / disconnection pattern) and reports the
+//! *gain*: Xftp download time divided by SoftStage download time.
+
+use simnet::{SimDuration, SimTime};
+use softstage::SoftStageConfig;
+
+use crate::params::{ExperimentParams, MB, MBPS};
+use crate::report::Table;
+use crate::testbed;
+
+/// Outcome of one gain comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct Gain {
+    /// Xftp download time, seconds.
+    pub xftp_s: f64,
+    /// SoftStage download time, seconds.
+    pub softstage_s: f64,
+}
+
+impl Gain {
+    /// Xftp time divided by SoftStage time.
+    pub fn factor(&self) -> f64 {
+        self.xftp_s / self.softstage_s
+    }
+}
+
+/// Simulated-time budget for one download.
+fn deadline() -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(4_000)
+}
+
+/// Runs both clients on identical worlds and returns the gain.
+pub fn compare(params: &ExperimentParams) -> Gain {
+    let horizon = SimDuration::from_secs(4_000);
+    let schedule = params.alternating_schedule(horizon);
+    let soft = testbed::build(params, &schedule, SoftStageConfig::default()).run(deadline());
+    let base = testbed::build(params, &schedule, SoftStageConfig::baseline()).run(deadline());
+    assert!(
+        soft.content_ok && base.content_ok,
+        "both downloads must finish and verify (soft {:?}, base {:?})",
+        soft.completion,
+        base.completion
+    );
+    Gain {
+        xftp_s: base.completion.expect("checked").as_secs_f64(),
+        softstage_s: soft.completion.expect("checked").as_secs_f64(),
+    }
+}
+
+/// Fig. 6(a): chunk size sweep.
+pub fn chunk_size(seed: u64) -> Table {
+    let mut t = Table::new("fig6a", "Gain vs chunk size (64 MB file)", "x");
+    // Paper: 1.59x..1.96x rising with chunk size.
+    let cases: [(usize, Option<f64>); 6] = [
+        (MB / 4, Some(1.59)),
+        (MB * 5 / 8, None),
+        (MB * 5 / 4, None),
+        (2 * MB, Some(1.77)),
+        (4 * MB, None),
+        (10 * MB, Some(1.96)),
+    ];
+    for (size, paper) in cases {
+        let params = ExperimentParams {
+            chunk_size: size,
+            seed,
+            ..ExperimentParams::default()
+        };
+        let gain = compare(&params);
+        t.push(
+            format!("chunk {:.3} MB", size as f64 / MB as f64),
+            paper,
+            gain.factor(),
+        );
+    }
+    t
+}
+
+/// Fig. 6(b): encounter time sweep.
+pub fn encounter(seed: u64) -> Table {
+    let mut t = Table::new("fig6b", "Gain vs encounter time", "x");
+    for (secs, paper) in [(3u64, Some(1.55)), (4, None), (12, Some(1.77))] {
+        let params = ExperimentParams {
+            encounter: SimDuration::from_secs(secs),
+            seed,
+            ..ExperimentParams::default()
+        };
+        let gain = compare(&params);
+        t.push(format!("encounter {secs} s"), paper, gain.factor());
+    }
+    t
+}
+
+/// Fig. 6(c): disconnection time sweep.
+pub fn disconnection(seed: u64) -> Table {
+    let mut t = Table::new("fig6c", "Gain vs disconnection time", "x");
+    for (secs, paper) in [(8u64, Some(1.7)), (32, Some(1.7)), (100, Some(1.7))] {
+        let params = ExperimentParams {
+            disconnection: SimDuration::from_secs(secs),
+            seed,
+            ..ExperimentParams::default()
+        };
+        let gain = compare(&params);
+        t.push(format!("disconnection {secs} s"), paper, gain.factor());
+    }
+    t
+}
+
+/// Fig. 6(d): wireless packet loss sweep.
+pub fn loss(seed: u64) -> Table {
+    let mut t = Table::new("fig6d", "Gain vs wireless packet loss", "x");
+    for (pct, paper) in [(22u32, Some(1.37)), (27, Some(1.7)), (37, Some(1.77))] {
+        let params = ExperimentParams {
+            wireless_loss: pct as f64 / 100.0,
+            seed,
+            ..ExperimentParams::default()
+        };
+        let gain = compare(&params);
+        t.push(format!("loss {pct} %"), paper, gain.factor());
+    }
+    t
+}
+
+/// Fig. 6(e): Internet bottleneck bandwidth sweep.
+pub fn bandwidth(seed: u64) -> Table {
+    let mut t = Table::new("fig6e", "Gain vs Internet bottleneck bandwidth", "x");
+    for (mbps, paper) in [(60u64, Some(1.77)), (30, None), (15, Some(9.94))] {
+        let params = ExperimentParams {
+            internet_bw_bps: mbps * MBPS,
+            seed,
+            ..ExperimentParams::default()
+        };
+        let gain = compare(&params);
+        t.push(format!("internet {mbps} Mbps"), paper, gain.factor());
+    }
+    t
+}
+
+/// Fig. 6(f): Internet latency sweep.
+pub fn latency(seed: u64) -> Table {
+    let mut t = Table::new("fig6f", "Gain vs Internet RTT", "x");
+    for (ms, paper) in [
+        (5u64, Some(1.38)),
+        (10, None),
+        (20, Some(1.77)),
+        (50, None),
+        (100, Some(2.3)),
+    ] {
+        let params = ExperimentParams {
+            internet_rtt: SimDuration::from_millis(ms),
+            seed,
+            ..ExperimentParams::default()
+        };
+        let gain = compare(&params);
+        t.push(format!("rtt {ms} ms"), paper, gain.factor());
+    }
+    t
+}
+
+/// All six panels.
+pub fn run_all(seed: u64) -> Vec<Table> {
+    vec![
+        chunk_size(seed),
+        encounter(seed),
+        disconnection(seed),
+        loss(seed),
+        bandwidth(seed),
+        latency(seed),
+    ]
+}

@@ -1,0 +1,29 @@
+//! Experiment harness reproducing every table and figure of the SoftStage
+//! paper (ICDCS 2019).
+//!
+//! | Artifact | Module | What it regenerates |
+//! |---|---|---|
+//! | Fig. 5 | [`fig5`] | XIA transport benchmark (TCP vs Xstream vs XChunkP) |
+//! | Fig. 6(a)–(f) | [`fig6`] | SoftStage vs Xftp gain across Table III sweeps |
+//! | §IV-D | [`handoff`] | Chunk-aware vs default handoff policy |
+//! | Fig. 7 | [`fig7`] | Trace-driven wardriving replay |
+//! | (extra) | [`ablation`] | Design-choice ablations (DESIGN.md §5) |
+//!
+//! [`testbed`] builds the paper's Fig. 4 topology; [`params`] holds the
+//! Table III parameter set. The `reproduce` binary prints each artifact's
+//! paper-vs-measured table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod handoff;
+pub mod params;
+pub mod report;
+pub mod testbed;
+
+pub use params::{ExperimentParams, MB, MBPS};
+pub use testbed::{build, generate_content, RunResult, Testbed};

@@ -1,0 +1,127 @@
+//! Experiment parameters (Table III of the paper).
+
+use simnet::SimDuration;
+use vehicular::CoverageSchedule;
+
+/// Megabit per second, in bits per second.
+pub const MBPS: u64 = 1_000_000;
+/// One mebibyte.
+pub const MB: usize = 1024 * 1024;
+
+/// Table III: the parameter set every controlled experiment perturbs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentParams {
+    /// Chunk size (default 2 MB ≈ 2 s of 720p video).
+    pub chunk_size: usize,
+    /// Total file size (64 MB in Fig. 6).
+    pub file_size: usize,
+    /// Encounter time per network (default 12 s, the 75th percentile).
+    pub encounter: SimDuration,
+    /// Disconnection time between encounters (default 8 s, the 25th
+    /// percentile).
+    pub disconnection: SimDuration,
+    /// Raw wireless packet loss (default 27 %, hidden mostly by 802.11
+    /// link-layer retransmission).
+    pub wireless_loss: f64,
+    /// Emulated Internet bottleneck bandwidth (default 60 Mbps). Like the
+    /// paper, the bottleneck is emulated by a packet loss rate on the
+    /// wired segment (see [`ExperimentParams::internet_loss`]).
+    pub internet_bw_bps: u64,
+    /// Internet round-trip time to the content server (default 20 ms).
+    pub internet_rtt: SimDuration,
+    /// Raw 802.11n-class radio bandwidth.
+    pub wireless_bw_bps: u64,
+    /// Number of edge networks the drive alternates between.
+    pub edge_networks: usize,
+    /// Whether edge networks deploy the Staging VNF (fault-tolerance off
+    /// switch).
+    pub vnf_deployed: bool,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Default for ExperimentParams {
+    fn default() -> Self {
+        ExperimentParams {
+            chunk_size: 2 * MB,
+            file_size: 64 * MB,
+            encounter: SimDuration::from_secs(12),
+            disconnection: SimDuration::from_secs(8),
+            wireless_loss: 0.27,
+            internet_bw_bps: 60 * MBPS,
+            internet_rtt: SimDuration::from_millis(20),
+            wireless_bw_bps: 40 * MBPS,
+            edge_networks: 2,
+            vnf_deployed: true,
+            seed: 42,
+        }
+    }
+}
+
+impl ExperimentParams {
+    /// The wired-segment loss rate that throttles a Reno flow to the
+    /// requested Internet bandwidth — the paper's emulation method ("we
+    /// can change the packet loss rate to emulate different bandwidth on
+    /// the Internet segment").
+    ///
+    /// Derived by inverting the Mathis throughput model
+    /// `BW = (MSS/RTT) · 1.22/√p` at the reference 20 ms RTT, so varying
+    /// the latency parameter alone degrades throughput exactly as it did
+    /// in the paper's testbed.
+    pub fn internet_loss(&self) -> f64 {
+        let mss_bits = (xia_wire::MSS * 8) as f64;
+        let reference_rtt_s = 0.020;
+        let bw = self.internet_bw_bps as f64;
+        let p = (1.22 * mss_bits / (reference_rtt_s * bw)).powi(2);
+        p.min(0.05)
+    }
+
+    /// The micro-benchmark coverage schedule: alternate between the edge
+    /// networks with this parameter set's encounter/disconnection times,
+    /// long enough to cover `horizon`.
+    pub fn alternating_schedule(&self, horizon: SimDuration) -> CoverageSchedule {
+        CoverageSchedule::alternating(
+            self.encounter,
+            self.disconnection,
+            self.edge_networks,
+            horizon,
+        )
+    }
+
+    /// Number of chunks in the file.
+    pub fn chunk_count(&self) -> usize {
+        self.file_size.div_ceil(self.chunk_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_iii() {
+        let p = ExperimentParams::default();
+        assert_eq!(p.chunk_size, 2 * MB);
+        assert_eq!(p.encounter, SimDuration::from_secs(12));
+        assert_eq!(p.disconnection, SimDuration::from_secs(8));
+        assert!((p.wireless_loss - 0.27).abs() < 1e-9);
+        assert_eq!(p.internet_bw_bps, 60 * MBPS);
+        assert_eq!(p.internet_rtt, SimDuration::from_millis(20));
+        assert_eq!(p.chunk_count(), 32);
+    }
+
+    #[test]
+    fn internet_loss_monotone_in_bandwidth() {
+        let mut p = ExperimentParams::default();
+        let at60 = p.internet_loss();
+        p.internet_bw_bps = 30 * MBPS;
+        let at30 = p.internet_loss();
+        p.internet_bw_bps = 15 * MBPS;
+        let at15 = p.internet_loss();
+        assert!(at60 < at30 && at30 < at15);
+        // Halving bandwidth quadruples the loss rate (Mathis inversion).
+        assert!((at30 / at60 - 4.0).abs() < 0.01);
+        // Sanity: the 60 Mbps default needs only a tiny loss rate.
+        assert!(at60 < 1e-3, "loss {at60}");
+    }
+}

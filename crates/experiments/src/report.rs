@@ -1,0 +1,95 @@
+//! Result tables: paper-reported vs measured values.
+
+use std::fmt::Write as _;
+
+use serde::Serialize;
+
+/// One row of a reproduction table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Row label (parameter value, protocol name, ...).
+    pub label: String,
+    /// What the paper reports for this cell, if stated.
+    pub paper: Option<f64>,
+    /// What this reproduction measured.
+    pub measured: f64,
+}
+
+/// A reproduction table for one figure/experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Identifier, e.g. `fig6a-chunk-size`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Unit of the value column(s).
+    pub unit: String,
+    /// The rows.
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, title: &str, unit: &str) -> Self {
+        Table {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            unit: unit.to_owned(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, label: impl Into<String>, paper: Option<f64>, measured: f64) {
+        self.rows.push(Row {
+            label: label.into(),
+            paper,
+            measured,
+        });
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} [{}] ==", self.title, self.id);
+        let _ = writeln!(
+            out,
+            "{:<28} {:>14} {:>14}",
+            "case",
+            format!("paper ({})", self.unit),
+            format!("ours ({})", self.unit)
+        );
+        for r in &self.rows {
+            let paper = r
+                .paper
+                .map_or_else(|| "-".to_owned(), |p| format!("{p:.2}"));
+            let _ = writeln!(out, "{:<28} {:>14} {:>14.2}", r.label, paper, r.measured);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_all_rows() {
+        let mut t = Table::new("x", "Example", "Mbps");
+        t.push("tcp/wired", Some(95.0), 89.7);
+        t.push("no-paper-value", None, 1.0);
+        let s = t.render();
+        assert!(s.contains("tcp/wired"));
+        assert!(s.contains("95.00"));
+        assert!(s.contains("89.70"));
+        assert!(s.contains('-'));
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let mut t = Table::new("x", "Example", "x");
+        t.push("a", Some(1.0), 2.0);
+        let json = serde_json::to_string(&t).unwrap();
+        assert!(json.contains("\"measured\":2.0"));
+    }
+}

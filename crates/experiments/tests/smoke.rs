@@ -1,0 +1,70 @@
+//! End-to-end testbed smoke tests: the full paper topology downloads a
+//! file correctly with both clients.
+
+use simnet::{SimDuration, SimTime};
+use softstage::SoftStageConfig;
+use softstage_experiments::{build, ExperimentParams, MB};
+
+fn small_params() -> ExperimentParams {
+    ExperimentParams {
+        file_size: 8 * MB,
+        chunk_size: MB,
+        ..ExperimentParams::default()
+    }
+}
+
+fn deadline() -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(600)
+}
+
+#[test]
+fn softstage_downloads_with_staging() {
+    let params = small_params();
+    let schedule = params.alternating_schedule(SimDuration::from_secs(600));
+    let mut tb = build(&params, &schedule, SoftStageConfig::default());
+    let result = tb.run(deadline());
+    assert!(result.completion.is_some(), "download finished");
+    assert!(result.content_ok, "content verified against publisher hash");
+    assert_eq!(result.chunks_fetched, 8);
+    assert!(
+        result.from_staged > 0,
+        "some chunks came from edge caches: {result:?}"
+    );
+}
+
+#[test]
+fn xftp_baseline_downloads_everything_from_origin() {
+    let params = small_params();
+    let schedule = params.alternating_schedule(SimDuration::from_secs(600));
+    let mut tb = build(&params, &schedule, SoftStageConfig::baseline());
+    let result = tb.run(deadline());
+    assert!(result.completion.is_some(), "download finished");
+    assert!(result.content_ok);
+    assert_eq!(result.from_staged, 0, "baseline never uses staged copies");
+    assert_eq!(result.from_origin, 8);
+}
+
+#[test]
+fn softstage_beats_xftp_on_default_parameters() {
+    let params = small_params();
+    let schedule = params.alternating_schedule(SimDuration::from_secs(600));
+    let soft = build(&params, &schedule, SoftStageConfig::default()).run(deadline());
+    let base = build(&params, &schedule, SoftStageConfig::baseline()).run(deadline());
+    let (s, b) = (soft.completion.unwrap(), base.completion.unwrap());
+    assert!(
+        s < b,
+        "SoftStage ({s}) should finish before Xftp ({b})"
+    );
+}
+
+#[test]
+fn no_vnf_falls_back_to_origin() {
+    let mut params = small_params();
+    params.vnf_deployed = false;
+    let schedule = params.alternating_schedule(SimDuration::from_secs(600));
+    let mut tb = build(&params, &schedule, SoftStageConfig::default());
+    let result = tb.run(deadline());
+    assert!(result.completion.is_some(), "fault tolerance: still completes");
+    assert!(result.content_ok);
+    assert_eq!(result.from_staged, 0);
+}

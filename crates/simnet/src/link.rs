@@ -1,0 +1,405 @@
+//! Point-to-point link model.
+//!
+//! A link connects two nodes with independent per-direction transmission
+//! state. Each direction models:
+//!
+//! - **serialization**: `wire_size * 8 / bandwidth`,
+//! - **propagation**: a fixed latency,
+//! - **queueing**: a FIFO bounded by byte capacity; packets that would wait
+//!   longer than the queue can hold are tail-dropped,
+//! - **channel loss**: per-attempt Bernoulli loss,
+//! - **ARQ**: optional 802.11-style link-layer retransmission; each retry
+//!   re-serializes the frame and pays a per-retry overhead. Only if all
+//!   attempts fail does the transport layer see a loss.
+//!
+//! The SoftStage paper's wireless segments (20–40 % raw loss, largely hidden
+//! by 802.11 retransmission) map onto ARQ-enabled links; its wired
+//! "Internet" segment maps onto a no-ARQ link whose bandwidth/latency are
+//! set per experiment.
+
+use std::fmt;
+
+use crate::node::NodeId;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a link in the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub(crate) usize);
+
+impl LinkId {
+    /// The raw index of this link.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// Link-layer retransmission (ARQ) configuration, as in 802.11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArqConfig {
+    /// Maximum number of retransmissions after the first attempt.
+    pub max_retries: u32,
+    /// Fixed overhead per retry (backoff + ACK timeout).
+    pub per_retry: SimDuration,
+}
+
+impl Default for ArqConfig {
+    /// 802.11-like default: 7 retries, ~300 µs of contention backoff and
+    /// ACK timeout per retry.
+    fn default() -> Self {
+        ArqConfig {
+            max_retries: 7,
+            per_retry: SimDuration::from_micros(300),
+        }
+    }
+}
+
+/// Static configuration of a [`Link`] (both directions share it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkConfig {
+    /// Link bandwidth in bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way propagation delay.
+    pub latency: SimDuration,
+    /// Per-attempt Bernoulli loss probability in `[0, 1]`.
+    pub loss: f64,
+    /// Link-layer retransmission; `None` for wired links.
+    pub arq: Option<ArqConfig>,
+    /// Transmit queue capacity in bytes (per direction); tail drop beyond.
+    pub queue_bytes: usize,
+    /// Whether the link starts up.
+    pub initially_up: bool,
+}
+
+impl LinkConfig {
+    /// A lossless wired link with a large (512 KiB) queue.
+    pub fn wired(bandwidth_bps: u64, latency: SimDuration) -> Self {
+        LinkConfig {
+            bandwidth_bps,
+            latency,
+            loss: 0.0,
+            arq: None,
+            queue_bytes: 512 * 1024,
+            initially_up: true,
+        }
+    }
+
+    /// A lossy wireless link with 802.11-style ARQ and a 256 KiB queue.
+    pub fn wireless(bandwidth_bps: u64, latency: SimDuration, loss: f64) -> Self {
+        LinkConfig {
+            bandwidth_bps,
+            latency,
+            loss,
+            arq: Some(ArqConfig::default()),
+            queue_bytes: 256 * 1024,
+            initially_up: true,
+        }
+    }
+
+    /// Sets the per-attempt loss probability (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is outside `[0, 1]`.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        assert!((0.0..=1.0).contains(&loss), "loss must be in [0,1]");
+        self.loss = loss;
+        self
+    }
+
+    /// Sets the queue capacity in bytes (builder style).
+    pub fn with_queue_bytes(mut self, bytes: usize) -> Self {
+        self.queue_bytes = bytes;
+        self
+    }
+
+    /// Makes the link start administratively down (builder style).
+    pub fn starting_down(mut self) -> Self {
+        self.initially_up = false;
+        self
+    }
+}
+
+/// Per-direction dynamic transmission state.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct Direction {
+    /// Time at which the transmitter becomes free.
+    pub busy_until: SimTime,
+}
+
+/// Outcome of offering one packet to a link direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TxOutcome {
+    /// Delivered to the far end at the contained time; `attempts` counts
+    /// transmissions (1 = no retries).
+    Deliver { at: SimTime, attempts: u32 },
+    /// Dropped: transmit queue full.
+    DropQueue,
+    /// Dropped: channel loss exhausted ARQ retries (or no ARQ).
+    DropLoss { attempts: u32 },
+    /// Dropped: link is down.
+    DropDown,
+}
+
+/// A point-to-point link between nodes `a` and `b`.
+#[derive(Debug, Clone)]
+pub struct Link {
+    pub(crate) a: NodeId,
+    pub(crate) b: NodeId,
+    pub(crate) config: LinkConfig,
+    pub(crate) up: bool,
+    /// Incremented on every down transition; stale in-flight arrivals are
+    /// discarded when popped.
+    pub(crate) epoch: u64,
+    pub(crate) dir_ab: Direction,
+    pub(crate) dir_ba: Direction,
+}
+
+impl Link {
+    pub(crate) fn new(a: NodeId, b: NodeId, config: LinkConfig) -> Self {
+        let up = config.initially_up;
+        Link {
+            a,
+            b,
+            config,
+            up,
+            epoch: 0,
+            dir_ab: Direction::default(),
+            dir_ba: Direction::default(),
+        }
+    }
+
+    /// The two endpoints of the link.
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        (self.a, self.b)
+    }
+
+    /// The link's static configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+
+    /// Whether the link is currently up.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// The peer of `node` on this link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not an endpoint.
+    pub fn peer_of(&self, node: NodeId) -> NodeId {
+        if node == self.a {
+            self.b
+        } else if node == self.b {
+            self.a
+        } else {
+            panic!("{node} is not an endpoint of this link");
+        }
+    }
+
+    /// Offers one packet of `wire_bytes` for transmission from `from` at
+    /// `now`; `sample` draws uniform `[0,1)` values for loss decisions.
+    pub(crate) fn transmit(
+        &mut self,
+        from: NodeId,
+        wire_bytes: usize,
+        now: SimTime,
+        mut sample: impl FnMut() -> f64,
+    ) -> TxOutcome {
+        if !self.up {
+            return TxOutcome::DropDown;
+        }
+        let config = self.config.clone();
+        let dir = if from == self.a {
+            &mut self.dir_ab
+        } else {
+            &mut self.dir_ba
+        };
+        let tx_start = dir.busy_until.max(now);
+        // Tail drop if the backlog (expressed as waiting time) exceeds what
+        // the queue can hold.
+        let max_wait =
+            SimDuration::transmission(config.queue_bytes, config.bandwidth_bps);
+        if tx_start - now > max_wait {
+            return TxOutcome::DropQueue;
+        }
+        let one_tx = SimDuration::transmission(wire_bytes, config.bandwidth_bps);
+        let max_attempts = 1 + config.arq.map_or(0, |a| a.max_retries);
+        let per_retry = config.arq.map_or(SimDuration::ZERO, |a| a.per_retry);
+        let mut attempts = 0;
+        let mut delivered = false;
+        while attempts < max_attempts {
+            attempts += 1;
+            if sample() >= config.loss {
+                delivered = true;
+                break;
+            }
+        }
+        let mut occupancy = one_tx * u64::from(attempts);
+        if attempts > 1 {
+            occupancy += per_retry * u64::from(attempts - 1);
+        }
+        dir.busy_until = tx_start + occupancy;
+        if delivered {
+            TxOutcome::Deliver {
+                at: dir.busy_until + config.latency,
+                attempts,
+            }
+        } else {
+            TxOutcome::DropLoss { attempts }
+        }
+    }
+
+    /// Administratively sets link state; returns true if the state changed.
+    pub(crate) fn set_up(&mut self, up: bool) -> bool {
+        if self.up == up {
+            return false;
+        }
+        self.up = up;
+        if !up {
+            // Anything in flight is lost; reset transmitter state.
+            self.epoch += 1;
+            self.dir_ab = Direction::default();
+            self.dir_ba = Direction::default();
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(config: LinkConfig) -> Link {
+        Link::new(NodeId(0), NodeId(1), config)
+    }
+
+    #[test]
+    fn lossless_delivery_time() {
+        // 1500 B at 12 Mbps = 1 ms serialization + 5 ms propagation.
+        let mut l = mk(LinkConfig::wired(12_000_000, SimDuration::from_millis(5)));
+        let out = l.transmit(NodeId(0), 1500, SimTime::ZERO, || 0.9);
+        assert_eq!(
+            out,
+            TxOutcome::Deliver {
+                at: SimTime::ZERO + SimDuration::from_millis(6),
+                attempts: 1
+            }
+        );
+    }
+
+    #[test]
+    fn back_to_back_packets_queue() {
+        let mut l = mk(LinkConfig::wired(12_000_000, SimDuration::ZERO));
+        let o1 = l.transmit(NodeId(0), 1500, SimTime::ZERO, || 0.9);
+        let o2 = l.transmit(NodeId(0), 1500, SimTime::ZERO, || 0.9);
+        let (TxOutcome::Deliver { at: t1, .. }, TxOutcome::Deliver { at: t2, .. }) = (o1, o2)
+        else {
+            panic!("expected deliveries");
+        };
+        assert_eq!(t2 - t1, SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut l = mk(LinkConfig::wired(12_000_000, SimDuration::ZERO));
+        let o1 = l.transmit(NodeId(0), 1500, SimTime::ZERO, || 0.9);
+        let o2 = l.transmit(NodeId(1), 1500, SimTime::ZERO, || 0.9);
+        let (TxOutcome::Deliver { at: t1, .. }, TxOutcome::Deliver { at: t2, .. }) = (o1, o2)
+        else {
+            panic!("expected deliveries");
+        };
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn queue_overflow_tail_drops() {
+        let mut l = mk(LinkConfig::wired(8_000, SimDuration::ZERO).with_queue_bytes(1000));
+        // Each 1000 B packet takes 1 s to serialize; queue holds 1 s worth.
+        assert!(matches!(
+            l.transmit(NodeId(0), 1000, SimTime::ZERO, || 0.9),
+            TxOutcome::Deliver { .. }
+        ));
+        assert!(matches!(
+            l.transmit(NodeId(0), 1000, SimTime::ZERO, || 0.9),
+            TxOutcome::Deliver { .. }
+        ));
+        // Third packet would wait 2 s > 1 s of queue: dropped.
+        assert_eq!(
+            l.transmit(NodeId(0), 1000, SimTime::ZERO, || 0.9),
+            TxOutcome::DropQueue
+        );
+    }
+
+    #[test]
+    fn loss_without_arq_drops() {
+        let mut l = mk(LinkConfig::wired(1_000_000, SimDuration::ZERO).with_loss(1.0));
+        assert_eq!(
+            l.transmit(NodeId(0), 100, SimTime::ZERO, || 0.5),
+            TxOutcome::DropLoss { attempts: 1 }
+        );
+    }
+
+    #[test]
+    fn arq_recovers_and_charges_airtime() {
+        let mut l = mk(LinkConfig::wireless(
+            12_000_000,
+            SimDuration::ZERO,
+            0.5,
+        ));
+        // First two attempts lose (sample 0.4 < 0.5), third succeeds.
+        let mut samples = [0.4, 0.4, 0.9].into_iter();
+        let out = l.transmit(NodeId(0), 1500, SimTime::ZERO, || samples.next().unwrap());
+        let TxOutcome::Deliver { at, attempts } = out else {
+            panic!("expected delivery");
+        };
+        assert_eq!(attempts, 3);
+        // 3 serializations of 1 ms + 2 retry overheads of 300 µs.
+        assert_eq!(at, SimTime::ZERO + SimDuration::from_micros(3_600));
+    }
+
+    #[test]
+    fn arq_exhaustion_drops() {
+        let mut l = mk(LinkConfig::wireless(12_000_000, SimDuration::ZERO, 1.0));
+        let out = l.transmit(NodeId(0), 1500, SimTime::ZERO, || 0.0);
+        assert_eq!(out, TxOutcome::DropLoss { attempts: 8 });
+    }
+
+    #[test]
+    fn down_link_drops_and_resets() {
+        let mut l = mk(LinkConfig::wired(1_000_000, SimDuration::ZERO));
+        let _ = l.transmit(NodeId(0), 10_000, SimTime::ZERO, || 0.9);
+        assert!(l.set_up(false));
+        assert!(!l.set_up(false), "no-op transition reports false");
+        assert_eq!(
+            l.transmit(NodeId(0), 100, SimTime::ZERO, || 0.9),
+            TxOutcome::DropDown
+        );
+        assert!(l.set_up(true));
+        // Transmitter state was reset by the down transition.
+        let out = l.transmit(NodeId(0), 100, SimTime::from_micros(0), || 0.9);
+        assert!(matches!(out, TxOutcome::Deliver { .. }));
+        assert_eq!(l.epoch, 1);
+    }
+
+    #[test]
+    fn peer_of_both_sides() {
+        let l = mk(LinkConfig::wired(1, SimDuration::ZERO));
+        assert_eq!(l.peer_of(NodeId(0)), NodeId(1));
+        assert_eq!(l.peer_of(NodeId(1)), NodeId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoint")]
+    fn peer_of_stranger_panics() {
+        let l = mk(LinkConfig::wired(1, SimDuration::ZERO));
+        let _ = l.peer_of(NodeId(7));
+    }
+}

@@ -1,0 +1,203 @@
+//! The node trait and the per-callback context handed to nodes.
+
+use std::any::Any;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::link::{Link, LinkId};
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a node in the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The raw index of this node.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Node-chosen identifier delivered back with a timer expiry.
+pub type TimerKey = u64;
+
+/// A message that can traverse simulated links.
+///
+/// `wire_size` is the on-the-wire size in bytes, used for serialization
+/// delay and queue accounting; it should include protocol headers.
+pub trait Message: Clone + fmt::Debug + 'static {
+    /// On-the-wire size of the message in bytes.
+    fn wire_size(&self) -> usize;
+}
+
+/// An event-driven state machine attached to the simulator.
+///
+/// All interaction with the world goes through the [`Context`] passed to
+/// each callback: sending packets, arming timers, toggling link state, and
+/// drawing deterministic randomness.
+pub trait Node<M: Message>: Any {
+    /// Called once when the simulation starts (time zero), in node-id order.
+    fn on_start(&mut self, _ctx: &mut Context<'_, M>) {}
+
+    /// Called when a packet arrives on `link`.
+    fn on_packet(&mut self, ctx: &mut Context<'_, M>, link: LinkId, msg: M);
+
+    /// Called when a timer armed with [`Context::set_timer`] expires.
+    fn on_timer(&mut self, _ctx: &mut Context<'_, M>, _key: TimerKey) {}
+
+    /// Called when an attached link changes state (up/down).
+    fn on_link_event(&mut self, _ctx: &mut Context<'_, M>, _link: LinkId, _up: bool) {}
+}
+
+/// An action requested by a node during a callback, applied by the
+/// simulator immediately after the callback returns (in order).
+#[derive(Debug)]
+pub(crate) enum Action<M> {
+    Send { link: LinkId, msg: M },
+    Timer { delay: SimDuration, key: TimerKey },
+    SetLinkState { link: LinkId, up: bool },
+}
+
+/// The window through which a [`Node`] observes and affects the simulation.
+pub struct Context<'a, M: Message> {
+    pub(crate) now: SimTime,
+    pub(crate) node: NodeId,
+    pub(crate) links: &'a [Link],
+    pub(crate) rng: &'a mut StdRng,
+    pub(crate) actions: Vec<Action<M>>,
+}
+
+impl<'a, M: Message> Context<'a, M> {
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The identifier of the node receiving this callback.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Sends `msg` out on `link`. Delivery (or loss) is decided by the link
+    /// model; sending on a downed link silently drops the packet, exactly
+    /// like transmitting into a coverage gap.
+    pub fn send(&mut self, link: LinkId, msg: M) {
+        self.actions.push(Action::Send { link, msg });
+    }
+
+    /// Arms a timer that fires [`Node::on_timer`] with `key` after `delay`.
+    ///
+    /// Timers cannot be cancelled; nodes should carry a generation counter
+    /// in `key` (or in their own state) to ignore stale expirations.
+    pub fn set_timer(&mut self, delay: SimDuration, key: TimerKey) {
+        self.actions.push(Action::Timer { delay, key });
+    }
+
+    /// Brings a link administratively up or down (used by mobility drivers
+    /// to emulate coverage). Both endpoints receive
+    /// [`Node::on_link_event`].
+    pub fn set_link_state(&mut self, link: LinkId, up: bool) {
+        self.actions.push(Action::SetLinkState { link, up });
+    }
+
+    /// Whether `link` is currently up.
+    pub fn link_up(&self, link: LinkId) -> bool {
+        self.links[link.index()].up
+    }
+
+    /// The node at the far end of `link` from this node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this node is not an endpoint of `link`.
+    pub fn peer(&self, link: LinkId) -> NodeId {
+        self.links[link.index()].peer_of(self.node)
+    }
+
+    /// Links attached to this node, in creation order.
+    pub fn attached_links(&self) -> Vec<LinkId> {
+        self.links
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.a == self.node || l.b == self.node)
+            .map(|(i, _)| LinkId(i))
+            .collect()
+    }
+
+    /// Draws a uniform random `f64` in `[0, 1)` from the simulation's
+    /// deterministic generator.
+    pub fn random_f64(&mut self) -> f64 {
+        self.rng.gen()
+    }
+
+    /// Draws a uniform random `u64` from the simulation's deterministic
+    /// generator.
+    pub fn random_u64(&mut self) -> u64 {
+        self.rng.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[derive(Clone, Debug)]
+    struct Msg;
+    impl Message for Msg {
+        fn wire_size(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn context_accumulates_actions_in_order() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let links = vec![];
+        let mut ctx: Context<'_, Msg> = Context {
+            now: SimTime::ZERO,
+            node: NodeId(0),
+            links: &links,
+            rng: &mut rng,
+            actions: vec![],
+        };
+        ctx.set_timer(SimDuration::from_micros(5), 42);
+        ctx.send(LinkId(0), Msg);
+        assert_eq!(ctx.actions.len(), 2);
+        assert!(matches!(ctx.actions[0], Action::Timer { key: 42, .. }));
+        assert!(matches!(ctx.actions[1], Action::Send { .. }));
+    }
+
+    #[test]
+    fn random_is_deterministic_for_seed() {
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        let links = vec![];
+        let mut c1: Context<'_, Msg> = Context {
+            now: SimTime::ZERO,
+            node: NodeId(0),
+            links: &links,
+            rng: &mut r1,
+            actions: vec![],
+        };
+        let v1 = (c1.random_u64(), c1.random_f64());
+        let links2 = vec![];
+        let mut c2: Context<'_, Msg> = Context {
+            now: SimTime::ZERO,
+            node: NodeId(0),
+            links: &links2,
+            rng: &mut r2,
+            actions: vec![],
+        };
+        let v2 = (c2.random_u64(), c2.random_f64());
+        assert_eq!(v1, v2);
+    }
+}

@@ -1,0 +1,563 @@
+//! The event scheduler and simulation driver.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::link::{Link, LinkConfig, LinkId, TxOutcome};
+use crate::node::{Action, Context, Message, Node, NodeId, TimerKey};
+use crate::stats::{LinkStats, SimStats};
+use crate::time::SimTime;
+
+/// What happens when a scheduled event fires.
+#[derive(Debug)]
+enum EventKind<M> {
+    /// A packet arrives at `node` via `link`; `epoch` guards against
+    /// delivery across a link-down transition.
+    Arrival {
+        node: NodeId,
+        link: LinkId,
+        epoch: u64,
+        msg: M,
+    },
+    /// A node timer expires.
+    Timer { node: NodeId, key: TimerKey },
+    /// An externally scripted link state change.
+    LinkState { link: LinkId, up: bool },
+}
+
+struct Event<M> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A deterministic discrete-event network simulator.
+///
+/// See the [crate documentation](crate) for an end-to-end example.
+pub struct Simulator<M: Message> {
+    time: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Event<M>>>,
+    nodes: Vec<Option<Box<dyn Node<M>>>>,
+    links: Vec<Link>,
+    rng: StdRng,
+    stats: SimStats,
+    started: bool,
+    /// Hard cap on dispatched events, to catch runaway protocols.
+    event_limit: u64,
+}
+
+impl<M: Message> Simulator<M> {
+    /// Creates a simulator whose randomness derives entirely from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            time: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: Vec::new(),
+            links: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            stats: SimStats::default(),
+            started: false,
+            event_limit: u64::MAX,
+        }
+    }
+
+    /// Caps the number of dispatched events; [`Simulator::run`] panics when
+    /// exceeded. Useful in tests to catch protocol livelock.
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, node: Box<dyn Node<M>>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Some(node));
+        id
+    }
+
+    /// Adds a link between `a` and `b` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either node does not exist.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, config: LinkConfig) -> LinkId {
+        assert_ne!(a, b, "self-links are not allowed");
+        assert!(a.0 < self.nodes.len() && b.0 < self.nodes.len());
+        let id = LinkId(self.links.len());
+        self.links.push(Link::new(a, b, config));
+        self.stats.links.push(LinkStats::default());
+        id
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// Read access to a link.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Statistics collected so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Downcasts node `id` to its concrete type.
+    pub fn node<T: Node<M>>(&self, id: NodeId) -> Option<&T> {
+        let node = self.nodes[id.0].as_deref()?;
+        (node as &dyn std::any::Any).downcast_ref::<T>()
+    }
+
+    /// Mutable downcast of node `id` to its concrete type.
+    pub fn node_mut<T: Node<M>>(&mut self, id: NodeId) -> Option<&mut T> {
+        let node = self.nodes[id.0].as_deref_mut()?;
+        (node as &mut dyn std::any::Any).downcast_mut::<T>()
+    }
+
+    /// Schedules a scripted link-state change at absolute time `at`.
+    ///
+    /// This is how mobility schedules (coverage gaps, encounters) are laid
+    /// onto the topology before the run starts.
+    pub fn schedule_link_state(&mut self, at: SimTime, link: LinkId, up: bool) {
+        self.push(at, EventKind::LinkState { link, up });
+    }
+
+    /// Schedules a timer for `node` at absolute time `at`.
+    pub fn schedule_timer(&mut self, at: SimTime, node: NodeId, key: TimerKey) {
+        self.push(at, EventKind::Timer { node, key });
+    }
+
+    fn push(&mut self, at: SimTime, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event { at, seq, kind }));
+    }
+
+    /// Delivers `on_start` to every node (once).
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            self.with_node(NodeId(i), |node, ctx| node.on_start(ctx));
+        }
+    }
+
+    /// Runs `f` on a node with a fresh context, then applies its actions.
+    fn with_node(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut dyn Node<M>, &mut Context<'_, M>),
+    ) {
+        let mut node = self.nodes[id.0].take().unwrap_or_else(|| {
+            panic!("reentrant dispatch on node {id}");
+        });
+        let mut ctx = Context {
+            now: self.time,
+            node: id,
+            links: &self.links,
+            rng: &mut self.rng,
+            actions: Vec::new(),
+        };
+        f(node.as_mut(), &mut ctx);
+        let actions = ctx.actions;
+        self.nodes[id.0] = Some(node);
+        for action in actions {
+            self.apply(id, action);
+        }
+    }
+
+    fn apply(&mut self, from: NodeId, action: Action<M>) {
+        match action {
+            Action::Send { link, msg } => self.transmit(from, link, msg),
+            Action::Timer { delay, key } => {
+                let at = self.time + delay;
+                self.push(at, EventKind::Timer { node: from, key });
+            }
+            Action::SetLinkState { link, up } => self.apply_link_state(link, up),
+        }
+    }
+
+    fn transmit(&mut self, from: NodeId, link_id: LinkId, msg: M) {
+        let wire = msg.wire_size();
+        let stats = &mut self.stats.links[link_id.0];
+        stats.offered += 1;
+        let link = &mut self.links[link_id.0];
+        let to = link.peer_of(from);
+        let now = self.time;
+        let rng = &mut self.rng;
+        let outcome = link.transmit(from, wire, now, || rng.gen());
+        let epoch = link.epoch;
+        match outcome {
+            TxOutcome::Deliver { at, attempts } => {
+                stats.attempts += u64::from(attempts);
+                stats.delivered += 1;
+                stats.bytes_delivered += wire as u64;
+                self.push(
+                    at,
+                    EventKind::Arrival {
+                        node: to,
+                        link: link_id,
+                        epoch,
+                        msg,
+                    },
+                );
+            }
+            TxOutcome::DropLoss { attempts } => {
+                stats.attempts += u64::from(attempts);
+                stats.lost += 1;
+            }
+            TxOutcome::DropQueue => stats.dropped_queue += 1,
+            TxOutcome::DropDown => stats.dropped_down += 1,
+        }
+    }
+
+    fn apply_link_state(&mut self, link_id: LinkId, up: bool) {
+        let link = &mut self.links[link_id.0];
+        if !link.set_up(up) {
+            return;
+        }
+        let (a, b) = link.endpoints();
+        self.with_node(a, |node, ctx| node.on_link_event(ctx, link_id, up));
+        self.with_node(b, |node, ctx| node.on_link_event(ctx, link_id, up));
+    }
+
+    /// Dispatches the next event, if any. Returns `false` when the queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        self.ensure_started();
+        let Some(Reverse(event)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(event.at >= self.time, "time must be monotonic");
+        self.time = event.at;
+        self.stats.events += 1;
+        assert!(
+            self.stats.events <= self.event_limit,
+            "event limit exceeded at {} (possible protocol livelock)",
+            self.time
+        );
+        match event.kind {
+            EventKind::Arrival {
+                node,
+                link,
+                epoch,
+                msg,
+            } => {
+                if self.links[link.0].epoch != epoch || !self.links[link.0].up {
+                    // Lost to a down transition while in flight.
+                    self.stats.links[link.0].dropped_in_flight += 1;
+                    return true;
+                }
+                self.stats.packets += 1;
+                self.with_node(node, |n, ctx| n.on_packet(ctx, link, msg));
+            }
+            EventKind::Timer { node, key } => {
+                self.stats.timers += 1;
+                self.with_node(node, |n, ctx| n.on_timer(ctx, key));
+            }
+            EventKind::LinkState { link, up } => self.apply_link_state(link, up),
+        }
+        true
+    }
+
+    /// Runs until the event queue drains.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until the queue drains or simulated time reaches `deadline`
+    /// (events at exactly `deadline` are processed).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.ensure_started();
+        loop {
+            match self.queue.peek() {
+                Some(Reverse(e)) if e.at <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.time < deadline {
+            self.time = deadline;
+        }
+    }
+
+    /// Runs while `predicate` returns false, up to `deadline`. Returns true
+    /// if the predicate became true.
+    pub fn run_while(
+        &mut self,
+        deadline: SimTime,
+        mut predicate: impl FnMut(&Simulator<M>) -> bool,
+    ) -> bool {
+        self.ensure_started();
+        loop {
+            if predicate(self) {
+                return true;
+            }
+            match self.queue.peek() {
+                Some(Reverse(e)) if e.at <= deadline => {
+                    self.step();
+                }
+                _ => return predicate(self),
+            }
+        }
+    }
+}
+
+impl<M: Message> std::fmt::Debug for Simulator<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("time", &self.time)
+            .field("nodes", &self.nodes.len())
+            .field("links", &self.links.len())
+            .field("pending_events", &self.queue.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Num(u64);
+    impl Message for Num {
+        fn wire_size(&self) -> usize {
+            1000
+        }
+    }
+
+    /// Echoes every received number back, incremented, up to a bound.
+    struct Echo {
+        limit: u64,
+        log: Vec<(SimTime, u64)>,
+        kick: bool,
+        link: Option<LinkId>,
+    }
+
+    impl Node<Num> for Echo {
+        fn on_start(&mut self, ctx: &mut Context<'_, Num>) {
+            if self.kick {
+                if let Some(l) = self.link {
+                    ctx.send(l, Num(0));
+                }
+            }
+        }
+        fn on_packet(&mut self, ctx: &mut Context<'_, Num>, link: LinkId, msg: Num) {
+            self.log.push((ctx.now(), msg.0));
+            if msg.0 < self.limit {
+                ctx.send(link, Num(msg.0 + 1));
+            }
+        }
+    }
+
+    fn echo(kick: bool) -> Echo {
+        Echo {
+            limit: 4,
+            log: vec![],
+            kick,
+            link: None,
+        }
+    }
+
+    fn build() -> (Simulator<Num>, NodeId, NodeId, LinkId) {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node(Box::new(echo(true)));
+        let b = sim.add_node(Box::new(echo(false)));
+        let l = sim.add_link(
+            a,
+            b,
+            LinkConfig::wired(8_000_000, SimDuration::from_millis(10)),
+        );
+        sim.node_mut::<Echo>(a).unwrap().link = Some(l);
+        sim.node_mut::<Echo>(b).unwrap().link = Some(l);
+        (sim, a, b, l)
+    }
+
+    #[test]
+    fn ping_pong_alternates_and_times_accumulate() {
+        let (mut sim, a, b, _) = build();
+        sim.run();
+        let log_b = &sim.node::<Echo>(b).unwrap().log;
+        let log_a = &sim.node::<Echo>(a).unwrap().log;
+        assert_eq!(log_b.iter().map(|(_, v)| *v).collect::<Vec<_>>(), vec![0, 2, 4]);
+        assert_eq!(log_a.iter().map(|(_, v)| *v).collect::<Vec<_>>(), vec![1, 3]);
+        // Each hop = 1 ms serialization + 10 ms propagation = 11 ms.
+        assert_eq!(log_b[0].0, SimTime::from_micros(11_000));
+        assert_eq!(log_a[0].0, SimTime::from_micros(22_000));
+        assert_eq!(sim.stats().packets, 5);
+    }
+
+    #[test]
+    fn identical_seeds_identical_runs() {
+        let run = |seed| {
+            let mut sim = Simulator::new(seed);
+            let a = sim.add_node(Box::new(echo(true)));
+            let b = sim.add_node(Box::new(echo(false)));
+            let l = sim.add_link(
+                a,
+                b,
+                LinkConfig::wired(8_000_000, SimDuration::from_millis(1)).with_loss(0.3),
+            );
+            sim.node_mut::<Echo>(a).unwrap().link = Some(l);
+            sim.node_mut::<Echo>(b).unwrap().link = Some(l);
+            sim.run();
+            (
+                sim.node::<Echo>(a).unwrap().log.clone(),
+                sim.node::<Echo>(b).unwrap().log.clone(),
+            )
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let (mut sim, _, b, _) = build();
+        sim.run_until(SimTime::from_micros(11_000));
+        assert_eq!(sim.node::<Echo>(b).unwrap().log.len(), 1);
+        assert_eq!(sim.now(), SimTime::from_micros(11_000));
+        sim.run();
+        assert_eq!(sim.node::<Echo>(b).unwrap().log.len(), 3);
+    }
+
+    #[test]
+    fn scripted_link_down_drops_in_flight() {
+        let (mut sim, _, b, l) = build();
+        // First packet arrives at 11 ms; kill the link at 5 ms.
+        sim.schedule_link_state(SimTime::from_micros(5_000), l, false);
+        sim.run();
+        assert!(sim.node::<Echo>(b).unwrap().log.is_empty());
+        assert_eq!(sim.stats().links[l.index()].dropped_in_flight, 1);
+    }
+
+    #[test]
+    fn link_events_reach_both_endpoints() {
+        struct Watcher {
+            events: Vec<(LinkId, bool)>,
+        }
+        impl Node<Num> for Watcher {
+            fn on_packet(&mut self, _: &mut Context<'_, Num>, _: LinkId, _: Num) {}
+            fn on_link_event(&mut self, _: &mut Context<'_, Num>, link: LinkId, up: bool) {
+                self.events.push((link, up));
+            }
+        }
+        let mut sim: Simulator<Num> = Simulator::new(3);
+        let a = sim.add_node(Box::new(Watcher { events: vec![] }));
+        let b = sim.add_node(Box::new(Watcher { events: vec![] }));
+        let l = sim.add_link(a, b, LinkConfig::wired(1_000, SimDuration::ZERO));
+        sim.schedule_link_state(SimTime::from_micros(10), l, false);
+        sim.schedule_link_state(SimTime::from_micros(20), l, true);
+        // Duplicate transition must not re-notify.
+        sim.schedule_link_state(SimTime::from_micros(30), l, true);
+        sim.run();
+        for id in [a, b] {
+            assert_eq!(
+                sim.node::<Watcher>(id).unwrap().events,
+                vec![(l, false), (l, true)]
+            );
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order_with_fifo_ties() {
+        struct T {
+            fired: Vec<TimerKey>,
+        }
+        impl Node<Num> for T {
+            fn on_start(&mut self, ctx: &mut Context<'_, Num>) {
+                ctx.set_timer(SimDuration::from_micros(5), 2);
+                ctx.set_timer(SimDuration::from_micros(5), 3);
+                ctx.set_timer(SimDuration::from_micros(1), 1);
+            }
+            fn on_packet(&mut self, _: &mut Context<'_, Num>, _: LinkId, _: Num) {}
+            fn on_timer(&mut self, _: &mut Context<'_, Num>, key: TimerKey) {
+                self.fired.push(key);
+            }
+        }
+        let mut sim: Simulator<Num> = Simulator::new(0);
+        let n = sim.add_node(Box::new(T { fired: vec![] }));
+        sim.run();
+        assert_eq!(sim.node::<T>(n).unwrap().fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "event limit")]
+    fn event_limit_catches_livelock() {
+        struct Loop;
+        impl Node<Num> for Loop {
+            fn on_start(&mut self, ctx: &mut Context<'_, Num>) {
+                ctx.set_timer(SimDuration::from_micros(1), 0);
+            }
+            fn on_packet(&mut self, _: &mut Context<'_, Num>, _: LinkId, _: Num) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, Num>, _: TimerKey) {
+                ctx.set_timer(SimDuration::from_micros(1), 0);
+            }
+        }
+        let mut sim: Simulator<Num> = Simulator::new(0);
+        sim.add_node(Box::new(Loop));
+        sim.set_event_limit(100);
+        sim.run();
+    }
+
+    #[test]
+    fn run_while_predicate() {
+        let (mut sim, _, b, _) = build();
+        let done = sim.run_while(SimTime::MAX, |s| {
+            s.node::<Echo>(b).map_or(false, |e| e.log.len() >= 2)
+        });
+        assert!(done);
+        assert_eq!(sim.node::<Echo>(b).unwrap().log.len(), 2);
+    }
+
+    #[test]
+    fn wireless_loss_is_recovered_by_arq() {
+        let (mut sim, a, b) = {
+            let mut sim = Simulator::new(5);
+            let a = sim.add_node(Box::new(echo(true)));
+            let b = sim.add_node(Box::new(echo(false)));
+            let l = sim.add_link(
+                a,
+                b,
+                LinkConfig::wireless(8_000_000, SimDuration::from_millis(1), 0.3),
+            );
+            sim.node_mut::<Echo>(a).unwrap().link = Some(l);
+            sim.node_mut::<Echo>(b).unwrap().link = Some(l);
+            (sim, a, b)
+        };
+        sim.run();
+        // With ARQ (7 retries at 30 % loss) effectively nothing is lost.
+        assert_eq!(sim.node::<Echo>(b).unwrap().log.len(), 3);
+        assert_eq!(sim.node::<Echo>(a).unwrap().log.len(), 2);
+    }
+}

@@ -1,0 +1,464 @@
+//! The client side of SoftStage: Staging Manager, Chunk Manager and
+//! Handoff Manager in one host application.
+//!
+//! The application-facing behaviour is the paper's `XfetchChunk*`
+//! delegation: the client registers the chunks of a content object and the
+//! manager fetches them sequentially, transparently redirecting each fetch
+//! to a staged edge copy when one exists and falling back to the origin
+//! otherwise. Around that data path it runs:
+//!
+//! - the **Staging Coordinator** (reactive depth rule, §III-D) deciding
+//!   how many chunks to stage ahead,
+//! - the **Staging Tracker** (request/response bookkeeping against the
+//!   [`crate::StagingVnf`]),
+//! - the **Network Sensor** and **Handoff Manager** (via
+//!   [`vehicular::Roamer`]), including the *chunk-aware* handoff policy
+//!   that defers switching to a chunk boundary and pre-stages into the
+//!   handoff target through the current network (step ④ of Fig. 1),
+//! - **fault tolerance**: with no VNF in the edge network, fetches simply
+//!   use the original DAG.
+//!
+//! Disabling staging (`SoftStageConfig::baseline()`) yields exactly the
+//! paper's Xftp baseline: same transport, same roaming, no staging.
+
+use std::collections::HashMap;
+
+use simnet::{LinkId, SimDuration, SimTime};
+use vehicular::{RoamConfig, RoamEvent, RoamState, Roamer, ROAM_ASSOC_TIMER};
+use xia_addr::{sha1::Sha1, Dag, Xid};
+use xia_host::{App, FetchResult, HostCtx};
+use xia_wire::Beacon;
+
+use crate::coordinator::{CoordinatorConfig, StagingCoordinator};
+use crate::messages::StagingMsg;
+use crate::profile::{ChunkProfile, StagingState};
+
+/// When to hand off to a stronger network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HandoffPolicy {
+    /// Switch as soon as a stronger network appears (the legacy
+    /// RSS-driven policy), paying active session migration mid-chunk.
+    Default,
+    /// Defer the switch until the in-flight chunk completes, and pre-stage
+    /// upcoming chunks into the target network before switching.
+    #[default]
+    ChunkAware,
+}
+
+/// Client configuration.
+#[derive(Debug, Clone)]
+pub struct SoftStageConfig {
+    /// Handoff policy.
+    pub policy: HandoffPolicy,
+    /// Roaming cost model.
+    pub roam: RoamConfig,
+    /// Staging-depth rule parameters.
+    pub coordinator: CoordinatorConfig,
+    /// Staging on/off; off gives the Xftp baseline.
+    pub staging_enabled: bool,
+    /// Re-request staging for chunks pending longer than this.
+    pub stage_retry: SimDuration,
+    /// Back-off before retrying a failed origin fetch.
+    pub fetch_retry: SimDuration,
+    /// Chunks pre-staged into a handoff target (step ④).
+    pub prestage_depth: usize,
+    /// Housekeeping tick period.
+    pub tick: SimDuration,
+}
+
+impl Default for SoftStageConfig {
+    fn default() -> Self {
+        SoftStageConfig {
+            policy: HandoffPolicy::ChunkAware,
+            roam: RoamConfig::default(),
+            coordinator: CoordinatorConfig::default(),
+            staging_enabled: true,
+            stage_retry: SimDuration::from_secs(2),
+            fetch_retry: SimDuration::from_millis(500),
+            prestage_depth: 4,
+            tick: SimDuration::from_millis(500),
+        }
+    }
+}
+
+impl SoftStageConfig {
+    /// The Xftp baseline: identical stack and roaming, no staging, legacy
+    /// handoff policy.
+    pub fn baseline() -> Self {
+        SoftStageConfig {
+            staging_enabled: false,
+            policy: HandoffPolicy::Default,
+            ..SoftStageConfig::default()
+        }
+    }
+}
+
+/// Download progress and diagnostics.
+#[derive(Debug, Clone, Default)]
+pub struct ClientStats {
+    /// When every chunk had been fetched.
+    pub finished: Option<SimTime>,
+    /// `(completion time, chunk index, was fetched from a staged copy)`.
+    pub chunk_completions: Vec<(SimTime, usize, bool)>,
+    /// Chunks fetched from edge caches.
+    pub from_staged: u64,
+    /// Chunks fetched from the origin.
+    pub from_origin: u64,
+    /// Staged fetches that fell back to the origin after failing.
+    pub fallback_refetches: u64,
+    /// Staging request messages sent.
+    pub stage_requests: u64,
+    /// Payload bytes downloaded.
+    pub bytes_fetched: u64,
+}
+
+/// Timer keys (app-local).
+const TICK_TIMER: u64 = 1;
+const FETCH_RETRY_TIMER: u64 = 2;
+
+#[derive(Debug)]
+struct InFlightFetch {
+    handle: u64,
+    idx: usize,
+    started: SimTime,
+    staged: bool,
+}
+
+/// The SoftStage client application.
+#[derive(Debug)]
+pub struct SoftStageClient {
+    config: SoftStageConfig,
+    profile: ChunkProfile,
+    coordinator: StagingCoordinator,
+    /// Roaming (sensor + handoff mechanics).
+    pub roamer: Roamer,
+    next_fetch: usize,
+    in_flight: Option<InFlightFetch>,
+    pending_handoff: Option<Xid>,
+    current_vnf: Option<Dag>,
+    /// Outstanding staging-request send times by token (RTT measurement).
+    sent_tokens: HashMap<u64, SimTime>,
+    /// When coverage was last lost (for reactive gap measurement).
+    detached_at: Option<SimTime>,
+    stats: ClientStats,
+    done: bool,
+    content_hash: Sha1,
+}
+
+impl SoftStageClient {
+    /// Creates a client session downloading `chunks` (in order), each
+    /// given as `(cid, origin DAG)`.
+    pub fn new(chunks: Vec<(Xid, Dag)>, config: SoftStageConfig) -> Self {
+        let mut profile = ChunkProfile::new();
+        for (cid, dag) in chunks {
+            profile.register(cid, dag);
+        }
+        SoftStageClient {
+            coordinator: StagingCoordinator::new(config.coordinator),
+            roamer: Roamer::new(config.roam),
+            config,
+            profile,
+            next_fetch: 0,
+            in_flight: None,
+            pending_handoff: None,
+            current_vnf: None,
+            sent_tokens: HashMap::new(),
+            detached_at: None,
+            stats: ClientStats::default(),
+            done: false,
+            content_hash: Sha1::new(),
+        }
+    }
+
+    /// Download statistics.
+    pub fn stats(&self) -> &ClientStats {
+        &self.stats
+    }
+
+    /// Whether the whole session has completed.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Chunks fetched so far.
+    pub fn fetched_chunks(&self) -> usize {
+        self.profile.fetched()
+    }
+
+    /// The Chunk Profile (inspection).
+    pub fn profile(&self) -> &ChunkProfile {
+        &self.profile
+    }
+
+    /// The staging coordinator (inspection).
+    pub fn coordinator(&self) -> &StagingCoordinator {
+        &self.coordinator
+    }
+
+    /// SHA-1 over all delivered content, in order (integrity checks).
+    pub fn content_digest(&self) -> [u8; 20] {
+        self.content_hash.clone().finalize()
+    }
+
+    fn start_next_fetch(&mut self, ctx: &mut HostCtx<'_, '_>) {
+        if self.done || self.in_flight.is_some() {
+            return;
+        }
+        if !matches!(self.roamer.state(), RoamState::Associated { .. }) {
+            return;
+        }
+        if self.next_fetch >= self.profile.len() {
+            return;
+        }
+        let rec = self.profile.get(self.next_fetch).expect("bounds checked");
+        let staged = rec.uses_staged();
+        let dag = rec.best_dag().clone();
+        let handle = ctx.xfetch_chunk(dag);
+        self.in_flight = Some(InFlightFetch {
+            handle,
+            idx: self.next_fetch,
+            started: ctx.now(),
+            staged,
+        });
+        self.maybe_stage(ctx);
+    }
+
+    /// The Staging Coordinator: keep the staged-ahead depth at target.
+    fn maybe_stage(&mut self, ctx: &mut HostCtx<'_, '_>) {
+        if !self.config.staging_enabled || self.done {
+            return;
+        }
+        let Some(vnf) = self.current_vnf.clone() else {
+            // Fault tolerance: no Staging VNF here; fetches use raw DAGs.
+            return;
+        };
+        let ahead = self.profile.staged_ahead(self.next_fetch);
+        let deficit = self.coordinator.deficit(ahead);
+        if deficit == 0 {
+            return;
+        }
+        let from = self.next_fetch + usize::from(self.in_flight.is_some());
+        let idxs = self.profile.staging_candidates(from, deficit);
+        self.stage_chunks(ctx, &vnf, &idxs);
+    }
+
+    /// The Staging Tracker: sends one staging request for `idxs`.
+    fn stage_chunks(&mut self, ctx: &mut HostCtx<'_, '_>, vnf: &Dag, idxs: &[usize]) {
+        if idxs.is_empty() {
+            return;
+        }
+        let chunks: Vec<(Xid, Dag)> = idxs
+            .iter()
+            .filter_map(|&i| self.profile.get(i))
+            .map(|r| (r.cid, r.raw_dag.clone()))
+            .collect();
+        let msg = StagingMsg::Request { chunks };
+        let token = ctx.send_control(vnf.clone(), vnf.intent(), msg.encode());
+        self.sent_tokens.insert(token, ctx.now());
+        let now = ctx.now();
+        for &i in idxs {
+            self.profile.mark_pending(i, now);
+        }
+        self.stats.stage_requests += 1;
+    }
+
+    /// Step ④: pre-stage upcoming chunks into the handoff target's VNF,
+    /// signalled through the *current* network.
+    fn prestage_into(&mut self, ctx: &mut HostCtx<'_, '_>, vnf: &Dag) {
+        let from = self.next_fetch + usize::from(self.in_flight.is_some());
+        let idxs = self
+            .profile
+            .staging_candidates(from, self.config.prestage_depth);
+        self.stage_chunks(ctx, vnf, &idxs);
+    }
+
+    fn handle_handoff_opportunity(&mut self, ctx: &mut HostCtx<'_, '_>) {
+        let Some(candidate) = self
+            .roamer
+            .candidate(ctx.now())
+            .map(|c| (c.nid, c.staging_vnf.clone()))
+        else {
+            return;
+        };
+        let (target, target_vnf) = candidate;
+        match self.config.policy {
+            HandoffPolicy::Default => {
+                // Legacy: switch immediately, even mid-chunk.
+                self.roamer.begin_handoff(ctx, target);
+            }
+            HandoffPolicy::ChunkAware => {
+                if self.in_flight.is_some() {
+                    if self.pending_handoff != Some(target) {
+                        self.pending_handoff = Some(target);
+                        if self.config.staging_enabled {
+                            if let Some(vnf) = target_vnf {
+                                self.prestage_into(ctx, &vnf);
+                            }
+                        }
+                    }
+                } else {
+                    self.roamer.begin_handoff(ctx, target);
+                }
+            }
+        }
+    }
+
+    fn on_associated(&mut self, ctx: &mut HostCtx<'_, '_>, nid: Xid) {
+        if let Some(detached) = self.detached_at.take() {
+            // Reactive content-mobility management: learn how long gaps
+            // last and keep the VNF provisioned across them.
+            self.coordinator.observe_gap(ctx.now() - detached);
+        }
+        self.current_vnf = self.roamer.sensor.vnf_of(&nid, ctx.now()).cloned();
+        if self.pending_handoff == Some(nid) {
+            self.pending_handoff = None;
+        }
+        self.maybe_stage(ctx);
+        self.start_next_fetch(ctx);
+    }
+}
+
+impl App for SoftStageClient {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_, '_>) {
+        ctx.set_app_timer(self.config.tick, TICK_TIMER as u32);
+    }
+
+    fn on_beacon(&mut self, ctx: &mut HostCtx<'_, '_>, link: LinkId, beacon: &Beacon) {
+        let _ = self.roamer.on_beacon(ctx, link, beacon);
+        self.handle_handoff_opportunity(ctx);
+    }
+
+    fn on_link_event(&mut self, ctx: &mut HostCtx<'_, '_>, link: LinkId, up: bool) {
+        if self.roamer.on_link_event(ctx, link, up) == RoamEvent::Detached {
+            // The in-flight fetch (if any) stalls on transport recovery
+            // and resumes after the next association + migration.
+            self.detached_at = Some(ctx.now());
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut HostCtx<'_, '_>, key: u64) {
+        match key {
+            ROAM_ASSOC_TIMER => {
+                if let RoamEvent::Associated(nid) = self.roamer.on_timer(ctx, key) {
+                    self.on_associated(ctx, nid);
+                }
+            }
+            TICK_TIMER => {
+                // Re-issue staging for requests lost in the air.
+                let stale = self
+                    .profile
+                    .stale_pending(ctx.now(), self.config.stage_retry);
+                for idx in stale {
+                    if let Some(r) = self.profile.get_mut(idx) {
+                        r.staging_state = StagingState::Blank;
+                        r.pending_since = None;
+                    }
+                }
+                self.maybe_stage(ctx);
+                self.start_next_fetch(ctx);
+                if !self.done {
+                    ctx.set_app_timer(self.config.tick, TICK_TIMER as u32);
+                }
+            }
+            FETCH_RETRY_TIMER => {
+                self.start_next_fetch(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_control(
+        &mut self,
+        ctx: &mut HostCtx<'_, '_>,
+        _from: Dag,
+        _service: Xid,
+        token: u64,
+        body: &bytes::Bytes,
+    ) {
+        let Some(StagingMsg::Staged {
+            cid,
+            ok,
+            staging_latency_us,
+            nid,
+            hid,
+        }) = StagingMsg::decode(body)
+        else {
+            return;
+        };
+        if ok {
+            let latency = SimDuration::from_micros(staging_latency_us);
+            if self.profile.mark_ready(&cid, nid, hid, latency).is_some() {
+                if staging_latency_us > 0 {
+                    self.coordinator.observe_stage(latency);
+                }
+                if let Some(&sent) = self.sent_tokens.get(&token) {
+                    let rtt = (ctx.now() - sent).saturating_sub(latency);
+                    self.coordinator.observe_rtt(rtt);
+                }
+            }
+        } else if let Some((idx, _)) = self.profile.by_cid(&cid) {
+            self.profile.mark_fallback(idx);
+        }
+        self.maybe_stage(ctx);
+    }
+
+    fn on_fetch_complete(
+        &mut self,
+        ctx: &mut HostCtx<'_, '_>,
+        handle: u64,
+        _cid: Xid,
+        result: FetchResult,
+    ) {
+        let Some(fetch) = self.in_flight.take() else {
+            return;
+        };
+        if fetch.handle != handle {
+            self.in_flight = Some(fetch);
+            return;
+        }
+        match result {
+            FetchResult::Complete(bytes) => {
+                let latency = ctx.now() - fetch.started;
+                self.profile.mark_fetched(fetch.idx, latency);
+                if fetch.staged {
+                    self.coordinator.observe_fetch(latency);
+                    self.stats.from_staged += 1;
+                } else {
+                    self.stats.from_origin += 1;
+                }
+                self.stats.bytes_fetched += bytes.len() as u64;
+                self.content_hash.update(&bytes);
+                self.stats
+                    .chunk_completions
+                    .push((ctx.now(), fetch.idx, fetch.staged));
+                self.next_fetch = fetch.idx + 1;
+                if self.next_fetch >= self.profile.len() {
+                    self.done = true;
+                    self.stats.finished = Some(ctx.now());
+                    return;
+                }
+                // Chunk-aware handoff: the deferred switch happens now, at
+                // the chunk boundary, with no connection to migrate.
+                if let Some(target) = self.pending_handoff.take() {
+                    if self.roamer.begin_handoff(ctx, target) != RoamEvent::None {
+                        self.maybe_stage(ctx);
+                        return; // Fetch resumes once associated.
+                    }
+                }
+                self.start_next_fetch(ctx);
+                self.maybe_stage(ctx);
+            }
+            FetchResult::NotFound | FetchResult::Failed => {
+                if fetch.staged {
+                    // Fault tolerance: the staged copy is gone (evicted,
+                    // cache restarted). Fall back to the origin DAG.
+                    self.profile.mark_fallback(fetch.idx);
+                    self.stats.fallback_refetches += 1;
+                    self.start_next_fetch(ctx);
+                } else {
+                    ctx.set_app_timer(self.config.fetch_retry, FETCH_RETRY_TIMER as u32);
+                }
+            }
+        }
+    }
+}

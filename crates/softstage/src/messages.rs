@@ -1,0 +1,79 @@
+//! The staging signaling protocol (Staging Manager ↔ Staging VNF).
+//!
+//! Messages ride in best-effort control datagrams; the Staging Manager
+//! retries stale requests, and the VNF answers idempotently (a chunk
+//! already staged is re-acknowledged immediately).
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use xia_addr::{Dag, Xid};
+
+/// A staging message body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StagingMsg {
+    /// Manager → VNF: stage these chunks from their origin addresses
+    /// (step ④ in the paper's Fig. 2).
+    Request {
+        /// `(cid, origin DAG)` pairs to stage.
+        chunks: Vec<(Xid, Dag)>,
+    },
+    /// VNF → Manager: one chunk's staging outcome (step ⑥).
+    Staged {
+        /// The chunk.
+        cid: Xid,
+        /// Whether staging succeeded.
+        ok: bool,
+        /// Time the VNF took to fetch the chunk from the origin, µs
+        /// (`L_S→EdgeNet`); zero if it was already cached.
+        staging_latency_us: u64,
+        /// NID of the edge network now holding the chunk.
+        nid: Xid,
+        /// HID of the cache (access router) holding the chunk.
+        hid: Xid,
+    },
+}
+
+impl StagingMsg {
+    /// Serializes the message for a control datagram body.
+    pub fn encode(&self) -> Bytes {
+        Bytes::from(serde_json::to_vec(self).expect("staging messages are serializable"))
+    }
+
+    /// Parses a control datagram body.
+    pub fn decode(body: &[u8]) -> Option<StagingMsg> {
+        serde_json::from_slice(body).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xia_addr::Principal;
+
+    #[test]
+    fn request_roundtrip() {
+        let cid = Xid::for_content(b"x");
+        let dag = Dag::cid_with_fallback(
+            cid,
+            Xid::new_random(Principal::Nid, 1),
+            Xid::new_random(Principal::Hid, 2),
+        );
+        let msg = StagingMsg::Request {
+            chunks: vec![(cid, dag)],
+        };
+        assert_eq!(StagingMsg::decode(&msg.encode()), Some(msg));
+    }
+
+    #[test]
+    fn staged_roundtrip_and_garbage() {
+        let msg = StagingMsg::Staged {
+            cid: Xid::for_content(b"y"),
+            ok: true,
+            staging_latency_us: 123_456,
+            nid: Xid::new_random(Principal::Nid, 3),
+            hid: Xid::new_random(Principal::Hid, 4),
+        };
+        assert_eq!(StagingMsg::decode(&msg.encode()), Some(msg));
+        assert_eq!(StagingMsg::decode(b"not json"), None);
+    }
+}

@@ -1,0 +1,185 @@
+//! The Staging VNF: the stateless edge-side executor.
+//!
+//! "A very lightweight virtual network function embedded inside XCache
+//! that is application-agnostic": on a Staging Manager's request it
+//! prefetches the named chunks from their origin into the local XCache and
+//! reports each chunk's new location and staging latency back. It keeps no
+//! per-client session state — only the transient fetch bookkeeping — so
+//! edge networks scale to many clients.
+
+use std::collections::HashMap;
+
+use simnet::SimTime;
+use xia_addr::{Dag, Xid};
+use xia_host::{App, FetchResult, HostCtx};
+
+use crate::messages::StagingMsg;
+
+/// A client waiting for one chunk's staging outcome.
+#[derive(Debug, Clone)]
+struct Waiter {
+    requester: Dag,
+    token: u64,
+}
+
+/// Bookkeeping for one in-flight origin fetch.
+#[derive(Debug)]
+struct InFlight {
+    cid: Xid,
+    started: SimTime,
+}
+
+/// Counters exposed to experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VnfStats {
+    /// Staging requests received (messages, not chunks).
+    pub requests: u64,
+    /// Chunks staged from an origin.
+    pub staged: u64,
+    /// Chunks answered from cache without an origin fetch.
+    pub already_cached: u64,
+    /// Staging attempts that failed.
+    pub failed: u64,
+    /// Bytes brought in from origins.
+    pub bytes_staged: u64,
+}
+
+/// The Staging VNF application, deployed on an edge router's host stack.
+#[derive(Debug)]
+pub struct StagingVnf {
+    sid: Xid,
+    fetches: HashMap<u64, InFlight>,
+    waiters: HashMap<Xid, Vec<Waiter>>,
+    stats: VnfStats,
+}
+
+impl StagingVnf {
+    /// Creates a VNF answering on service `sid`.
+    pub fn new(sid: Xid) -> Self {
+        StagingVnf {
+            sid,
+            fetches: HashMap::new(),
+            waiters: HashMap::new(),
+            stats: VnfStats::default(),
+        }
+    }
+
+    /// The VNF's service identifier.
+    pub fn sid(&self) -> Xid {
+        self.sid
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> VnfStats {
+        self.stats
+    }
+
+    /// The service address to advertise in beacons, given the edge
+    /// network's locator.
+    pub fn service_dag(&self, nid: Xid, hid: Xid) -> Dag {
+        Dag::service_with_fallback(self.sid, nid, hid)
+    }
+
+    fn reply(
+        &self,
+        ctx: &mut HostCtx<'_, '_>,
+        to: &Dag,
+        token: u64,
+        cid: Xid,
+        ok: bool,
+        staging_latency_us: u64,
+    ) {
+        let (nid, hid) = (
+            ctx.nid().expect("edge router stack is always attached"),
+            ctx.hid(),
+        );
+        let msg = StagingMsg::Staged {
+            cid,
+            ok,
+            staging_latency_us,
+            nid,
+            hid,
+        };
+        ctx.send_control_with_token(to.clone(), self.sid, token, msg.encode());
+    }
+}
+
+impl App for StagingVnf {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_, '_>) {
+        ctx.register_service(self.sid);
+    }
+
+    fn on_control(
+        &mut self,
+        ctx: &mut HostCtx<'_, '_>,
+        from: Dag,
+        service: Xid,
+        token: u64,
+        body: &bytes::Bytes,
+    ) {
+        if service != self.sid {
+            return;
+        }
+        let Some(StagingMsg::Request { chunks }) = StagingMsg::decode(body) else {
+            return;
+        };
+        self.stats.requests += 1;
+        for (cid, origin) in chunks {
+            if ctx.store().contains(&cid) {
+                // Idempotent: already staged (or being served) here.
+                self.stats.already_cached += 1;
+                self.reply(ctx, &from, token, cid, true, 0);
+                continue;
+            }
+            let waiter = Waiter {
+                requester: from.clone(),
+                token,
+            };
+            let entry = self.waiters.entry(cid).or_default();
+            let fetch_in_flight = !entry.is_empty();
+            entry.push(waiter);
+            if fetch_in_flight {
+                continue; // One origin fetch serves all requesters.
+            }
+            let handle = ctx.xfetch_chunk(origin);
+            self.fetches.insert(
+                handle,
+                InFlight {
+                    cid,
+                    started: ctx.now(),
+                },
+            );
+        }
+    }
+
+    fn on_fetch_complete(
+        &mut self,
+        ctx: &mut HostCtx<'_, '_>,
+        handle: u64,
+        cid: Xid,
+        result: FetchResult,
+    ) {
+        let Some(inflight) = self.fetches.remove(&handle) else {
+            return;
+        };
+        debug_assert_eq!(inflight.cid, cid);
+        let latency = ctx.now() - inflight.started;
+        let waiters = self.waiters.remove(&cid).unwrap_or_default();
+        match result {
+            FetchResult::Complete(bytes) => {
+                self.stats.staged += 1;
+                self.stats.bytes_staged += bytes.len() as u64;
+                ctx.store().insert(cid, bytes);
+                for w in waiters {
+                    self.reply(ctx, &w.requester, w.token, cid, true, latency.as_micros());
+                }
+            }
+            FetchResult::NotFound | FetchResult::Failed => {
+                self.stats.failed += 1;
+                for w in waiters {
+                    self.reply(ctx, &w.requester, w.token, cid, false, latency.as_micros());
+                }
+            }
+        }
+    }
+}

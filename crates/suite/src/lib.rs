@@ -1,0 +1,18 @@
+//! Workspace-level prelude for the SoftStage reproduction: re-exports the
+//! pieces examples and integration tests compose, so a downstream user can
+//! depend on one crate and get the whole system.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use simnet;
+pub use softstage;
+pub use softstage_apps as apps;
+pub use softstage_experiments as experiments;
+pub use vehicular;
+pub use xcache;
+pub use xia_addr;
+pub use xia_host;
+pub use xia_router;
+pub use xia_transport;
+pub use xia_wire;

@@ -1,0 +1,209 @@
+//! The network sensor: beacon-driven discovery of edge networks and their
+//! staging VNFs (the paper's *Network Sensor* module).
+
+use std::collections::HashMap;
+
+use simnet::{LinkId, SimDuration, SimTime};
+use xia_addr::{Dag, Xid};
+use xia_wire::Beacon;
+
+/// Everything known about one discovered edge network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkKnowledge {
+    /// The network identifier.
+    pub nid: Xid,
+    /// HID of its access router.
+    pub hid: Xid,
+    /// The local interface the beacon was heard on.
+    pub link: LinkId,
+    /// Most recent RSS, dBm.
+    pub rss_dbm: f64,
+    /// When the last beacon was heard.
+    pub last_heard: SimTime,
+    /// Advertised staging VNF, if the network deploys one.
+    pub staging_vnf: Option<Dag>,
+}
+
+/// Tracks networks heard on the sensor interface.
+///
+/// The client uses a second (or virtual) interface purely for scanning, so
+/// discovery proceeds even while the data interface transfers chunks.
+#[derive(Debug)]
+pub struct NetworkSensor {
+    networks: HashMap<Xid, NetworkKnowledge>,
+    /// A network unheard for this long is considered gone.
+    pub beacon_timeout: SimDuration,
+}
+
+impl Default for NetworkSensor {
+    fn default() -> Self {
+        NetworkSensor::new(SimDuration::from_millis(400))
+    }
+}
+
+impl NetworkSensor {
+    /// Creates a sensor that expires networks after `beacon_timeout`.
+    pub fn new(beacon_timeout: SimDuration) -> Self {
+        NetworkSensor {
+            networks: HashMap::new(),
+            beacon_timeout,
+        }
+    }
+
+    /// Absorbs a beacon heard on `link` at `now`.
+    pub fn on_beacon(&mut self, now: SimTime, link: LinkId, beacon: &Beacon) {
+        self.networks.insert(
+            beacon.nid,
+            NetworkKnowledge {
+                nid: beacon.nid,
+                hid: beacon.hid,
+                link,
+                rss_dbm: beacon.rss_dbm,
+                last_heard: now,
+                staging_vnf: beacon.staging_vnf.clone(),
+            },
+        );
+    }
+
+    /// Forgets all networks heard on `link` (the interface went down).
+    pub fn on_link_down(&mut self, link: LinkId) {
+        self.networks.retain(|_, n| n.link != link);
+    }
+
+    /// Whether a record is still fresh at `now`.
+    fn fresh(&self, n: &NetworkKnowledge, now: SimTime) -> bool {
+        now - n.last_heard <= self.beacon_timeout
+    }
+
+    /// Knowledge about `nid`, if fresh.
+    pub fn get(&self, nid: &Xid, now: SimTime) -> Option<&NetworkKnowledge> {
+        self.networks.get(nid).filter(|n| self.fresh(n, now))
+    }
+
+    /// The strongest fresh network, if any.
+    pub fn best(&self, now: SimTime) -> Option<&NetworkKnowledge> {
+        self.networks
+            .values()
+            .filter(|n| self.fresh(n, now))
+            .max_by(|a, b| a.rss_dbm.total_cmp(&b.rss_dbm))
+    }
+
+    /// All fresh networks.
+    pub fn visible(&self, now: SimTime) -> Vec<&NetworkKnowledge> {
+        self.networks
+            .values()
+            .filter(|n| self.fresh(n, now))
+            .collect()
+    }
+
+    /// The staging VNF of `nid`, if known and fresh.
+    pub fn vnf_of(&self, nid: &Xid, now: SimTime) -> Option<&Dag> {
+        self.get(nid, now).and_then(|n| n.staging_vnf.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xia_addr::Principal;
+
+    fn beacon(seed: u64, rss: f64, vnf: bool) -> Beacon {
+        let nid = Xid::new_random(Principal::Nid, seed);
+        let hid = Xid::new_random(Principal::Hid, seed);
+        Beacon {
+            nid,
+            hid,
+            rss_dbm: rss,
+            staging_vnf: vnf.then(|| {
+                Dag::service_with_fallback(Xid::new_random(Principal::Sid, seed), nid, hid)
+            }),
+        }
+    }
+
+    fn link(i: usize) -> LinkId {
+        // Mint LinkIds through a throwaway sim.
+        let mut sim: simnet::Simulator<TestMsg> = simnet::Simulator::new(0);
+        let nodes: Vec<_> = (0..i + 2).map(|_| sim.add_node(Box::new(Nop))).collect();
+        (0..=i)
+            .map(|k| {
+                sim.add_link(
+                    nodes[k],
+                    nodes[k + 1],
+                    simnet::LinkConfig::wired(1, SimDuration::ZERO),
+                )
+            })
+            .last()
+            .expect("nonempty")
+    }
+
+    #[derive(Clone, Debug)]
+    struct TestMsg;
+    impl simnet::Message for TestMsg {
+        fn wire_size(&self) -> usize {
+            1
+        }
+    }
+    struct Nop;
+    impl simnet::Node<TestMsg> for Nop {
+        fn on_packet(
+            &mut self,
+            _: &mut simnet::Context<'_, TestMsg>,
+            _: LinkId,
+            _: TestMsg,
+        ) {
+        }
+    }
+
+    #[test]
+    fn best_prefers_strongest_fresh() {
+        let mut s = NetworkSensor::default();
+        let t0 = SimTime::from_micros(0);
+        let b1 = beacon(1, -70.0, false);
+        let b2 = beacon(2, -55.0, true);
+        s.on_beacon(t0, link(0), &b1);
+        s.on_beacon(t0, link(1), &b2);
+        assert_eq!(s.best(t0).unwrap().nid, b2.nid);
+        assert_eq!(s.visible(t0).len(), 2);
+        // b2 ages out.
+        let later = t0 + SimDuration::from_millis(500);
+        s.on_beacon(later, link(0), &b1);
+        assert_eq!(s.best(later).unwrap().nid, b1.nid);
+        assert_eq!(s.visible(later).len(), 1);
+    }
+
+    #[test]
+    fn vnf_discovery() {
+        let mut s = NetworkSensor::default();
+        let t0 = SimTime::from_micros(0);
+        let with = beacon(3, -60.0, true);
+        let without = beacon(4, -60.0, false);
+        s.on_beacon(t0, link(0), &with);
+        s.on_beacon(t0, link(0), &without);
+        assert!(s.vnf_of(&with.nid, t0).is_some());
+        assert!(s.vnf_of(&without.nid, t0).is_none());
+    }
+
+    #[test]
+    fn link_down_forgets_networks() {
+        let mut s = NetworkSensor::default();
+        let t0 = SimTime::from_micros(0);
+        let l0 = link(0);
+        let b = beacon(5, -60.0, false);
+        s.on_beacon(t0, l0, &b);
+        assert!(s.get(&b.nid, t0).is_some());
+        s.on_link_down(l0);
+        assert!(s.get(&b.nid, t0).is_none());
+    }
+
+    #[test]
+    fn rss_updates_on_newer_beacon() {
+        let mut s = NetworkSensor::default();
+        let l0 = link(0);
+        let mut b = beacon(6, -80.0, false);
+        s.on_beacon(SimTime::from_micros(0), l0, &b);
+        b.rss_dbm = -50.0;
+        let t1 = SimTime::from_micros(100_000);
+        s.on_beacon(t1, l0, &b);
+        assert_eq!(s.get(&b.nid, t1).unwrap().rss_dbm, -50.0);
+    }
+}

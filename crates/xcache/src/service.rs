@@ -1,0 +1,338 @@
+//! Sans-IO chunk service endpoints.
+//!
+//! [`ChunkServer`] is the serving side embedded in every XCache (origin
+//! servers, edge caches, router caches): it parses [`ChunkRequest`]s off
+//! accepted connections and answers from a [`ChunkStore`].
+//! [`ChunkFetcher`] is the client side of one fetch: it produces the
+//! request bytes and consumes the response stream, verifying the chunk's
+//! content hash on completion.
+//!
+//! Both are pure state machines — the host stack moves bytes between them
+//! and the transport.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use xia_addr::Xid;
+use xia_wire::ConnId;
+
+use crate::proto::{ChunkRequest, ChunkResponseHeader, REQUEST_LEN, RESPONSE_HDR_LEN};
+use crate::store::ChunkStore;
+
+/// Output of the server state machine: what the host should do on which
+/// connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerAction {
+    /// Send bytes on the connection.
+    Send(ConnId, Bytes),
+    /// Close the send direction of the connection.
+    Close(ConnId),
+    /// Abort the connection (protocol violation).
+    Abort(ConnId),
+}
+
+/// The serving side of the chunk protocol for one XCache.
+#[derive(Debug, Default)]
+pub struct ChunkServer {
+    inbox: HashMap<ConnId, Vec<u8>>,
+    served: u64,
+    not_found: u64,
+}
+
+impl ChunkServer {
+    /// Creates an idle server.
+    pub fn new() -> Self {
+        ChunkServer::default()
+    }
+
+    /// Chunks served successfully so far.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Requests answered "not found" so far.
+    pub fn not_found(&self) -> u64 {
+        self.not_found
+    }
+
+    /// Registers a newly accepted connection.
+    pub fn on_incoming(&mut self, conn: ConnId) {
+        self.inbox.entry(conn).or_default();
+    }
+
+    /// Feeds received bytes from `conn`; answers once a full request frame
+    /// has arrived.
+    pub fn on_data(
+        &mut self,
+        conn: ConnId,
+        data: &Bytes,
+        store: &mut ChunkStore,
+    ) -> Vec<ServerAction> {
+        let Some(buf) = self.inbox.get_mut(&conn) else {
+            return vec![ServerAction::Abort(conn)];
+        };
+        buf.extend_from_slice(data);
+        if buf.len() < REQUEST_LEN {
+            return Vec::new();
+        }
+        let req = match ChunkRequest::decode(buf) {
+            Ok(r) => r,
+            Err(_) => {
+                self.inbox.remove(&conn);
+                return vec![ServerAction::Abort(conn)];
+            }
+        };
+        self.inbox.remove(&conn);
+        match store.get(&req.cid) {
+            Some(chunk) => {
+                self.served += 1;
+                let hdr = ChunkResponseHeader {
+                    cid: req.cid,
+                    found: true,
+                    len: chunk.len() as u64,
+                };
+                vec![
+                    ServerAction::Send(conn, hdr.encode()),
+                    ServerAction::Send(conn, chunk),
+                    ServerAction::Close(conn),
+                ]
+            }
+            None => {
+                self.not_found += 1;
+                let hdr = ChunkResponseHeader {
+                    cid: req.cid,
+                    found: false,
+                    len: 0,
+                };
+                vec![ServerAction::Send(conn, hdr.encode()), ServerAction::Close(conn)]
+            }
+        }
+    }
+
+    /// Forgets a connection that closed or failed.
+    pub fn on_gone(&mut self, conn: ConnId) {
+        self.inbox.remove(&conn);
+    }
+}
+
+/// Progress of a client-side chunk fetch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FetchProgress {
+    /// More bytes are needed.
+    InProgress,
+    /// The responder does not have the chunk.
+    NotFound,
+    /// The chunk arrived and its content hash matches its CID.
+    Complete(Bytes),
+    /// The body did not match the CID, or the stream was malformed.
+    Corrupt,
+}
+
+/// The client side of one chunk fetch over one connection.
+#[derive(Debug)]
+pub struct ChunkFetcher {
+    cid: Xid,
+    buf: Vec<u8>,
+    header: Option<ChunkResponseHeader>,
+    done: bool,
+}
+
+impl ChunkFetcher {
+    /// Creates a fetcher for `cid`.
+    pub fn new(cid: Xid) -> Self {
+        ChunkFetcher {
+            cid,
+            buf: Vec::new(),
+            header: None,
+            done: false,
+        }
+    }
+
+    /// The CID being fetched.
+    pub fn cid(&self) -> Xid {
+        self.cid
+    }
+
+    /// The request frame to send once connected.
+    pub fn request_bytes(&self) -> Bytes {
+        ChunkRequest { cid: self.cid }.encode()
+    }
+
+    /// Bytes of the body received so far (for partial-progress tracking
+    /// across disconnections).
+    pub fn received_bytes(&self) -> usize {
+        if self.header.is_some() {
+            self.buf.len()
+        } else {
+            0
+        }
+    }
+
+    /// Consumes response bytes; returns the new progress state.
+    pub fn on_data(&mut self, data: &Bytes) -> FetchProgress {
+        if self.done {
+            return FetchProgress::Corrupt;
+        }
+        self.buf.extend_from_slice(data);
+        if self.header.is_none() {
+            if self.buf.len() < RESPONSE_HDR_LEN {
+                return FetchProgress::InProgress;
+            }
+            match ChunkResponseHeader::decode(&self.buf) {
+                Ok(hdr) => {
+                    if !hdr.found {
+                        self.done = true;
+                        return FetchProgress::NotFound;
+                    }
+                    self.buf.drain(..RESPONSE_HDR_LEN);
+                    self.header = Some(hdr);
+                }
+                Err(_) => {
+                    self.done = true;
+                    return FetchProgress::Corrupt;
+                }
+            }
+        }
+        let hdr = self.header.expect("header parsed above");
+        if (self.buf.len() as u64) < hdr.len {
+            return FetchProgress::InProgress;
+        }
+        self.done = true;
+        if self.buf.len() as u64 > hdr.len {
+            return FetchProgress::Corrupt;
+        }
+        let body = Bytes::from(std::mem::take(&mut self.buf));
+        if Xid::for_content(&body) != self.cid {
+            return FetchProgress::Corrupt;
+        }
+        FetchProgress::Complete(body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::EvictionPolicy;
+    use xia_addr::Principal;
+
+    fn conn(port: u64) -> ConnId {
+        ConnId {
+            initiator: Xid::new_random(Principal::Hid, 1),
+            port,
+        }
+    }
+
+    fn store_with(data: &Bytes) -> (ChunkStore, Xid) {
+        let mut s = ChunkStore::new(1 << 20, EvictionPolicy::Lru);
+        let cid = Xid::for_content(data);
+        s.publish(cid, data.clone());
+        (s, cid)
+    }
+
+    #[test]
+    fn served_chunk_roundtrips_through_fetcher() {
+        let data = Bytes::from(vec![9u8; 5000]);
+        let (mut store, cid) = store_with(&data);
+        let mut server = ChunkServer::new();
+        let mut fetcher = ChunkFetcher::new(cid);
+        let c = conn(1);
+        server.on_incoming(c);
+        let actions = server.on_data(c, &fetcher.request_bytes(), &mut store);
+        assert_eq!(actions.len(), 3);
+        assert!(matches!(actions[2], ServerAction::Close(_)));
+        // Stream server sends into the fetcher, fragmented arbitrarily.
+        let mut wire = Vec::new();
+        for a in &actions {
+            if let ServerAction::Send(_, b) = a {
+                wire.extend_from_slice(b);
+            }
+        }
+        let mut progress = FetchProgress::InProgress;
+        for piece in wire.chunks(777) {
+            progress = fetcher.on_data(&Bytes::copy_from_slice(piece));
+        }
+        assert_eq!(progress, FetchProgress::Complete(data));
+        assert_eq!(server.served(), 1);
+    }
+
+    #[test]
+    fn missing_chunk_reports_not_found() {
+        let mut store = ChunkStore::new(1024, EvictionPolicy::Lru);
+        let mut server = ChunkServer::new();
+        let cid = Xid::for_content(b"not there");
+        let mut fetcher = ChunkFetcher::new(cid);
+        let c = conn(2);
+        server.on_incoming(c);
+        let actions = server.on_data(c, &fetcher.request_bytes(), &mut store);
+        assert_eq!(actions.len(), 2);
+        let ServerAction::Send(_, hdr) = &actions[0] else {
+            panic!("expected send");
+        };
+        assert_eq!(fetcher.on_data(hdr), FetchProgress::NotFound);
+        assert_eq!(server.not_found(), 1);
+    }
+
+    #[test]
+    fn fragmented_request_is_buffered() {
+        let data = Bytes::from(vec![1u8; 100]);
+        let (mut store, cid) = store_with(&data);
+        let mut server = ChunkServer::new();
+        let c = conn(3);
+        server.on_incoming(c);
+        let req = ChunkRequest { cid }.encode();
+        let first = server.on_data(c, &req.slice(0..10), &mut store);
+        assert!(first.is_empty(), "waits for the full frame");
+        let rest = server.on_data(c, &req.slice(10..), &mut store);
+        assert_eq!(rest.len(), 3);
+    }
+
+    #[test]
+    fn corrupt_body_detected() {
+        let cid = Xid::for_content(b"the real content");
+        let mut fetcher = ChunkFetcher::new(cid);
+        let hdr = ChunkResponseHeader {
+            cid,
+            found: true,
+            len: 4,
+        };
+        let _ = fetcher.on_data(&hdr.encode());
+        let progress = fetcher.on_data(&Bytes::from_static(b"evil"));
+        assert_eq!(progress, FetchProgress::Corrupt);
+    }
+
+    #[test]
+    fn malformed_request_aborts() {
+        let mut store = ChunkStore::new(1024, EvictionPolicy::Lru);
+        let mut server = ChunkServer::new();
+        let c = conn(4);
+        server.on_incoming(c);
+        let garbage = Bytes::from(vec![0xEE; REQUEST_LEN]);
+        let actions = server.on_data(c, &garbage, &mut store);
+        assert_eq!(actions, vec![ServerAction::Abort(c)]);
+    }
+
+    #[test]
+    fn data_on_unknown_conn_aborts() {
+        let mut store = ChunkStore::new(1024, EvictionPolicy::Lru);
+        let mut server = ChunkServer::new();
+        let c = conn(5);
+        let actions = server.on_data(c, &Bytes::from_static(b"hi"), &mut store);
+        assert_eq!(actions, vec![ServerAction::Abort(c)]);
+    }
+
+    #[test]
+    fn received_bytes_tracks_partial_progress() {
+        let data = Bytes::from(vec![3u8; 1000]);
+        let cid = Xid::for_content(&data);
+        let mut fetcher = ChunkFetcher::new(cid);
+        assert_eq!(fetcher.received_bytes(), 0);
+        let hdr = ChunkResponseHeader {
+            cid,
+            found: true,
+            len: 1000,
+        };
+        let _ = fetcher.on_data(&hdr.encode());
+        let _ = fetcher.on_data(&data.slice(0..400));
+        assert_eq!(fetcher.received_bytes(), 400);
+    }
+}

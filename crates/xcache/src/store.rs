@@ -1,0 +1,344 @@
+//! The chunk content store with pluggable eviction.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use xia_addr::Xid;
+
+/// Eviction policy for unpinned chunks when the store exceeds capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Evict the least recently used chunk (default; what XCache's
+    /// opportunistic router cache wants).
+    #[default]
+    Lru,
+    /// Evict the oldest inserted chunk.
+    Fifo,
+    /// Evict the least frequently used chunk (ties broken by recency).
+    Lfu,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    data: Bytes,
+    /// Published content is pinned and never evicted.
+    pinned: bool,
+    inserted: u64,
+    last_access: u64,
+    hits: u64,
+}
+
+/// Counters describing store behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Successful lookups.
+    pub hits: u64,
+    /// Failed lookups.
+    pub misses: u64,
+    /// Chunks inserted.
+    pub insertions: u64,
+    /// Chunks evicted to make room.
+    pub evictions: u64,
+}
+
+/// A bounded chunk store: the heart of XCache.
+///
+/// Content providers [`publish`](ChunkStore::publish) chunks (pinned);
+/// routers and staging VNFs [`insert`](ChunkStore::insert) cached copies
+/// that compete for capacity under the configured [`EvictionPolicy`].
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use xcache::store::{ChunkStore, EvictionPolicy};
+/// use xia_addr::Xid;
+///
+/// let mut store = ChunkStore::new(1024, EvictionPolicy::Lru);
+/// let data = Bytes::from_static(b"chunk body");
+/// let cid = Xid::for_content(&data);
+/// store.insert(cid, data.clone());
+/// assert_eq!(store.get(&cid), Some(data));
+/// ```
+#[derive(Debug)]
+pub struct ChunkStore {
+    capacity_bytes: usize,
+    policy: EvictionPolicy,
+    entries: HashMap<Xid, Entry>,
+    used_bytes: usize,
+    clock: u64,
+    stats: StoreStats,
+}
+
+impl ChunkStore {
+    /// Creates a store holding at most `capacity_bytes` of chunk data.
+    pub fn new(capacity_bytes: usize, policy: EvictionPolicy) -> Self {
+        ChunkStore {
+            capacity_bytes,
+            policy,
+            entries: HashMap::new(),
+            used_bytes: 0,
+            clock: 0,
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// An effectively unbounded store (for origin servers).
+    pub fn unbounded() -> Self {
+        ChunkStore::new(usize::MAX, EvictionPolicy::Lru)
+    }
+
+    /// Bytes currently stored.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Number of chunks stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit/miss/eviction counters.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Whether `cid` is present (does not count as an access).
+    pub fn contains(&self, cid: &Xid) -> bool {
+        self.entries.contains_key(cid)
+    }
+
+    /// Looks up a chunk, counting hit/miss and refreshing recency.
+    pub fn get(&mut self, cid: &Xid) -> Option<Bytes> {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.entries.get_mut(cid) {
+            Some(e) => {
+                e.last_access = clock;
+                e.hits += 1;
+                self.stats.hits += 1;
+                Some(e.data.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Publishes a chunk: pinned, never evicted, not counted against the
+    /// eviction budget (origin content must stay available).
+    pub fn publish(&mut self, cid: Xid, data: Bytes) {
+        self.insert_inner(cid, data, true);
+    }
+
+    /// Inserts a cached (evictable) copy. Returns `false` if the chunk is
+    /// larger than the whole store and was not inserted.
+    pub fn insert(&mut self, cid: Xid, data: Bytes) -> bool {
+        if data.len() > self.capacity_bytes {
+            return false;
+        }
+        self.insert_inner(cid, data, false);
+        true
+    }
+
+    fn insert_inner(&mut self, cid: Xid, data: Bytes, pinned: bool) {
+        self.clock += 1;
+        if let Some(old) = self.entries.remove(&cid) {
+            self.used_bytes -= old.data.len();
+        }
+        let need = data.len();
+        if !pinned {
+            while self.used_bytes + need > self.capacity_bytes {
+                if !self.evict_one() {
+                    break;
+                }
+            }
+        }
+        self.used_bytes += need;
+        self.stats.insertions += 1;
+        self.entries.insert(
+            cid,
+            Entry {
+                data,
+                pinned,
+                inserted: self.clock,
+                last_access: self.clock,
+                hits: 0,
+            },
+        );
+    }
+
+    /// Removes a chunk outright (e.g. invalidation).
+    pub fn remove(&mut self, cid: &Xid) -> Option<Bytes> {
+        let e = self.entries.remove(cid)?;
+        self.used_bytes -= e.data.len();
+        Some(e.data)
+    }
+
+    /// Evicts one unpinned chunk per the policy. Returns false if nothing
+    /// is evictable.
+    fn evict_one(&mut self) -> bool {
+        let victim = self
+            .entries
+            .iter()
+            .filter(|(_, e)| !e.pinned)
+            .min_by_key(|(_, e)| match self.policy {
+                EvictionPolicy::Lru => (e.last_access, e.inserted),
+                EvictionPolicy::Fifo => (e.inserted, e.inserted),
+                EvictionPolicy::Lfu => (e.hits, e.last_access),
+            })
+            .map(|(cid, _)| *cid);
+        match victim {
+            Some(cid) => {
+                let e = self.entries.remove(&cid).expect("victim present");
+                self.used_bytes -= e.data.len();
+                self.stats.evictions += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// CIDs currently stored, in no particular order.
+    pub fn iter(&self) -> impl Iterator<Item = &Xid> {
+        self.entries.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(tag: u8, len: usize) -> (Xid, Bytes) {
+        let data = Bytes::from(vec![tag; len]);
+        (Xid::for_content(&data), data)
+    }
+
+    #[test]
+    fn insert_get_roundtrip_and_stats() {
+        let mut s = ChunkStore::new(100, EvictionPolicy::Lru);
+        let (cid, data) = chunk(1, 10);
+        assert!(s.insert(cid, data.clone()));
+        assert_eq!(s.get(&cid), Some(data));
+        assert_eq!(s.get(&Xid::for_content(b"nope")), None);
+        assert_eq!(s.stats().hits, 1);
+        assert_eq!(s.stats().misses, 1);
+        assert_eq!(s.used_bytes(), 10);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut s = ChunkStore::new(30, EvictionPolicy::Lru);
+        let (c1, d1) = chunk(1, 10);
+        let (c2, d2) = chunk(2, 10);
+        let (c3, d3) = chunk(3, 10);
+        s.insert(c1, d1);
+        s.insert(c2, d2);
+        s.insert(c3, d3);
+        // Touch c1 so c2 is the LRU victim.
+        let _ = s.get(&c1);
+        let (c4, d4) = chunk(4, 10);
+        s.insert(c4, d4);
+        assert!(s.contains(&c1));
+        assert!(!s.contains(&c2), "LRU victim evicted");
+        assert!(s.contains(&c3) && s.contains(&c4));
+        assert_eq!(s.stats().evictions, 1);
+    }
+
+    #[test]
+    fn fifo_evicts_oldest_insertion() {
+        let mut s = ChunkStore::new(30, EvictionPolicy::Fifo);
+        let (c1, d1) = chunk(1, 10);
+        let (c2, d2) = chunk(2, 10);
+        let (c3, d3) = chunk(3, 10);
+        s.insert(c1, d1);
+        s.insert(c2, d2);
+        s.insert(c3, d3);
+        let _ = s.get(&c1); // FIFO ignores recency.
+        let (c4, d4) = chunk(4, 10);
+        s.insert(c4, d4);
+        assert!(!s.contains(&c1), "oldest insertion evicted");
+        assert!(s.contains(&c2));
+    }
+
+    #[test]
+    fn lfu_evicts_least_hit() {
+        let mut s = ChunkStore::new(30, EvictionPolicy::Lfu);
+        let (c1, d1) = chunk(1, 10);
+        let (c2, d2) = chunk(2, 10);
+        let (c3, d3) = chunk(3, 10);
+        s.insert(c1, d1);
+        s.insert(c2, d2);
+        s.insert(c3, d3);
+        let _ = s.get(&c1);
+        let _ = s.get(&c1);
+        let _ = s.get(&c3);
+        let (c4, d4) = chunk(4, 10);
+        s.insert(c4, d4);
+        assert!(!s.contains(&c2), "least-hit chunk evicted");
+    }
+
+    #[test]
+    fn pinned_content_survives_pressure() {
+        let mut s = ChunkStore::new(20, EvictionPolicy::Lru);
+        let (pc, pd) = chunk(9, 15);
+        s.publish(pc, pd);
+        let (c1, d1) = chunk(1, 10);
+        let (c2, d2) = chunk(2, 10);
+        assert!(s.insert(c1, d1));
+        assert!(s.insert(c2, d2));
+        assert!(s.contains(&pc), "published chunk never evicted");
+        // Only one unpinned chunk can coexist with the pinned one.
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn oversized_insert_rejected() {
+        let mut s = ChunkStore::new(10, EvictionPolicy::Lru);
+        let (c, d) = chunk(1, 11);
+        assert!(!s.insert(c, d));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn reinsert_same_cid_replaces() {
+        let mut s = ChunkStore::new(100, EvictionPolicy::Lru);
+        let (c, d) = chunk(1, 10);
+        s.insert(c, d.clone());
+        s.insert(c, d);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.used_bytes(), 10);
+    }
+
+    #[test]
+    fn remove_returns_data() {
+        let mut s = ChunkStore::new(100, EvictionPolicy::Lru);
+        let (c, d) = chunk(1, 10);
+        s.insert(c, d.clone());
+        assert_eq!(s.remove(&c), Some(d));
+        assert_eq!(s.remove(&c), None);
+        assert_eq!(s.used_bytes(), 0);
+    }
+
+    #[test]
+    fn unbounded_store_takes_everything() {
+        let mut s = ChunkStore::unbounded();
+        for i in 0..100u8 {
+            let (c, d) = chunk(i, 1000);
+            assert!(s.insert(c, d));
+        }
+        assert_eq!(s.len(), 100);
+        assert_eq!(s.stats().evictions, 0);
+    }
+}

@@ -1,0 +1,437 @@
+//! XIA DAG addresses.
+//!
+//! An XIA destination address is a directed acyclic graph of XIDs. A
+//! conceptual *source* node has priority-ordered out-edges; routers follow
+//! the highest-priority edge they can make progress on and fall back to
+//! later edges otherwise. The final *intent* node is what the sender
+//! ultimately wants (for SoftStage: a CID).
+//!
+//! The SoftStage paper only needs the simplified form `CID | NID : HID`
+//! ("forward on CID if you can, otherwise route to network NID, then host
+//! HID, which can serve the CID"), but this module implements a faithful
+//! little DAG so richer addresses (service DAGs, 4-node fallbacks) also
+//! work.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::xid::{Principal, Xid};
+
+/// Sentinel index representing the conceptual source node of a DAG.
+pub const SOURCE: usize = usize::MAX;
+
+/// A node in a [`Dag`]: an XID plus its priority-ordered out-edges
+/// (indices into the DAG's node list).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DagNode {
+    /// The identifier at this node.
+    pub xid: Xid,
+    /// Out-edges in fallback priority order (earlier = preferred).
+    pub edges: Vec<usize>,
+}
+
+/// Error produced when assembling an invalid [`Dag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DagError {
+    /// An edge referenced a node index that does not exist.
+    EdgeOutOfRange,
+    /// The graph contains a cycle.
+    Cyclic,
+    /// The graph has no nodes.
+    Empty,
+    /// No intent node (a node with no out-edges) exists.
+    NoIntent,
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            DagError::EdgeOutOfRange => "edge references nonexistent node",
+            DagError::Cyclic => "address graph contains a cycle",
+            DagError::Empty => "address graph has no nodes",
+            DagError::NoIntent => "address graph has no sink (intent) node",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// An XIA DAG address.
+///
+/// # Examples
+///
+/// ```
+/// use xia_addr::{Dag, Principal, Xid};
+/// let cid = Xid::for_content(b"payload");
+/// let nid = Xid::new_random(Principal::Nid, 1);
+/// let hid = Xid::new_random(Principal::Hid, 2);
+/// let dag = Dag::cid_with_fallback(cid, nid, hid);
+/// assert_eq!(dag.to_string(), format!("{} | {} : {}", cid, nid, hid));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dag {
+    nodes: Vec<DagNode>,
+    /// Source out-edges in priority order.
+    entry: Vec<usize>,
+    /// Index of the intent node.
+    intent: usize,
+}
+
+impl Dag {
+    /// Assembles a DAG from parts, validating structure.
+    ///
+    /// `entry` lists the source node's out-edges in priority order. The
+    /// intent is the unique sink reachable from the entry edges; if several
+    /// sinks exist the first entry-reachable one (in node order) is chosen.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DagError`] if the graph is empty, has dangling edges,
+    /// contains a cycle, or has no sink node.
+    pub fn from_parts(nodes: Vec<DagNode>, entry: Vec<usize>) -> Result<Self, DagError> {
+        if nodes.is_empty() {
+            return Err(DagError::Empty);
+        }
+        for e in entry.iter().chain(nodes.iter().flat_map(|n| n.edges.iter())) {
+            if *e >= nodes.len() {
+                return Err(DagError::EdgeOutOfRange);
+            }
+        }
+        // Cycle check via DFS coloring.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        fn dfs(nodes: &[DagNode], colors: &mut [Color], v: usize) -> Result<(), DagError> {
+            colors[v] = Color::Gray;
+            for &w in &nodes[v].edges {
+                match colors[w] {
+                    Color::Gray => return Err(DagError::Cyclic),
+                    Color::White => dfs(nodes, colors, w)?,
+                    Color::Black => {}
+                }
+            }
+            colors[v] = Color::Black;
+            Ok(())
+        }
+        let mut colors = vec![Color::White; nodes.len()];
+        for &e in &entry {
+            if colors[e] == Color::White {
+                dfs(&nodes, &mut colors, e)?;
+            }
+        }
+        let intent = nodes
+            .iter()
+            .enumerate()
+            .find(|(i, n)| colors[*i] == Color::Black && n.edges.is_empty())
+            .map(|(i, _)| i)
+            .ok_or(DagError::NoIntent)?;
+        Ok(Dag {
+            nodes,
+            entry,
+            intent,
+        })
+    }
+
+    /// The paper's `CID | NID : HID` address: fetch content `cid` from
+    /// anywhere, falling back to routing into network `nid`, host `hid`,
+    /// which can serve the content.
+    pub fn cid_with_fallback(cid: Xid, nid: Xid, hid: Xid) -> Self {
+        // Node layout: 0 = CID (intent), 1 = NID, 2 = HID.
+        let nodes = vec![
+            DagNode {
+                xid: cid,
+                edges: vec![],
+            },
+            DagNode {
+                xid: nid,
+                edges: vec![2],
+            },
+            DagNode {
+                xid: hid,
+                edges: vec![0],
+            },
+        ];
+        Dag::from_parts(nodes, vec![0, 1]).expect("static shape is valid")
+    }
+
+    /// A plain host address `NID : HID` (intent = HID).
+    pub fn host(nid: Xid, hid: Xid) -> Self {
+        let nodes = vec![
+            DagNode {
+                xid: hid,
+                edges: vec![],
+            },
+            DagNode {
+                xid: nid,
+                edges: vec![0],
+            },
+        ];
+        Dag::from_parts(nodes, vec![1]).expect("static shape is valid")
+    }
+
+    /// A service address `SID | NID : HID` (intent = SID).
+    pub fn service_with_fallback(sid: Xid, nid: Xid, hid: Xid) -> Self {
+        let nodes = vec![
+            DagNode {
+                xid: sid,
+                edges: vec![],
+            },
+            DagNode {
+                xid: nid,
+                edges: vec![2],
+            },
+            DagNode {
+                xid: hid,
+                edges: vec![0],
+            },
+        ];
+        Dag::from_parts(nodes, vec![0, 1]).expect("static shape is valid")
+    }
+
+    /// A bare single-XID address (intent only, no fallback).
+    pub fn direct(xid: Xid) -> Self {
+        Dag::from_parts(
+            vec![DagNode {
+                xid,
+                edges: vec![],
+            }],
+            vec![0],
+        )
+        .expect("static shape is valid")
+    }
+
+    /// The intent (final destination) node.
+    pub fn intent(&self) -> Xid {
+        self.nodes[self.intent].xid
+    }
+
+    /// Index of the intent node.
+    pub fn intent_index(&self) -> usize {
+        self.intent
+    }
+
+    /// All nodes of the DAG.
+    pub fn nodes(&self) -> &[DagNode] {
+        &self.nodes
+    }
+
+    /// The XID at node `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range (and not [`SOURCE`]).
+    pub fn xid(&self, idx: usize) -> Xid {
+        self.nodes[idx].xid
+    }
+
+    /// Priority-ordered out-edges of node `idx`, where [`SOURCE`] denotes
+    /// the conceptual source node.
+    pub fn out_edges(&self, idx: usize) -> &[usize] {
+        if idx == SOURCE {
+            &self.entry
+        } else {
+            &self.nodes[idx].edges
+        }
+    }
+
+    /// First NID appearing in the DAG, if any — the "network locator".
+    pub fn network(&self) -> Option<Xid> {
+        self.nodes
+            .iter()
+            .map(|n| n.xid)
+            .find(|x| x.principal() == Principal::Nid)
+    }
+
+    /// First HID appearing in the DAG, if any — the fallback host that can
+    /// serve the intent.
+    pub fn fallback_host(&self) -> Option<Xid> {
+        self.nodes
+            .iter()
+            .map(|n| n.xid)
+            .find(|x| x.principal() == Principal::Hid)
+    }
+
+    /// Rewrites the `NID : HID` fallback of a `CID | NID : HID` address.
+    ///
+    /// This is the operation the Staging VNF's "chunk staged" reply enables:
+    /// the Chunk Profile's *New DAG* points the fallback at the edge network
+    /// holding the staged chunk instead of the origin server.
+    pub fn with_fallback(&self, nid: Xid, hid: Xid) -> Dag {
+        Dag::cid_with_fallback(self.intent(), nid, hid)
+    }
+}
+
+impl fmt::Display for Dag {
+    /// Formats common shapes in the paper's notation (`CID | NID : HID`),
+    /// falling back to an explicit node list for exotic DAGs.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Recognize the 3-node fallback shape.
+        if self.nodes.len() == 3 && self.entry == [0, 1] {
+            return write!(
+                f,
+                "{} | {} : {}",
+                self.nodes[0].xid, self.nodes[1].xid, self.nodes[2].xid
+            );
+        }
+        if self.nodes.len() == 2 && self.entry == [1] {
+            return write!(f, "{} : {}", self.nodes[1].xid, self.nodes[0].xid);
+        }
+        if self.nodes.len() == 1 {
+            return write!(f, "{}", self.nodes[0].xid);
+        }
+        write!(f, "DAG{{entry={:?}", self.entry)?;
+        for (i, n) in self.nodes.iter().enumerate() {
+            write!(f, ", {}={} -> {:?}", i, n.xid, n.edges)?;
+        }
+        f.write_str("}")
+    }
+}
+
+impl fmt::Debug for Dag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Compact: reuse Display but with short XIDs.
+        if self.nodes.len() == 3 && self.entry == [0, 1] {
+            return write!(
+                f,
+                "{} | {} : {}",
+                self.nodes[0].xid.short(),
+                self.nodes[1].xid.short(),
+                self.nodes[2].xid.short()
+            );
+        }
+        write!(f, "Dag({} nodes, intent {})", self.nodes.len(), self.intent().short())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xids() -> (Xid, Xid, Xid) {
+        (
+            Xid::for_content(b"chunk"),
+            Xid::new_random(Principal::Nid, 1),
+            Xid::new_random(Principal::Hid, 2),
+        )
+    }
+
+    #[test]
+    fn cid_fallback_shape() {
+        let (cid, nid, hid) = xids();
+        let dag = Dag::cid_with_fallback(cid, nid, hid);
+        assert_eq!(dag.intent(), cid);
+        assert_eq!(dag.network(), Some(nid));
+        assert_eq!(dag.fallback_host(), Some(hid));
+        // Source tries CID first, then NID.
+        assert_eq!(dag.out_edges(SOURCE), &[0, 1]);
+        // NID leads to HID, HID leads to CID.
+        assert_eq!(dag.out_edges(1), &[2]);
+        assert_eq!(dag.out_edges(2), &[0]);
+        assert_eq!(dag.out_edges(0), &[] as &[usize]);
+    }
+
+    #[test]
+    fn host_dag() {
+        let (_, nid, hid) = xids();
+        let dag = Dag::host(nid, hid);
+        assert_eq!(dag.intent(), hid);
+        assert_eq!(dag.network(), Some(nid));
+        assert_eq!(dag.out_edges(SOURCE), &[1]);
+    }
+
+    #[test]
+    fn direct_dag() {
+        let (cid, _, _) = xids();
+        let dag = Dag::direct(cid);
+        assert_eq!(dag.intent(), cid);
+        assert_eq!(dag.network(), None);
+        assert_eq!(dag.fallback_host(), None);
+    }
+
+    #[test]
+    fn with_fallback_rewrites_locator_keeps_intent() {
+        let (cid, nid, hid) = xids();
+        let dag = Dag::cid_with_fallback(cid, nid, hid);
+        let edge_nid = Xid::new_random(Principal::Nid, 10);
+        let edge_hid = Xid::new_random(Principal::Hid, 11);
+        let new = dag.with_fallback(edge_nid, edge_hid);
+        assert_eq!(new.intent(), cid);
+        assert_eq!(new.network(), Some(edge_nid));
+        assert_eq!(new.fallback_host(), Some(edge_hid));
+    }
+
+    #[test]
+    fn rejects_cycles() {
+        let (cid, nid, _) = xids();
+        let nodes = vec![
+            DagNode {
+                xid: cid,
+                edges: vec![1],
+            },
+            DagNode {
+                xid: nid,
+                edges: vec![0],
+            },
+        ];
+        assert_eq!(Dag::from_parts(nodes, vec![0]), Err(DagError::Cyclic));
+    }
+
+    #[test]
+    fn rejects_dangling_edges_and_empty() {
+        let (cid, _, _) = xids();
+        assert_eq!(Dag::from_parts(vec![], vec![]), Err(DagError::Empty));
+        let nodes = vec![DagNode {
+            xid: cid,
+            edges: vec![5],
+        }];
+        assert_eq!(
+            Dag::from_parts(nodes, vec![0]),
+            Err(DagError::EdgeOutOfRange)
+        );
+    }
+
+    #[test]
+    fn rejects_entry_out_of_range() {
+        let (cid, _, _) = xids();
+        let nodes = vec![DagNode {
+            xid: cid,
+            edges: vec![],
+        }];
+        assert_eq!(
+            Dag::from_parts(nodes, vec![3]),
+            Err(DagError::EdgeOutOfRange)
+        );
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let (cid, nid, hid) = xids();
+        let dag = Dag::cid_with_fallback(cid, nid, hid);
+        assert_eq!(dag.to_string(), format!("{cid} | {nid} : {hid}"));
+        let host = Dag::host(nid, hid);
+        assert_eq!(host.to_string(), format!("{nid} : {hid}"));
+    }
+
+    #[test]
+    fn service_dag_intent_is_sid() {
+        let sid = Xid::new_random(Principal::Sid, 5);
+        let (_, nid, hid) = xids();
+        let dag = Dag::service_with_fallback(sid, nid, hid);
+        assert_eq!(dag.intent(), sid);
+        assert_eq!(dag.fallback_host(), Some(hid));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (cid, nid, hid) = xids();
+        let dag = Dag::cid_with_fallback(cid, nid, hid);
+        let json = serde_json::to_string(&dag).unwrap();
+        let back: Dag = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, dag);
+    }
+}

@@ -1,0 +1,248 @@
+//! Typed 160-bit XIA identifiers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::sha1;
+
+/// The principal type of an [`Xid`].
+///
+/// XIA routers keep one forwarding table per principal type and may support
+/// only a subset of types; unsupported intents are skipped via DAG fallback
+/// edges.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Principal {
+    /// Content identifier — hash of the chunk payload.
+    Cid,
+    /// Host identifier — hash of the host public key.
+    Hid,
+    /// Network identifier — analogous to an IP prefix / AS.
+    Nid,
+    /// Service identifier — hash of the service public key.
+    Sid,
+}
+
+impl Principal {
+    /// Short uppercase tag used in textual addresses (`CID`, `HID`, ...).
+    pub fn tag(self) -> &'static str {
+        match self {
+            Principal::Cid => "CID",
+            Principal::Hid => "HID",
+            Principal::Nid => "NID",
+            Principal::Sid => "SID",
+        }
+    }
+
+    /// Parses a tag produced by [`Principal::tag`].
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "CID" => Some(Principal::Cid),
+            "HID" => Some(Principal::Hid),
+            "NID" => Some(Principal::Nid),
+            "SID" => Some(Principal::Sid),
+            _ => None,
+        }
+    }
+
+    /// All principal types, in tag order.
+    pub const ALL: [Principal; 4] = [
+        Principal::Cid,
+        Principal::Hid,
+        Principal::Nid,
+        Principal::Sid,
+    ];
+}
+
+impl fmt::Display for Principal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// A typed 160-bit XIA identifier.
+///
+/// # Examples
+///
+/// ```
+/// use xia_addr::{Principal, Xid};
+/// let cid = Xid::for_content(b"chunk bytes");
+/// assert_eq!(cid.principal(), Principal::Cid);
+/// assert_eq!(cid, Xid::for_content(b"chunk bytes"));
+/// assert_ne!(cid, Xid::for_content(b"other bytes"));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Xid {
+    principal: Principal,
+    id: [u8; 20],
+}
+
+impl Xid {
+    /// Creates an XID from an explicit 20-byte identifier.
+    pub fn new(principal: Principal, id: [u8; 20]) -> Self {
+        Xid { principal, id }
+    }
+
+    /// Derives a CID from chunk content, exactly as XCache does.
+    pub fn for_content(content: &[u8]) -> Self {
+        Xid::new(Principal::Cid, sha1::sha1(content))
+    }
+
+    /// Derives a deterministic pseudo-random XID from a seed.
+    ///
+    /// Used for HIDs/NIDs/SIDs in simulations, standing in for the hash of a
+    /// public key; two equal seeds yield equal XIDs.
+    pub fn new_random(principal: Principal, seed: u64) -> Self {
+        let mut material = [0u8; 12];
+        material[..8].copy_from_slice(&seed.to_be_bytes());
+        material[8..].copy_from_slice(&[principal as u8, 0xd1, 0x5c, 0x0d]);
+        Xid::new(principal, sha1::sha1(&material))
+    }
+
+    /// The principal type of this XID.
+    pub fn principal(&self) -> Principal {
+        self.principal
+    }
+
+    /// The raw 20-byte identifier.
+    pub fn id(&self) -> &[u8; 20] {
+        &self.id
+    }
+
+    /// A short human-readable form: `CID:1a2b3c4d`.
+    pub fn short(&self) -> String {
+        format!(
+            "{}:{:02x}{:02x}{:02x}{:02x}",
+            self.principal.tag(),
+            self.id[0],
+            self.id[1],
+            self.id[2],
+            self.id[3]
+        )
+    }
+
+    /// Full textual form: `CID:<40 hex digits>`.
+    pub fn to_text(&self) -> String {
+        format!("{}:{}", self.principal.tag(), sha1::to_hex(&self.id))
+    }
+
+    /// Parses the form produced by [`Xid::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseXidError`] if the tag is unknown or the hex part is not
+    /// exactly 40 hex digits.
+    pub fn from_text(text: &str) -> Result<Self, ParseXidError> {
+        let (tag, hex) = text.split_once(':').ok_or(ParseXidError)?;
+        let principal = Principal::from_tag(tag).ok_or(ParseXidError)?;
+        if hex.len() != 40 {
+            return Err(ParseXidError);
+        }
+        let mut id = [0u8; 20];
+        for (i, byte) in id.iter_mut().enumerate() {
+            let pair = &hex[i * 2..i * 2 + 2];
+            *byte = u8::from_str_radix(pair, 16).map_err(|_| ParseXidError)?;
+        }
+        Ok(Xid::new(principal, id))
+    }
+}
+
+impl fmt::Debug for Xid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.short())
+    }
+}
+
+impl fmt::Display for Xid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+impl std::str::FromStr for Xid {
+    type Err = ParseXidError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Xid::from_text(s)
+    }
+}
+
+/// Error returned when parsing an [`Xid`] from text fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseXidError;
+
+impl fmt::Display for ParseXidError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid XID syntax")
+    }
+}
+
+impl std::error::Error for ParseXidError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_cid_is_deterministic() {
+        assert_eq!(Xid::for_content(b"abc"), Xid::for_content(b"abc"));
+        assert_ne!(Xid::for_content(b"abc"), Xid::for_content(b"abd"));
+    }
+
+    #[test]
+    fn random_xids_differ_by_seed_and_principal() {
+        let a = Xid::new_random(Principal::Hid, 1);
+        let b = Xid::new_random(Principal::Hid, 2);
+        let c = Xid::new_random(Principal::Nid, 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, Xid::new_random(Principal::Hid, 1));
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        for p in Principal::ALL {
+            let xid = Xid::new_random(p, 42);
+            let text = xid.to_text();
+            assert_eq!(Xid::from_text(&text).unwrap(), xid);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Xid::from_text("").is_err());
+        assert!(Xid::from_text("CID").is_err());
+        assert!(Xid::from_text("XXX:0000").is_err());
+        assert!(Xid::from_text("CID:zz").is_err());
+        let short = format!("CID:{}", "a".repeat(39));
+        assert!(Xid::from_text(&short).is_err());
+        let bad_hex = format!("CID:{}", "g".repeat(40));
+        assert!(Xid::from_text(&bad_hex).is_err());
+    }
+
+    #[test]
+    fn short_form_shape() {
+        let xid = Xid::new_random(Principal::Sid, 9);
+        let s = xid.short();
+        assert!(s.starts_with("SID:"));
+        assert_eq!(s.len(), 4 + 8);
+    }
+
+    #[test]
+    fn principal_tag_roundtrip() {
+        for p in Principal::ALL {
+            assert_eq!(Principal::from_tag(p.tag()), Some(p));
+        }
+        assert_eq!(Principal::from_tag("cid"), None);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let xid = Xid::new_random(Principal::Cid, 3);
+        let json = serde_json::to_string(&xid).unwrap();
+        let back: Xid = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, xid);
+    }
+}

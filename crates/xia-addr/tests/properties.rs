@@ -1,0 +1,105 @@
+//! Property-based tests for addressing invariants.
+
+use proptest::prelude::*;
+use xia_addr::{dag, sha1, Dag, DagNode, Principal, Xid};
+
+fn arb_principal() -> impl Strategy<Value = Principal> {
+    prop_oneof![
+        Just(Principal::Cid),
+        Just(Principal::Hid),
+        Just(Principal::Nid),
+        Just(Principal::Sid),
+    ]
+}
+
+fn arb_xid() -> impl Strategy<Value = Xid> {
+    (arb_principal(), any::<[u8; 20]>()).prop_map(|(p, id)| Xid::new(p, id))
+}
+
+proptest! {
+    /// Text form always parses back to the identical XID.
+    #[test]
+    fn xid_text_roundtrip(xid in arb_xid()) {
+        let text = xid.to_text();
+        prop_assert_eq!(Xid::from_text(&text).unwrap(), xid);
+    }
+
+    /// CIDs are a pure function of content: equal content, equal CID;
+    /// hashing is consistent with the one-shot SHA-1.
+    #[test]
+    fn cid_matches_sha1(content in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let cid = Xid::for_content(&content);
+        prop_assert_eq!(*cid.id(), sha1::sha1(&content));
+        prop_assert_eq!(cid, Xid::for_content(&content));
+    }
+
+    /// Incremental hashing equals one-shot hashing for any split.
+    #[test]
+    fn sha1_incremental_equals_oneshot(
+        content in proptest::collection::vec(any::<u8>(), 0..4096),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let split = ((content.len() as f64) * split_frac) as usize;
+        let mut h = sha1::Sha1::new();
+        h.update(&content[..split]);
+        h.update(&content[split..]);
+        prop_assert_eq!(h.finalize(), sha1::sha1(&content));
+    }
+
+    /// The standard fallback DAG always preserves its intent under
+    /// fallback rewriting, and accessors agree with construction.
+    #[test]
+    fn fallback_rewrite_preserves_intent(
+        cid_seed in any::<u64>(),
+        nid_seed in any::<u64>(),
+        hid_seed in any::<u64>(),
+        new_nid_seed in any::<u64>(),
+        new_hid_seed in any::<u64>(),
+    ) {
+        let cid = Xid::new_random(Principal::Cid, cid_seed);
+        let nid = Xid::new_random(Principal::Nid, nid_seed);
+        let hid = Xid::new_random(Principal::Hid, hid_seed);
+        let dag = Dag::cid_with_fallback(cid, nid, hid);
+        prop_assert_eq!(dag.intent(), cid);
+        prop_assert_eq!(dag.network(), Some(nid));
+        prop_assert_eq!(dag.fallback_host(), Some(hid));
+        let new_nid = Xid::new_random(Principal::Nid, new_nid_seed);
+        let new_hid = Xid::new_random(Principal::Hid, new_hid_seed);
+        let moved = dag.with_fallback(new_nid, new_hid);
+        prop_assert_eq!(moved.intent(), cid);
+        prop_assert_eq!(moved.network(), Some(new_nid));
+    }
+
+    /// `Dag::from_parts` never panics on arbitrary small graphs: it either
+    /// builds a DAG whose intent is a sink, or reports a structured error.
+    #[test]
+    fn from_parts_total(
+        xids in proptest::collection::vec(any::<u64>(), 1..6),
+        edges in proptest::collection::vec(
+            proptest::collection::vec(0usize..8, 0..3), 1..6),
+        entry in proptest::collection::vec(0usize..8, 0..4),
+    ) {
+        let n = xids.len().min(edges.len());
+        let nodes: Vec<DagNode> = (0..n)
+            .map(|i| DagNode {
+                xid: Xid::new_random(Principal::Cid, xids[i]),
+                edges: edges[i].clone(),
+            })
+            .collect();
+        match Dag::from_parts(nodes, entry) {
+            Ok(dag) => {
+                let intent_idx = dag.intent_index();
+                prop_assert!(dag.out_edges(intent_idx).is_empty());
+                // Walking any edge chain from SOURCE terminates (acyclic).
+                let mut ptr = dag::SOURCE;
+                let mut steps = 0;
+                while let Some(&e) = dag.out_edges(ptr).first() {
+                    ptr = e;
+                    steps += 1;
+                    prop_assert!(steps <= n, "walk exceeded node count");
+                }
+            }
+            Err(_) => {}
+        }
+    }
+}

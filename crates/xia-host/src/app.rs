@@ -1,0 +1,69 @@
+//! The application trait hosted by a [`crate::Host`] stack.
+
+use std::any::Any;
+
+use bytes::Bytes;
+use simnet::LinkId;
+use xia_addr::{Dag, Xid};
+use xia_transport::TransportEvent;
+use xia_wire::Beacon;
+
+use crate::ctx::HostCtx;
+
+/// Result of an [`HostCtx::xfetch_chunk`] delegation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FetchResult {
+    /// The chunk arrived and verified against its CID.
+    Complete(Bytes),
+    /// The responder does not hold the chunk.
+    NotFound,
+    /// The transfer failed (reset, timeout, truncation, corruption).
+    Failed,
+}
+
+/// An application (or network function) running on a host stack.
+///
+/// Applications receive upcalls from the host: transport events for
+/// connections they own, completions for chunk fetches they issued,
+/// control datagrams, beacons heard on any interface, link state changes
+/// and their own timers. All interaction with the world goes through the
+/// [`HostCtx`] passed to each callback.
+#[allow(unused_variables)]
+pub trait App: Any {
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, ctx: &mut HostCtx<'_, '_>) {}
+
+    /// Transport event for a connection owned by this app (opened with
+    /// [`HostCtx::connect`]).
+    fn on_transport_event(&mut self, ctx: &mut HostCtx<'_, '_>, event: &TransportEvent) {}
+
+    /// A chunk fetch issued with [`HostCtx::xfetch_chunk`] finished.
+    fn on_fetch_complete(
+        &mut self,
+        ctx: &mut HostCtx<'_, '_>,
+        handle: u64,
+        cid: Xid,
+        result: FetchResult,
+    ) {
+    }
+
+    /// A control datagram arrived (staging signaling and similar).
+    fn on_control(
+        &mut self,
+        ctx: &mut HostCtx<'_, '_>,
+        from: Dag,
+        service: Xid,
+        token: u64,
+        body: &Bytes,
+    ) {
+    }
+
+    /// A network beacon was heard on `link` (the sensor interface).
+    fn on_beacon(&mut self, ctx: &mut HostCtx<'_, '_>, link: LinkId, beacon: &Beacon) {}
+
+    /// An attached link changed state.
+    fn on_link_event(&mut self, ctx: &mut HostCtx<'_, '_>, link: LinkId, up: bool) {}
+
+    /// A timer armed with [`HostCtx::set_app_timer`] expired.
+    fn on_timer(&mut self, ctx: &mut HostCtx<'_, '_>, key: u64) {}
+}

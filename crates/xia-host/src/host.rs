@@ -1,0 +1,594 @@
+//! The host stack and its simulator node wrapper.
+
+use std::collections::{HashMap, VecDeque};
+
+use bytes::Bytes;
+use simnet::{Context as SimContext, LinkId, Node, TimerKey};
+use xia_addr::{Dag, Principal, Xid};
+use xia_transport::{TransportConfig, TransportEvent, TransportMux};
+use xia_wire::{ConnId, L4, XiaPacket};
+use xcache::{chunk_content, ChunkServer, ChunkStore, EvictionPolicy, FetchProgress, Manifest, ServerAction};
+
+use crate::app::{App, FetchResult};
+use crate::ctx::{FetchState, HostCtx, HostEnv, HostMeta, Owner, APP_TIMER_TAG};
+
+/// Configuration of a host stack.
+#[derive(Debug, Clone)]
+pub struct HostConfig {
+    /// Host identifier.
+    pub hid: Xid,
+    /// Transport tuning (XIA prototype model by default).
+    pub transport: TransportConfig,
+    /// Local XCache capacity in bytes.
+    pub cache_capacity: usize,
+    /// Local XCache eviction policy.
+    pub cache_policy: EvictionPolicy,
+    /// Whether chunks fetched by this host are inserted into its XCache
+    /// for reuse ("clients can optionally store chunks in their XCache").
+    pub cache_fetched: bool,
+}
+
+impl HostConfig {
+    /// A host with defaults suitable for most roles: XIA transport model,
+    /// 256 MiB cache, LRU, no client-side caching of fetched chunks.
+    pub fn new(hid: Xid) -> Self {
+        HostConfig {
+            hid,
+            transport: TransportConfig::xia(),
+            cache_capacity: 256 * 1024 * 1024,
+            cache_policy: EvictionPolicy::Lru,
+            cache_fetched: false,
+        }
+    }
+}
+
+/// A full XIA host stack: transport mux, local XCache with its chunk
+/// server, and a set of [`App`]s.
+///
+/// `Host` is deliberately not a [`Node`] itself: end hosts wrap it in
+/// [`EndHost`], and routers (`xia-router`) embed it next to a forwarding
+/// engine so a router's XCache can serve intercepted CID requests.
+pub struct Host {
+    meta: HostMeta,
+    mux: TransportMux,
+    store: ChunkStore,
+    server: ChunkServer,
+    apps: Vec<Option<Box<dyn App>>>,
+    owners: HashMap<ConnId, Owner>,
+    fetchers: HashMap<ConnId, FetchState>,
+    pending: VecDeque<TransportEvent>,
+    outbox: Vec<XiaPacket>,
+}
+
+impl Host {
+    /// Builds a host from its configuration.
+    pub fn new(config: HostConfig) -> Self {
+        Host {
+            meta: HostMeta {
+                hid: config.hid,
+                nid: None,
+                primary_link: None,
+                cache_fetched: config.cache_fetched,
+                services: Vec::new(),
+                next_fetch_handle: 1,
+                next_token: 1,
+            },
+            mux: TransportMux::new(config.transport, config.hid),
+            store: ChunkStore::new(config.cache_capacity, config.cache_policy),
+            server: ChunkServer::new(),
+            apps: Vec::new(),
+            owners: HashMap::new(),
+            fetchers: HashMap::new(),
+            pending: VecDeque::new(),
+            outbox: Vec::new(),
+        }
+    }
+
+    /// Adds an application; returns its index.
+    pub fn add_app(&mut self, app: Box<dyn App>) -> usize {
+        self.apps.push(Some(app));
+        self.apps.len() - 1
+    }
+
+    /// Downcast access to an application.
+    pub fn app<T: App>(&self, idx: usize) -> Option<&T> {
+        let app = self.apps.get(idx)?.as_deref()?;
+        (app as &dyn std::any::Any).downcast_ref::<T>()
+    }
+
+    /// Mutable downcast access to an application.
+    pub fn app_mut<T: App>(&mut self, idx: usize) -> Option<&mut T> {
+        let app = self.apps.get_mut(idx)?.as_deref_mut()?;
+        (app as &mut dyn std::any::Any).downcast_mut::<T>()
+    }
+
+    /// This host's identifier.
+    pub fn hid(&self) -> Xid {
+        self.meta.hid
+    }
+
+    /// The host's current locator address.
+    pub fn local_dag(&self) -> Dag {
+        self.meta.local_dag()
+    }
+
+    /// Network attachment, if any.
+    pub fn nid(&self) -> Option<Xid> {
+        self.meta.nid
+    }
+
+    /// Sets the data-plane attachment before or during a run.
+    pub fn set_attachment(&mut self, nid: Option<Xid>, link: Option<LinkId>) {
+        self.meta.nid = nid;
+        self.meta.primary_link = link;
+    }
+
+    /// Registers a control service SID (e.g. a staging VNF).
+    pub fn register_service(&mut self, sid: Xid) {
+        if !self.meta.services.contains(&sid) {
+            self.meta.services.push(sid);
+        }
+    }
+
+    /// The local chunk store.
+    pub fn store(&self) -> &ChunkStore {
+        &self.store
+    }
+
+    /// Mutable access to the local chunk store.
+    pub fn store_mut(&mut self) -> &mut ChunkStore {
+        &mut self.store
+    }
+
+    /// The built-in chunk server's counters.
+    pub fn server(&self) -> &ChunkServer {
+        &self.server
+    }
+
+    /// Live transport connections.
+    pub fn active_connections(&self) -> usize {
+        self.mux.active_connections()
+    }
+
+    /// Whether this stack owns transport connection `conn`.
+    pub fn knows_connection(&self, conn: ConnId) -> bool {
+        self.mux.has_connection(conn)
+    }
+
+    /// The current primary (data) link, if attached.
+    pub fn primary_link(&self) -> Option<LinkId> {
+        self.meta.primary_link
+    }
+
+    /// Drains packets emitted by the stack since the last call. The
+    /// wrapping node decides their egress: an [`EndHost`] sends them on
+    /// its primary link; a router routes them through its forwarding
+    /// engine.
+    pub fn take_outbox(&mut self) -> Vec<XiaPacket> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Publishes `content` as pinned chunks of `chunk_size` bytes and
+    /// returns the manifest clients fetch from.
+    pub fn publish_content(&mut self, content: &Bytes, chunk_size: usize) -> Manifest {
+        let (manifest, chunks) = chunk_content(content, chunk_size);
+        for (cid, data) in chunks {
+            self.store.publish(cid, data);
+        }
+        manifest
+    }
+
+    /// Whether this stack should consume `pkt` (local delivery).
+    pub fn wants_packet(&self, pkt: &XiaPacket) -> bool {
+        match &pkt.l4 {
+            L4::Beacon(_) => true,
+            L4::Control { .. } => {
+                // Delivery is by address: the datagram is ours if its
+                // intent is a service we host or our own HID. The payload's
+                // service field only demultiplexes between local apps.
+                let intent = pkt.dst.intent();
+                self.meta.services.contains(&intent) || intent == self.meta.hid
+            }
+            L4::Segment(seg) => {
+                if self.mux.has_connection(seg.conn) {
+                    return true;
+                }
+                let intent = pkt.dst.intent();
+                if intent == self.meta.hid {
+                    return true;
+                }
+                if intent.principal() == Principal::Cid {
+                    return self.store.contains(&intent)
+                        || pkt.dst.fallback_host() == Some(self.meta.hid);
+                }
+                false
+            }
+        }
+    }
+
+    /// Delivers the simulation start to all apps.
+    pub fn start(&mut self, ctx: &mut SimContext<'_, XiaPacket>) {
+        for idx in 0..self.apps.len() {
+            self.with_app(ctx, idx, |app, hctx| app.on_start(hctx));
+        }
+        self.drain(ctx);
+    }
+
+    /// Handles a packet destined to this stack.
+    pub fn handle_packet(
+        &mut self,
+        ctx: &mut SimContext<'_, XiaPacket>,
+        link: LinkId,
+        pkt: XiaPacket,
+    ) {
+        match &pkt.l4 {
+            L4::Beacon(beacon) => {
+                let beacon = beacon.clone();
+                for idx in 0..self.apps.len() {
+                    self.with_app(ctx, idx, |app, hctx| app.on_beacon(hctx, link, &beacon));
+                }
+            }
+            L4::Control {
+                service,
+                token,
+                body,
+            } => {
+                let (service, token, body) = (*service, *token, body.clone());
+                let from = pkt.src.clone();
+                for idx in 0..self.apps.len() {
+                    self.with_app(ctx, idx, |app, hctx| {
+                        app.on_control(hctx, from.clone(), service, token, &body)
+                    });
+                }
+            }
+            L4::Segment(_) => {
+                let local = self.meta.local_dag();
+                let mut env = HostEnv {
+                    sim: ctx,
+                    outbox: &mut self.outbox,
+                    pending: &mut self.pending,
+                };
+                self.mux.on_packet(&mut env, pkt, local);
+            }
+        }
+        self.drain(ctx);
+    }
+
+    /// Handles a timer belonging to this stack. Returns `false` if the key
+    /// is not recognized.
+    pub fn handle_timer(&mut self, ctx: &mut SimContext<'_, XiaPacket>, key: TimerKey) -> bool {
+        if key & (0xFFFF << 48) == xia_transport::TIMER_TAG {
+            let mut env = HostEnv {
+                sim: ctx,
+                outbox: &mut self.outbox,
+                pending: &mut self.pending,
+            };
+            self.mux.on_timer(&mut env, key);
+            self.drain(ctx);
+            return true;
+        }
+        if key & (0xFFFF << 48) == APP_TIMER_TAG {
+            let idx = ((key >> 32) & 0xFFFF) as usize;
+            let payload = key as u32 as u64;
+            self.with_app(ctx, idx, |app, hctx| app.on_timer(hctx, payload));
+            self.drain(ctx);
+            return true;
+        }
+        false
+    }
+
+    /// Forwards a link state change to all apps.
+    pub fn handle_link_event(
+        &mut self,
+        ctx: &mut SimContext<'_, XiaPacket>,
+        link: LinkId,
+        up: bool,
+    ) {
+        for idx in 0..self.apps.len() {
+            self.with_app(ctx, idx, |app, hctx| app.on_link_event(hctx, link, up));
+        }
+        self.drain(ctx);
+    }
+
+    /// Runs `f` on app `idx` with a fresh context. Does not drain events.
+    fn with_app(
+        &mut self,
+        ctx: &mut SimContext<'_, XiaPacket>,
+        idx: usize,
+        f: impl FnOnce(&mut dyn App, &mut HostCtx<'_, '_>),
+    ) {
+        let Some(slot) = self.apps.get_mut(idx) else {
+            return;
+        };
+        let Some(mut app) = slot.take() else {
+            return; // Reentrant dispatch; skip.
+        };
+        let mut hctx = HostCtx {
+            sim: ctx,
+            mux: &mut self.mux,
+            store: &mut self.store,
+            meta: &mut self.meta,
+            owners: &mut self.owners,
+            fetchers: &mut self.fetchers,
+            pending: &mut self.pending,
+            outbox: &mut self.outbox,
+            app_idx: idx,
+        };
+        f(app.as_mut(), &mut hctx);
+        self.apps[idx] = Some(app);
+    }
+
+    fn apply_server_actions(
+        &mut self,
+        ctx: &mut SimContext<'_, XiaPacket>,
+        actions: Vec<ServerAction>,
+    ) {
+        for action in actions {
+            let mut env = HostEnv {
+                sim: ctx,
+                outbox: &mut self.outbox,
+                pending: &mut self.pending,
+            };
+            match action {
+                ServerAction::Send(conn, data) => {
+                    let _ = self.mux.send(&mut env, conn, data);
+                }
+                ServerAction::Close(conn) => {
+                    let _ = self.mux.close(&mut env, conn);
+                }
+                ServerAction::Abort(conn) => self.mux.abort(&mut env, conn),
+            }
+        }
+    }
+
+    /// Processes queued transport events until none remain.
+    fn drain(&mut self, ctx: &mut SimContext<'_, XiaPacket>) {
+        while let Some(event) = self.pending.pop_front() {
+            self.route_event(ctx, event);
+        }
+    }
+
+    fn route_event(&mut self, ctx: &mut SimContext<'_, XiaPacket>, event: TransportEvent) {
+        match &event {
+            TransportEvent::Incoming { conn, .. } => {
+                self.owners.insert(*conn, Owner::Server);
+                self.server.on_incoming(*conn);
+            }
+            TransportEvent::Connected { conn, .. } => match self.owners.get(conn) {
+                Some(Owner::Fetch(_)) => {
+                    if let Some(st) = self.fetchers.get(conn) {
+                        let req = st.fetcher.request_bytes();
+                        let mut env = HostEnv {
+                            sim: ctx,
+                            outbox: &mut self.outbox,
+                            pending: &mut self.pending,
+                        };
+                        let _ = self.mux.send(&mut env, *conn, req);
+                    }
+                }
+                Some(Owner::App(i)) => {
+                    let i = *i;
+                    self.with_app(ctx, i, |app, hctx| app.on_transport_event(hctx, &event));
+                }
+                _ => {}
+            },
+            TransportEvent::Data { conn, data } => match self.owners.get(conn) {
+                Some(Owner::Server) => {
+                    let actions = self.server.on_data(*conn, data, &mut self.store);
+                    self.apply_server_actions(ctx, actions);
+                }
+                Some(Owner::Fetch(i)) => {
+                    let (i, conn, data) = (*i, *conn, data.clone());
+                    self.advance_fetch(ctx, i, conn, &data);
+                }
+                Some(Owner::App(i)) => {
+                    let i = *i;
+                    self.with_app(ctx, i, |app, hctx| app.on_transport_event(hctx, &event));
+                }
+                None => {}
+            },
+            TransportEvent::PeerClosed { conn } => match self.owners.get(conn) {
+                Some(Owner::Fetch(i)) => {
+                    let (i, conn) = (*i, *conn);
+                    let unfinished = self
+                        .fetchers
+                        .get_mut(&conn)
+                        .map(|st| {
+                            let was = !st.done;
+                            st.done = true;
+                            was
+                        })
+                        .unwrap_or(false);
+                    if unfinished {
+                        // Truncated response: the responder closed early.
+                        let (handle, cid) = {
+                            let st = self.fetchers.get(&conn).expect("present");
+                            (st.handle, st.fetcher.cid())
+                        };
+                        let mut env = HostEnv {
+                            sim: ctx,
+                            outbox: &mut self.outbox,
+                            pending: &mut self.pending,
+                        };
+                        let _ = self.mux.close(&mut env, conn);
+                        self.with_app(ctx, i, |app, hctx| {
+                            app.on_fetch_complete(hctx, handle, cid, FetchResult::Failed)
+                        });
+                    }
+                }
+                Some(Owner::App(i)) => {
+                    let i = *i;
+                    self.with_app(ctx, i, |app, hctx| app.on_transport_event(hctx, &event));
+                }
+                _ => {}
+            },
+            TransportEvent::Closed { conn } | TransportEvent::Failed { conn, .. } => {
+                let failed = matches!(event, TransportEvent::Failed { .. });
+                match self.owners.remove(conn) {
+                    Some(Owner::Server) => self.server.on_gone(*conn),
+                    Some(Owner::Fetch(i)) => {
+                        if let Some(st) = self.fetchers.remove(conn) {
+                            if !st.done && failed {
+                                let (handle, cid) = (st.handle, st.fetcher.cid());
+                                self.with_app(ctx, i, |app, hctx| {
+                                    app.on_fetch_complete(hctx, handle, cid, FetchResult::Failed)
+                                });
+                            } else if !st.done {
+                                // Clean close without a complete body.
+                                let (handle, cid) = (st.handle, st.fetcher.cid());
+                                self.with_app(ctx, i, |app, hctx| {
+                                    app.on_fetch_complete(hctx, handle, cid, FetchResult::Failed)
+                                });
+                            }
+                        }
+                    }
+                    Some(Owner::App(i)) => {
+                        self.with_app(ctx, i, |app, hctx| app.on_transport_event(hctx, &event));
+                    }
+                    None => {}
+                }
+            }
+        }
+    }
+
+    fn advance_fetch(
+        &mut self,
+        ctx: &mut SimContext<'_, XiaPacket>,
+        app_idx: usize,
+        conn: ConnId,
+        data: &Bytes,
+    ) {
+        let Some(st) = self.fetchers.get_mut(&conn) else {
+            return;
+        };
+        if st.done {
+            return;
+        }
+        let progress = st.fetcher.on_data(data);
+        match progress {
+            FetchProgress::InProgress => {}
+            FetchProgress::Complete(bytes) => {
+                st.done = true;
+                let (handle, cid) = (st.handle, st.fetcher.cid());
+                if self.meta.cache_fetched {
+                    self.store.insert(cid, bytes.clone());
+                }
+                let mut env = HostEnv {
+                    sim: ctx,
+                    outbox: &mut self.outbox,
+                    pending: &mut self.pending,
+                };
+                let _ = self.mux.close(&mut env, conn);
+                self.with_app(ctx, app_idx, |app, hctx| {
+                    app.on_fetch_complete(hctx, handle, cid, FetchResult::Complete(bytes))
+                });
+            }
+            FetchProgress::NotFound => {
+                st.done = true;
+                let (handle, cid) = (st.handle, st.fetcher.cid());
+                let mut env = HostEnv {
+                    sim: ctx,
+                    outbox: &mut self.outbox,
+                    pending: &mut self.pending,
+                };
+                let _ = self.mux.close(&mut env, conn);
+                self.with_app(ctx, app_idx, |app, hctx| {
+                    app.on_fetch_complete(hctx, handle, cid, FetchResult::NotFound)
+                });
+            }
+            FetchProgress::Corrupt => {
+                st.done = true;
+                let (handle, cid) = (st.handle, st.fetcher.cid());
+                let mut env = HostEnv {
+                    sim: ctx,
+                    outbox: &mut self.outbox,
+                    pending: &mut self.pending,
+                };
+                self.mux.abort(&mut env, conn);
+                self.with_app(ctx, app_idx, |app, hctx| {
+                    app.on_fetch_complete(hctx, handle, cid, FetchResult::Failed)
+                });
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Host {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Host")
+            .field("hid", &self.meta.hid)
+            .field("nid", &self.meta.nid)
+            .field("apps", &self.apps.len())
+            .field("connections", &self.mux.active_connections())
+            .finish()
+    }
+}
+
+/// A stub end host: consumes packets its stack wants, drops the rest,
+/// and sends everything its stack emits out the primary link.
+#[derive(Debug)]
+pub struct EndHost {
+    host: Host,
+    /// Packets that arrived but were not for this host.
+    pub stray_packets: u64,
+    /// Packets the stack emitted while no primary link was attached
+    /// (transmitting into a coverage gap).
+    pub dropped_no_link: u64,
+}
+
+impl EndHost {
+    /// Wraps a host stack as a simulator node.
+    pub fn new(host: Host) -> Self {
+        EndHost {
+            host,
+            stray_packets: 0,
+            dropped_no_link: 0,
+        }
+    }
+
+    /// The inner host stack.
+    pub fn host(&self) -> &Host {
+        &self.host
+    }
+
+    /// Mutable access to the inner host stack.
+    pub fn host_mut(&mut self) -> &mut Host {
+        &mut self.host
+    }
+
+    /// Sends queued stack emissions out the primary link.
+    fn flush(&mut self, ctx: &mut SimContext<'_, XiaPacket>) {
+        for pkt in self.host.take_outbox() {
+            match self.host.primary_link() {
+                Some(link) => ctx.send(link, pkt),
+                None => self.dropped_no_link += 1,
+            }
+        }
+    }
+}
+
+impl Node<XiaPacket> for EndHost {
+    fn on_start(&mut self, ctx: &mut SimContext<'_, XiaPacket>) {
+        self.host.start(ctx);
+        self.flush(ctx);
+    }
+
+    fn on_packet(&mut self, ctx: &mut SimContext<'_, XiaPacket>, link: LinkId, pkt: XiaPacket) {
+        if self.host.wants_packet(&pkt) {
+            self.host.handle_packet(ctx, link, pkt);
+            self.flush(ctx);
+        } else {
+            self.stray_packets += 1;
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut SimContext<'_, XiaPacket>, key: TimerKey) {
+        let _ = self.host.handle_timer(ctx, key);
+        self.flush(ctx);
+    }
+
+    fn on_link_event(&mut self, ctx: &mut SimContext<'_, XiaPacket>, link: LinkId, up: bool) {
+        self.host.handle_link_event(ctx, link, up);
+        self.flush(ctx);
+    }
+}

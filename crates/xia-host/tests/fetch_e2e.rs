@@ -1,0 +1,250 @@
+//! End-to-end chunk fetches between two host stacks over simulated links.
+
+use bytes::Bytes;
+use simnet::{LinkConfig, SimDuration, SimTime, Simulator};
+use xia_addr::{Dag, Principal, Xid};
+use xia_host::{App, EndHost, FetchResult, Host, HostConfig, HostCtx};
+use xia_wire::XiaPacket;
+use xcache::Manifest;
+
+/// Fetches a list of chunk DAGs sequentially, recording results.
+struct SeqFetcher {
+    dags: Vec<Dag>,
+    next: usize,
+    completions: Vec<(Xid, FetchResult, SimTime)>,
+}
+
+impl SeqFetcher {
+    fn new(dags: Vec<Dag>) -> Self {
+        SeqFetcher {
+            dags,
+            next: 0,
+            completions: Vec::new(),
+        }
+    }
+
+    fn fetch_next(&mut self, ctx: &mut HostCtx<'_, '_>) {
+        if self.next < self.dags.len() {
+            let dag = self.dags[self.next].clone();
+            self.next += 1;
+            ctx.xfetch_chunk(dag);
+        }
+    }
+}
+
+impl App for SeqFetcher {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_, '_>) {
+        self.fetch_next(ctx);
+    }
+
+    fn on_fetch_complete(
+        &mut self,
+        ctx: &mut HostCtx<'_, '_>,
+        _handle: u64,
+        cid: Xid,
+        result: FetchResult,
+    ) {
+        self.completions.push((cid, result, ctx.now()));
+        self.fetch_next(ctx);
+    }
+}
+
+struct World {
+    sim: Simulator<XiaPacket>,
+    client: simnet::NodeId,
+    server: simnet::NodeId,
+    link: simnet::LinkId,
+    manifest: Manifest,
+    content: Bytes,
+}
+
+fn build_world(content_len: usize, chunk_size: usize, link: LinkConfig) -> World {
+    let mut sim = Simulator::new(11);
+    let server_hid = Xid::new_random(Principal::Hid, 1);
+    let client_hid = Xid::new_random(Principal::Hid, 2);
+    let nid = Xid::new_random(Principal::Nid, 9);
+
+    let mut server_host = Host::new(HostConfig::new(server_hid));
+    let content = Bytes::from((0..content_len).map(|i| (i % 249) as u8).collect::<Vec<u8>>());
+    let manifest = server_host.publish_content(&content, chunk_size);
+
+    let dags: Vec<Dag> = manifest
+        .chunks
+        .iter()
+        .map(|cid| Dag::cid_with_fallback(*cid, nid, server_hid))
+        .collect();
+
+    let mut client_host = Host::new(HostConfig::new(client_hid));
+    client_host.add_app(Box::new(SeqFetcher::new(dags)));
+
+    let server = sim.add_node(Box::new(EndHost::new(server_host)));
+    let client = sim.add_node(Box::new(EndHost::new(client_host)));
+    let l = sim.add_link(client, server, link);
+    sim.node_mut::<EndHost>(server)
+        .unwrap()
+        .host_mut()
+        .set_attachment(Some(nid), Some(l));
+    sim.node_mut::<EndHost>(client)
+        .unwrap()
+        .host_mut()
+        .set_attachment(Some(nid), Some(l));
+    World {
+        sim,
+        client,
+        server,
+        link: l,
+        manifest,
+        content,
+    }
+}
+
+fn completions(world: &Simulator<XiaPacket>, node: simnet::NodeId) -> &[(Xid, FetchResult, SimTime)] {
+    &world
+        .node::<EndHost>(node)
+        .unwrap()
+        .host()
+        .app::<SeqFetcher>(0)
+        .unwrap()
+        .completions
+}
+
+#[test]
+fn fetches_all_chunks_and_reassembles() {
+    let mut w = build_world(
+        1_000_000,
+        200_000,
+        LinkConfig::wired(100_000_000, SimDuration::from_millis(5)),
+    );
+    w.sim.run();
+    let done = completions(&w.sim, w.client);
+    assert_eq!(done.len(), 5);
+    let mut body = Vec::new();
+    for (i, (cid, result, _)) in done.iter().enumerate() {
+        assert_eq!(*cid, w.manifest.chunks[i], "in manifest order");
+        match result {
+            FetchResult::Complete(bytes) => body.extend_from_slice(bytes),
+            other => panic!("chunk {i} failed: {other:?}"),
+        }
+    }
+    assert_eq!(Bytes::from(body), w.content);
+    // Server served every chunk.
+    let server = w.sim.node::<EndHost>(w.server).unwrap().host();
+    assert_eq!(server.server().served(), 5);
+    // All connections torn down.
+    assert_eq!(server.active_connections(), 0);
+    assert_eq!(
+        w.sim.node::<EndHost>(w.client).unwrap().host().active_connections(),
+        0
+    );
+}
+
+#[test]
+fn fetch_over_lossy_wireless_link_completes() {
+    let mut w = build_world(
+        400_000,
+        100_000,
+        LinkConfig::wireless(30_000_000, SimDuration::from_millis(2), 0.27),
+    );
+    w.sim.run();
+    let done = completions(&w.sim, w.client);
+    assert_eq!(done.len(), 4);
+    assert!(done
+        .iter()
+        .all(|(_, r, _)| matches!(r, FetchResult::Complete(_))));
+}
+
+#[test]
+fn missing_chunk_reports_not_found() {
+    let mut sim = Simulator::new(3);
+    let server_hid = Xid::new_random(Principal::Hid, 1);
+    let client_hid = Xid::new_random(Principal::Hid, 2);
+    let nid = Xid::new_random(Principal::Nid, 9);
+    let server_host = Host::new(HostConfig::new(server_hid));
+    let missing = Xid::for_content(b"never published");
+    let dag = Dag::cid_with_fallback(missing, nid, server_hid);
+    let mut client_host = Host::new(HostConfig::new(client_hid));
+    client_host.add_app(Box::new(SeqFetcher::new(vec![dag])));
+    let server = sim.add_node(Box::new(EndHost::new(server_host)));
+    let client = sim.add_node(Box::new(EndHost::new(client_host)));
+    let l = sim.add_link(
+        client,
+        server,
+        LinkConfig::wired(10_000_000, SimDuration::from_millis(1)),
+    );
+    sim.node_mut::<EndHost>(server)
+        .unwrap()
+        .host_mut()
+        .set_attachment(Some(nid), Some(l));
+    sim.node_mut::<EndHost>(client)
+        .unwrap()
+        .host_mut()
+        .set_attachment(Some(nid), Some(l));
+    sim.run();
+    let done = completions(&sim, client);
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].1, FetchResult::NotFound);
+}
+
+#[test]
+fn client_side_caching_stores_fetched_chunks() {
+    let mut sim = Simulator::new(5);
+    let server_hid = Xid::new_random(Principal::Hid, 1);
+    let client_hid = Xid::new_random(Principal::Hid, 2);
+    let nid = Xid::new_random(Principal::Nid, 9);
+    let mut server_host = Host::new(HostConfig::new(server_hid));
+    let content = Bytes::from(vec![42u8; 50_000]);
+    let manifest = server_host.publish_content(&content, 25_000);
+    let dags: Vec<Dag> = manifest
+        .chunks
+        .iter()
+        .map(|c| Dag::cid_with_fallback(*c, nid, server_hid))
+        .collect();
+    let mut config = HostConfig::new(client_hid);
+    config.cache_fetched = true;
+    let mut client_host = Host::new(config);
+    client_host.add_app(Box::new(SeqFetcher::new(dags)));
+    let server = sim.add_node(Box::new(EndHost::new(server_host)));
+    let client = sim.add_node(Box::new(EndHost::new(client_host)));
+    let l = sim.add_link(
+        client,
+        server,
+        LinkConfig::wired(10_000_000, SimDuration::from_millis(1)),
+    );
+    sim.node_mut::<EndHost>(server)
+        .unwrap()
+        .host_mut()
+        .set_attachment(Some(nid), Some(l));
+    sim.node_mut::<EndHost>(client)
+        .unwrap()
+        .host_mut()
+        .set_attachment(Some(nid), Some(l));
+    sim.run();
+    let client_store = sim.node::<EndHost>(client).unwrap().host().store();
+    for cid in &manifest.chunks {
+        assert!(client_store.contains(cid), "fetched chunk cached locally");
+    }
+}
+
+/// A fetch across a link that dies mid-transfer eventually completes after
+/// the link comes back (transport RTO recovery), exercising the vehicular
+/// disconnection path.
+#[test]
+fn fetch_survives_link_outage() {
+    let mut w = build_world(
+        600_000,
+        600_000,
+        LinkConfig::wired(20_000_000, SimDuration::from_millis(2)),
+    );
+    // Kill the only link at 100 ms for 3 seconds.
+    let link = w.link;
+    w.sim
+        .schedule_link_state(SimTime::from_micros(100_000), link, false);
+    w.sim
+        .schedule_link_state(SimTime::from_micros(3_100_000), link, true);
+    w.sim.run();
+    let done = completions(&w.sim, w.client);
+    assert_eq!(done.len(), 1);
+    assert!(matches!(done[0].1, FetchResult::Complete(_)));
+    // Completion happened after the outage ended.
+    assert!(done[0].2 > SimTime::from_micros(3_100_000));
+}

@@ -1,0 +1,103 @@
+//! RFC 6298-style RTT estimation.
+
+use simnet::SimDuration;
+
+/// Smoothed RTT estimator producing retransmission timeouts.
+///
+/// Implements the classic SRTT/RTTVAR recurrences with the usual gains
+/// (α = 1/8, β = 1/4) and `RTO = SRTT + 4·RTTVAR`, clamped to configured
+/// bounds by the caller.
+#[derive(Debug, Clone, Default)]
+pub struct RttEstimator {
+    srtt_us: Option<u64>,
+    rttvar_us: u64,
+}
+
+impl RttEstimator {
+    /// Creates an estimator with no samples yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether at least one sample has been absorbed.
+    pub fn has_sample(&self) -> bool {
+        self.srtt_us.is_some()
+    }
+
+    /// The smoothed RTT, if any sample exists.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt_us.map(SimDuration::from_micros)
+    }
+
+    /// Absorbs a new RTT measurement.
+    pub fn sample(&mut self, rtt: SimDuration) {
+        let r = rtt.as_micros();
+        match self.srtt_us {
+            None => {
+                self.srtt_us = Some(r);
+                self.rttvar_us = r / 2;
+            }
+            Some(srtt) => {
+                let delta = srtt.abs_diff(r);
+                self.rttvar_us = (3 * self.rttvar_us + delta) / 4;
+                self.srtt_us = Some((7 * srtt + r) / 8);
+            }
+        }
+    }
+
+    /// The raw retransmission timeout `SRTT + 4·RTTVAR`, or `fallback` if
+    /// no sample exists. Callers clamp to their min/max bounds.
+    pub fn rto(&self, fallback: SimDuration) -> SimDuration {
+        match self.srtt_us {
+            None => fallback,
+            Some(srtt) => SimDuration::from_micros(srtt + 4 * self.rttvar_us),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initialises() {
+        let mut e = RttEstimator::new();
+        assert!(!e.has_sample());
+        e.sample(SimDuration::from_millis(100));
+        assert_eq!(e.srtt(), Some(SimDuration::from_millis(100)));
+        // RTO = 100ms + 4 * 50ms = 300ms.
+        assert_eq!(e.rto(SimDuration::ZERO), SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn fallback_used_before_samples() {
+        let e = RttEstimator::new();
+        assert_eq!(
+            e.rto(SimDuration::from_secs(1)),
+            SimDuration::from_secs(1)
+        );
+    }
+
+    #[test]
+    fn converges_to_stable_rtt() {
+        let mut e = RttEstimator::new();
+        for _ in 0..100 {
+            e.sample(SimDuration::from_millis(20));
+        }
+        let srtt = e.srtt().unwrap().as_micros() as i64;
+        assert!((srtt - 20_000).abs() < 100, "srtt {srtt}");
+        // Variance decays, so RTO approaches SRTT.
+        assert!(e.rto(SimDuration::ZERO) < SimDuration::from_millis(25));
+    }
+
+    #[test]
+    fn spike_raises_rto() {
+        let mut e = RttEstimator::new();
+        for _ in 0..50 {
+            e.sample(SimDuration::from_millis(20));
+        }
+        let calm = e.rto(SimDuration::ZERO);
+        e.sample(SimDuration::from_millis(200));
+        assert!(e.rto(SimDuration::ZERO) > calm * 2);
+    }
+}

@@ -1,0 +1,439 @@
+//! Byte-level serialization of [`XiaPacket`].
+//!
+//! The simulator passes packets as structured values for speed, but a
+//! deployable stack needs a wire format. This codec defines one —
+//! versioned, length-delimited, with explicit principal tags — and
+//! guarantees `decode(encode(p)) == p`. It is exercised by unit and
+//! property tests and can frame packets for a real datagram substrate.
+//!
+//! Layout (all integers big-endian):
+//!
+//! ```text
+//! u8  version (0x01)
+//! dag dst          — see below
+//! u8  dst_ptr      (0xFF = SOURCE)
+//! dag src
+//! u8  hop_limit
+//! u8  l4 tag       (0 = segment, 1 = control, 2 = beacon)
+//! ... l4 body
+//!
+//! dag := u8 node_count, u8 entry_count, entry indices (u8 each),
+//!        node_count × { u8 principal, [u8; 20] id,
+//!                       u8 edge_count, edges (u8 each) }
+//! ```
+
+use bytes::{BufMut, Bytes, BytesMut};
+use xia_addr::{dag::SOURCE, Dag, DagNode, Principal, Xid};
+
+use crate::{Beacon, ConnId, L4, SegFlags, Segment, XiaPacket};
+
+/// Wire format version emitted by [`encode`].
+pub const WIRE_VERSION: u8 = 0x01;
+
+/// Errors produced by [`decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// Fewer bytes than the structure requires.
+    Truncated,
+    /// Unknown wire version byte.
+    BadVersion,
+    /// Unknown principal tag.
+    BadPrincipal,
+    /// Unknown L4 tag.
+    BadL4Tag,
+    /// The encoded DAG fails validation (cycle, dangling edge, no sink).
+    BadDag,
+    /// A DAG pointer is outside the DAG.
+    BadPointer,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            CodecError::Truncated => "truncated packet",
+            CodecError::BadVersion => "unsupported wire version",
+            CodecError::BadPrincipal => "unknown principal tag",
+            CodecError::BadL4Tag => "unknown transport tag",
+            CodecError::BadDag => "invalid address graph",
+            CodecError::BadPointer => "address pointer out of range",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn principal_tag(p: Principal) -> u8 {
+    match p {
+        Principal::Cid => 0,
+        Principal::Hid => 1,
+        Principal::Nid => 2,
+        Principal::Sid => 3,
+    }
+}
+
+fn principal_from(tag: u8) -> Result<Principal, CodecError> {
+    match tag {
+        0 => Ok(Principal::Cid),
+        1 => Ok(Principal::Hid),
+        2 => Ok(Principal::Nid),
+        3 => Ok(Principal::Sid),
+        _ => Err(CodecError::BadPrincipal),
+    }
+}
+
+fn put_xid(out: &mut BytesMut, xid: &Xid) {
+    out.put_u8(principal_tag(xid.principal()));
+    out.put_slice(xid.id());
+}
+
+fn put_dag(out: &mut BytesMut, dag: &Dag) {
+    let nodes = dag.nodes();
+    out.put_u8(nodes.len() as u8);
+    let entry = dag.out_edges(SOURCE);
+    out.put_u8(entry.len() as u8);
+    for &e in entry {
+        out.put_u8(e as u8);
+    }
+    for node in nodes {
+        put_xid(out, &node.xid);
+        out.put_u8(node.edges.len() as u8);
+        for &e in &node.edges {
+            out.put_u8(e as u8);
+        }
+    }
+}
+
+/// Encodes `pkt` into its wire representation.
+pub fn encode(pkt: &XiaPacket) -> Bytes {
+    let mut out = BytesMut::with_capacity(256 + payload_len(pkt));
+    out.put_u8(WIRE_VERSION);
+    put_dag(&mut out, &pkt.dst);
+    out.put_u8(if pkt.dst_ptr == SOURCE {
+        0xFF
+    } else {
+        pkt.dst_ptr as u8
+    });
+    put_dag(&mut out, &pkt.src);
+    out.put_u8(pkt.hop_limit);
+    match &pkt.l4 {
+        L4::Segment(seg) => {
+            out.put_u8(0);
+            put_xid(&mut out, &seg.conn.initiator);
+            out.put_u64(seg.conn.port);
+            out.put_u64(seg.seq);
+            out.put_u64(seg.ack);
+            let flags = u8::from(seg.flags.syn)
+                | u8::from(seg.flags.ack) << 1
+                | u8::from(seg.flags.fin) << 2
+                | u8::from(seg.flags.rst) << 3;
+            out.put_u8(flags);
+            out.put_u64(seg.window);
+            out.put_u32(seg.payload.len() as u32);
+            out.put_slice(&seg.payload);
+        }
+        L4::Control {
+            service,
+            token,
+            body,
+        } => {
+            out.put_u8(1);
+            put_xid(&mut out, service);
+            out.put_u64(*token);
+            out.put_u32(body.len() as u32);
+            out.put_slice(body);
+        }
+        L4::Beacon(b) => {
+            out.put_u8(2);
+            put_xid(&mut out, &b.nid);
+            put_xid(&mut out, &b.hid);
+            out.put_u64(b.rss_dbm.to_bits());
+            match &b.staging_vnf {
+                Some(dag) => {
+                    out.put_u8(1);
+                    put_dag(&mut out, dag);
+                }
+                None => out.put_u8(0),
+            }
+        }
+    }
+    out.freeze()
+}
+
+fn payload_len(pkt: &XiaPacket) -> usize {
+    match &pkt.l4 {
+        L4::Segment(seg) => seg.payload.len(),
+        L4::Control { body, .. } => body.len(),
+        L4::Beacon(_) => 0,
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.pos + n > self.buf.len() {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn xid(&mut self) -> Result<Xid, CodecError> {
+        let p = principal_from(self.u8()?)?;
+        let mut id = [0u8; 20];
+        id.copy_from_slice(self.take(20)?);
+        Ok(Xid::new(p, id))
+    }
+
+    fn dag(&mut self) -> Result<Dag, CodecError> {
+        let node_count = self.u8()? as usize;
+        let entry_count = self.u8()? as usize;
+        let mut entry = Vec::with_capacity(entry_count);
+        for _ in 0..entry_count {
+            entry.push(self.u8()? as usize);
+        }
+        let mut nodes = Vec::with_capacity(node_count);
+        for _ in 0..node_count {
+            let xid = self.xid()?;
+            let edge_count = self.u8()? as usize;
+            let mut edges = Vec::with_capacity(edge_count);
+            for _ in 0..edge_count {
+                edges.push(self.u8()? as usize);
+            }
+            nodes.push(DagNode { xid, edges });
+        }
+        Dag::from_parts(nodes, entry).map_err(|_| CodecError::BadDag)
+    }
+}
+
+/// Decodes a packet previously produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] describing the first structural problem.
+pub fn decode(wire: &[u8]) -> Result<XiaPacket, CodecError> {
+    let mut r = Reader { buf: wire, pos: 0 };
+    if r.u8()? != WIRE_VERSION {
+        return Err(CodecError::BadVersion);
+    }
+    let dst = r.dag()?;
+    let ptr_raw = r.u8()?;
+    let dst_ptr = if ptr_raw == 0xFF {
+        SOURCE
+    } else {
+        let p = ptr_raw as usize;
+        if p >= dst.nodes().len() {
+            return Err(CodecError::BadPointer);
+        }
+        p
+    };
+    let src = r.dag()?;
+    let hop_limit = r.u8()?;
+    let l4 = match r.u8()? {
+        0 => {
+            let initiator = r.xid()?;
+            let port = r.u64()?;
+            let seq = r.u64()?;
+            let ack = r.u64()?;
+            let f = r.u8()?;
+            let window = r.u64()?;
+            let len = r.u32()? as usize;
+            let payload = Bytes::copy_from_slice(r.take(len)?);
+            L4::Segment(Segment {
+                conn: ConnId { initiator, port },
+                seq,
+                ack,
+                flags: SegFlags {
+                    syn: f & 1 != 0,
+                    ack: f & 2 != 0,
+                    fin: f & 4 != 0,
+                    rst: f & 8 != 0,
+                },
+                window,
+                payload,
+            })
+        }
+        1 => {
+            let service = r.xid()?;
+            let token = r.u64()?;
+            let len = r.u32()? as usize;
+            let body = Bytes::copy_from_slice(r.take(len)?);
+            L4::Control {
+                service,
+                token,
+                body,
+            }
+        }
+        2 => {
+            let nid = r.xid()?;
+            let hid = r.xid()?;
+            let rss_dbm = f64::from_bits(r.u64()?);
+            let staging_vnf = match r.u8()? {
+                0 => None,
+                _ => Some(r.dag()?),
+            };
+            L4::Beacon(Beacon {
+                nid,
+                hid,
+                rss_dbm,
+                staging_vnf,
+            })
+        }
+        _ => return Err(CodecError::BadL4Tag),
+    };
+    Ok(XiaPacket {
+        dst,
+        dst_ptr,
+        src,
+        hop_limit,
+        l4,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs() -> (Dag, Dag) {
+        let cid = Xid::for_content(b"c");
+        let nid = Xid::new_random(Principal::Nid, 1);
+        let hid = Xid::new_random(Principal::Hid, 2);
+        let chid = Xid::new_random(Principal::Hid, 3);
+        (Dag::cid_with_fallback(cid, nid, hid), Dag::host(nid, chid))
+    }
+
+    fn sample_segment() -> XiaPacket {
+        let (dst, src) = addrs();
+        XiaPacket {
+            dst,
+            dst_ptr: 1,
+            src,
+            hop_limit: 17,
+            l4: L4::Segment(Segment {
+                conn: ConnId {
+                    initiator: Xid::new_random(Principal::Hid, 9),
+                    port: 0xDEAD_BEEF,
+                },
+                seq: 42,
+                ack: 77,
+                flags: SegFlags {
+                    syn: true,
+                    ack: true,
+                    fin: false,
+                    rst: false,
+                },
+                window: 1 << 20,
+                payload: Bytes::from_static(b"hello chunk bytes"),
+            }),
+        }
+    }
+
+    #[test]
+    fn segment_roundtrip() {
+        let pkt = sample_segment();
+        assert_eq!(decode(&encode(&pkt)).unwrap(), pkt);
+    }
+
+    #[test]
+    fn control_roundtrip() {
+        let (dst, src) = addrs();
+        let pkt = XiaPacket::new(
+            dst,
+            src,
+            L4::Control {
+                service: Xid::new_random(Principal::Sid, 5),
+                token: u64::MAX,
+                body: Bytes::from_static(b"{\"stage\":[]}"),
+            },
+        );
+        assert_eq!(decode(&encode(&pkt)).unwrap(), pkt);
+    }
+
+    #[test]
+    fn beacon_roundtrip_with_and_without_vnf() {
+        let (dst, src) = addrs();
+        let nid = Xid::new_random(Principal::Nid, 1);
+        let hid = Xid::new_random(Principal::Hid, 2);
+        for vnf in [
+            None,
+            Some(Dag::service_with_fallback(
+                Xid::new_random(Principal::Sid, 3),
+                nid,
+                hid,
+            )),
+        ] {
+            let pkt = XiaPacket::new(
+                dst.clone(),
+                src.clone(),
+                L4::Beacon(Beacon {
+                    nid,
+                    hid,
+                    rss_dbm: -61.25,
+                    staging_vnf: vnf,
+                }),
+            );
+            assert_eq!(decode(&encode(&pkt)).unwrap(), pkt);
+        }
+    }
+
+    #[test]
+    fn source_pointer_roundtrips() {
+        let mut pkt = sample_segment();
+        pkt.dst_ptr = SOURCE;
+        assert_eq!(decode(&encode(&pkt)).unwrap().dst_ptr, SOURCE);
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_an_error_not_a_panic() {
+        let wire = encode(&sample_segment());
+        for cut in 0..wire.len() {
+            assert_eq!(decode(&wire[..cut]), Err(CodecError::Truncated), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_version_and_tags_rejected() {
+        let wire = encode(&sample_segment()).to_vec();
+        let mut bad = wire.clone();
+        bad[0] = 0x7F;
+        assert_eq!(decode(&bad), Err(CodecError::BadVersion));
+        let mut bad = wire.clone();
+        bad[1] = 0; // dst node count 0 → invalid DAG
+        assert!(decode(&bad).is_err());
+    }
+
+    #[test]
+    fn out_of_range_pointer_rejected() {
+        let pkt = sample_segment();
+        let wire = encode(&pkt).to_vec();
+        // dst has 3 nodes; its ptr byte sits right after the dst dag.
+        // Locate it by re-encoding with a sentinel: simpler to decode and
+        // check that ptr 7 fails.
+        // Find offset: 1 (version) + dag bytes.
+        let dag_len = {
+            let mut b = BytesMut::new();
+            put_dag(&mut b, &pkt.dst);
+            b.len()
+        };
+        let mut bad = wire.clone();
+        bad[1 + dag_len] = 7;
+        assert_eq!(decode(&bad), Err(CodecError::BadPointer));
+    }
+}

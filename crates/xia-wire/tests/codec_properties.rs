@@ -1,0 +1,111 @@
+//! Property tests: the wire codec is a lossless bijection on valid
+//! packets and total (never panics) on arbitrary input bytes.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use xia_addr::{Dag, Principal, Xid};
+use xia_wire::codec::{decode, encode};
+use xia_wire::{Beacon, ConnId, L4, SegFlags, Segment, XiaPacket};
+
+fn arb_xid(principal: Principal) -> impl Strategy<Value = Xid> {
+    any::<[u8; 20]>().prop_map(move |id| Xid::new(principal, id))
+}
+
+fn arb_addr_pair() -> impl Strategy<Value = (Dag, Dag)> {
+    (
+        arb_xid(Principal::Cid),
+        arb_xid(Principal::Nid),
+        arb_xid(Principal::Hid),
+        arb_xid(Principal::Hid),
+    )
+        .prop_map(|(cid, nid, hid, chid)| {
+            (Dag::cid_with_fallback(cid, nid, hid), Dag::host(nid, chid))
+        })
+}
+
+fn arb_l4() -> impl Strategy<Value = L4> {
+    prop_oneof![
+        (
+            arb_xid(Principal::Hid),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<[bool; 4]>(),
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..256),
+        )
+            .prop_map(|(initiator, port, seq, ack, f, window, payload)| {
+                L4::Segment(Segment {
+                    conn: ConnId { initiator, port },
+                    seq,
+                    ack,
+                    flags: SegFlags {
+                        syn: f[0],
+                        ack: f[1],
+                        fin: f[2],
+                        rst: f[3],
+                    },
+                    window,
+                    payload: Bytes::from(payload),
+                })
+            }),
+        (
+            arb_xid(Principal::Sid),
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..256),
+        )
+            .prop_map(|(service, token, body)| L4::Control {
+                service,
+                token,
+                body: Bytes::from(body),
+            }),
+        (
+            arb_xid(Principal::Nid),
+            arb_xid(Principal::Hid),
+            -95.0f64..-20.0,
+            any::<bool>(),
+            arb_xid(Principal::Sid),
+        )
+            .prop_map(|(nid, hid, rss_dbm, has_vnf, sid)| {
+                L4::Beacon(Beacon {
+                    nid,
+                    hid,
+                    rss_dbm,
+                    staging_vnf: has_vnf
+                        .then(|| Dag::service_with_fallback(sid, nid, hid)),
+                })
+            }),
+    ]
+}
+
+proptest! {
+    /// encode → decode is the identity on any well-formed packet.
+    #[test]
+    fn roundtrip((dst, src) in arb_addr_pair(), l4 in arb_l4(), hop in any::<u8>(), use_ptr in any::<bool>()) {
+        let mut pkt = XiaPacket::new(dst, src, l4);
+        pkt.hop_limit = hop;
+        if use_ptr {
+            pkt.dst_ptr = 1; // a real node of the 3-node fallback DAG
+        }
+        let wire = encode(&pkt);
+        prop_assert_eq!(decode(&wire).unwrap(), pkt);
+    }
+
+    /// decode is total: arbitrary bytes produce an error or a packet, and
+    /// never panic.
+    #[test]
+    fn decode_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode(&bytes);
+    }
+
+    /// Any single-byte corruption either fails to decode or decodes to a
+    /// (possibly different) packet — but never panics.
+    #[test]
+    fn corruption_is_safe((dst, src) in arb_addr_pair(), l4 in arb_l4(), idx_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let pkt = XiaPacket::new(dst, src, l4);
+        let mut wire = encode(&pkt).to_vec();
+        let idx = ((wire.len() as f64 - 1.0) * idx_frac) as usize;
+        wire[idx] ^= 1 << bit;
+        let _ = decode(&wire);
+    }
+}

@@ -1,0 +1,78 @@
+//! Fault tolerance: SoftStage must degrade to Xftp-equivalent behaviour,
+//! never break the download (§III-B "Fault Tolerance", Table II).
+
+use simnet::{SimDuration, SimTime};
+use softstage_suite::experiments::{build, ExperimentParams, MB, MBPS};
+use softstage_suite::softstage::SoftStageConfig;
+
+fn deadline() -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(2000)
+}
+
+fn small() -> ExperimentParams {
+    ExperimentParams {
+        file_size: 6 * MB,
+        chunk_size: MB,
+        ..ExperimentParams::default()
+    }
+}
+
+#[test]
+fn no_vnf_deployed_falls_back_to_origin_everywhere() {
+    let p = ExperimentParams {
+        vnf_deployed: false,
+        ..small()
+    };
+    let schedule = p.alternating_schedule(SimDuration::from_secs(2000));
+    let result = build(&p, &schedule, SoftStageConfig::default()).run(deadline());
+    assert!(result.content_ok, "completes without any VNF: {result:?}");
+    assert_eq!(result.from_staged, 0);
+    assert_eq!(result.from_origin, 6);
+}
+
+#[test]
+fn severe_internet_loss_is_survivable() {
+    // 15 Mbps-equivalent loss-throttled Internet plus 37 % wireless loss.
+    let p = ExperimentParams {
+        internet_bw_bps: 15 * MBPS,
+        wireless_loss: 0.37,
+        ..small()
+    };
+    let schedule = p.alternating_schedule(SimDuration::from_secs(2000));
+    for config in [SoftStageConfig::default(), SoftStageConfig::baseline()] {
+        let result = build(&p, &schedule, config).run(deadline());
+        assert!(result.content_ok, "harsh conditions: {result:?}");
+    }
+}
+
+#[test]
+fn single_network_with_gaps_works_without_handoff_targets() {
+    // Only one edge network: every disconnection is a pure outage.
+    let p = ExperimentParams {
+        edge_networks: 1,
+        ..small()
+    };
+    let schedule = p.alternating_schedule(SimDuration::from_secs(2000));
+    let result = build(&p, &schedule, SoftStageConfig::default()).run(deadline());
+    assert!(result.content_ok, "single-network drive: {result:?}");
+}
+
+#[test]
+fn sparse_coverage_trace_still_makes_progress() {
+    use softstage_suite::vehicular::{synthesize_wardriving, WardrivingParams};
+    let trace = synthesize_wardriving(
+        "sparse",
+        WardrivingParams {
+            coverage: 0.3,
+            mean_burst_s: 10.0,
+            total_s: 120.0,
+        },
+        5,
+    );
+    let result = softstage_suite::experiments::fig7::replay(&trace, 5);
+    assert!(
+        result.softstage_chunks >= result.xftp_chunks,
+        "staging never hurts: {result:?}"
+    );
+    assert!(result.softstage_chunks > 0, "progress under 30% coverage");
+}

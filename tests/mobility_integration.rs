@@ -1,0 +1,101 @@
+//! Mobility integration: handoffs, migrations and the chunk-aware policy.
+
+use simnet::{SimDuration, SimTime};
+use softstage_suite::experiments::{build, ExperimentParams, MB};
+use softstage_suite::softstage::{HandoffPolicy, SoftStageConfig};
+use softstage_suite::vehicular::CoverageSchedule;
+
+fn deadline() -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(2000)
+}
+
+#[test]
+fn client_roams_across_alternating_networks() {
+    // Short encounters force the download to span several networks.
+    let p = ExperimentParams {
+        file_size: 10 * MB,
+        chunk_size: MB,
+        encounter: SimDuration::from_secs(3),
+        ..ExperimentParams::default()
+    };
+    let schedule = p.alternating_schedule(SimDuration::from_secs(2000));
+    let mut tb = build(&p, &schedule, SoftStageConfig::default());
+    let result = tb.run(deadline());
+    assert!(result.content_ok);
+    assert!(
+        result.handoffs >= 2,
+        "the drive must cross networks: {result:?}"
+    );
+    // Both edge networks served something (the client used each side).
+    let app = tb.client_app();
+    assert!(app.is_done());
+}
+
+#[test]
+fn chunk_aware_policy_avoids_mid_chunk_migrations_under_overlap() {
+    let p = ExperimentParams {
+        file_size: 16 * MB,
+        chunk_size: 2 * MB,
+        ..ExperimentParams::default()
+    };
+    let schedule = CoverageSchedule::overlapping(
+        p.encounter,
+        SimDuration::from_secs(3),
+        2,
+        SimDuration::from_secs(2000),
+    );
+    let run = |policy| {
+        let config = SoftStageConfig {
+            policy,
+            ..SoftStageConfig::default()
+        };
+        build(&p, &schedule, config).run(deadline())
+    };
+    let chunk_aware = run(HandoffPolicy::ChunkAware);
+    let default = run(HandoffPolicy::Default);
+    assert!(chunk_aware.content_ok && default.content_ok);
+    assert!(
+        chunk_aware.migrations <= default.migrations,
+        "chunk-aware migrations ({}) <= default ({})",
+        chunk_aware.migrations,
+        default.migrations
+    );
+    assert!(
+        chunk_aware.completion.unwrap() <= default.completion.unwrap(),
+        "deferring to chunk boundaries can only help under overlap: {:?} vs {:?}",
+        chunk_aware.completion,
+        default.completion
+    );
+}
+
+#[test]
+fn overlapping_coverage_never_disconnects_the_client() {
+    let p = ExperimentParams {
+        file_size: 6 * MB,
+        chunk_size: MB,
+        ..ExperimentParams::default()
+    };
+    let schedule = CoverageSchedule::overlapping(
+        p.encounter,
+        SimDuration::from_secs(3),
+        2,
+        SimDuration::from_secs(2000),
+    );
+    assert!(schedule.coverage_fraction(SimDuration::from_secs(60)) > 0.99);
+    let result = build(&p, &schedule, SoftStageConfig::default()).run(deadline());
+    assert!(result.content_ok);
+}
+
+#[test]
+fn long_disconnections_still_complete() {
+    let p = ExperimentParams {
+        file_size: 6 * MB,
+        chunk_size: MB,
+        disconnection: SimDuration::from_secs(100),
+        ..ExperimentParams::default()
+    };
+    let schedule = p.alternating_schedule(SimDuration::from_secs(3600));
+    let mut tb = build(&p, &schedule, SoftStageConfig::default());
+    let result = tb.run(SimTime::ZERO + SimDuration::from_secs(3600));
+    assert!(result.content_ok, "survives 100 s gaps: {result:?}");
+}
