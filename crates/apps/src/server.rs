@@ -1,6 +1,6 @@
 //! Origin content server construction.
 
-use bytes::Bytes;
+use util::bytes::Bytes;
 use xia_addr::{Dag, Xid};
 use xia_host::{Host, HostConfig};
 use xcache::Manifest;
@@ -13,7 +13,7 @@ use xcache::Manifest;
 /// # Examples
 ///
 /// ```
-/// use bytes::Bytes;
+/// use util::bytes::Bytes;
 /// use xia_addr::{Principal, Xid};
 ///
 /// let hid = Xid::new_random(Principal::Hid, 1);

@@ -1,70 +1,66 @@
 //! Micro-benchmarks of the core data structures.
 
-use bytes::Bytes;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use util::bench::{black_box, Runner};
+use util::bytes::Bytes;
 use xcache::{chunk_content, ChunkStore, EvictionPolicy};
 use xia_addr::{sha1, Dag, Principal, Xid};
 
-fn bench_sha1(c: &mut Criterion) {
+fn bench_sha1(r: &mut Runner) {
     let data = vec![0xA5u8; 1024 * 1024];
-    let mut g = c.benchmark_group("sha1");
-    g.throughput(Throughput::Bytes(data.len() as u64));
-    g.bench_function("1MiB", |b| b.iter(|| sha1::sha1(&data)));
-    g.finish();
-}
-
-fn bench_chunker(c: &mut Criterion) {
-    let content = Bytes::from(vec![7u8; 8 * 1024 * 1024]);
-    let mut g = c.benchmark_group("chunker");
-    g.throughput(Throughput::Bytes(content.len() as u64));
-    g.bench_function("8MiB/2MiB-chunks", |b| {
-        b.iter(|| chunk_content(&content, 2 * 1024 * 1024))
+    r.bench("sha1/1MiB", || {
+        black_box(sha1::sha1(&data));
     });
-    g.finish();
 }
 
-fn bench_store(c: &mut Criterion) {
+fn bench_chunker(r: &mut Runner) {
+    let content = Bytes::from(vec![7u8; 8 * 1024 * 1024]);
+    r.bench("chunker/8MiB/2MiB-chunks", || {
+        black_box(chunk_content(&content, 2 * 1024 * 1024));
+    });
+}
+
+fn bench_store(r: &mut Runner) {
     let chunks: Vec<(Xid, Bytes)> = (0..256u32)
         .map(|i| {
             let data = Bytes::from(i.to_be_bytes().repeat(256));
             (Xid::for_content(&data), data)
         })
         .collect();
-    c.bench_function("chunkstore/insert-evict-256", |b| {
-        b.iter_batched(
-            || ChunkStore::new(64 * 1024, EvictionPolicy::Lru),
-            |mut store| {
-                for (cid, data) in &chunks {
-                    store.insert(*cid, data.clone());
-                }
-                store
-            },
-            BatchSize::SmallInput,
-        )
+    r.bench("chunkstore/insert-evict-256", || {
+        let mut store = ChunkStore::new(64 * 1024, EvictionPolicy::Lru);
+        for (cid, data) in &chunks {
+            store.insert(*cid, data.clone());
+        }
+        black_box(&store);
     });
     let mut store = ChunkStore::new(usize::MAX, EvictionPolicy::Lru);
     for (cid, data) in &chunks {
         store.insert(*cid, data.clone());
     }
-    c.bench_function("chunkstore/get-hit", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            i = (i + 1) % chunks.len();
-            store.get(&chunks[i].0)
-        })
+    let mut i = 0usize;
+    r.bench("chunkstore/get-hit", || {
+        i = (i + 1) % chunks.len();
+        black_box(store.get(&chunks[i].0));
     });
 }
 
-fn bench_dag(c: &mut Criterion) {
+fn bench_dag(r: &mut Runner) {
     let cid = Xid::for_content(b"chunk");
     let nid = Xid::new_random(Principal::Nid, 1);
     let hid = Xid::new_random(Principal::Hid, 2);
-    c.bench_function("dag/cid_with_fallback", |b| {
-        b.iter(|| Dag::cid_with_fallback(cid, nid, hid))
+    r.bench("dag/cid_with_fallback", || {
+        black_box(Dag::cid_with_fallback(cid, nid, hid));
     });
     let dag = Dag::cid_with_fallback(cid, nid, hid);
-    c.bench_function("dag/rewrite_fallback", |b| b.iter(|| dag.with_fallback(nid, hid)));
+    r.bench("dag/rewrite_fallback", || {
+        black_box(dag.with_fallback(nid, hid));
+    });
 }
 
-criterion_group!(benches, bench_sha1, bench_chunker, bench_store, bench_dag);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::new("core_structures");
+    bench_sha1(&mut r);
+    bench_chunker(&mut r);
+    bench_store(&mut r);
+    bench_dag(&mut r);
+}

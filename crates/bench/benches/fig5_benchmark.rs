@@ -1,24 +1,19 @@
 //! Fig. 5 regeneration as a benchmark: each cell's full simulation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use softstage_experiments::fig5::{throughput, Proto, Segment};
+use util::bench::{black_box, Runner};
 
-fn fig5(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5");
-    g.sample_size(10);
+fn main() {
+    let mut r = Runner::new("fig5");
     for (proto, name) in [
         (Proto::LinuxTcp, "linux-tcp"),
         (Proto::Xstream, "xstream"),
         (Proto::XChunkP, "xchunkp"),
     ] {
         for (segment, seg_name) in [(Segment::Wired, "wired"), (Segment::Wireless, "wireless")] {
-            g.bench_function(format!("{name}/{seg_name}"), |b| {
-                b.iter(|| throughput(proto, segment, 1))
+            r.bench(&format!("{name}/{seg_name}"), || {
+                black_box(throughput(proto, segment, 1));
             });
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, fig5);
-criterion_main!(benches);

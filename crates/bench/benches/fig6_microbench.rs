@@ -1,10 +1,10 @@
 //! Fig. 6 micro-benchmark kernels at reduced scale (8 MB downloads), one
 //! per panel dimension.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use simnet::{SimDuration, SimTime};
 use softstage::SoftStageConfig;
 use softstage_experiments::{build, ExperimentParams, MB, MBPS};
+use util::bench::{black_box, Runner};
 
 fn run_once(params: &ExperimentParams, baseline: bool) -> f64 {
     let schedule = params.alternating_schedule(SimDuration::from_secs(2000));
@@ -27,9 +27,8 @@ fn small(mutator: impl FnOnce(&mut ExperimentParams)) -> ExperimentParams {
     p
 }
 
-fn fig6(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6-8MB");
-    g.sample_size(10);
+fn main() {
+    let mut r = Runner::new("fig6-8MB");
     let cases: Vec<(&str, ExperimentParams)> = vec![
         ("defaults", small(|_| {})),
         ("a-chunk-2MB", small(|p| p.chunk_size = 2 * MB)),
@@ -40,13 +39,11 @@ fn fig6(c: &mut Criterion) {
         ("f-rtt-100ms", small(|p| p.internet_rtt = SimDuration::from_millis(100))),
     ];
     for (name, params) in &cases {
-        g.bench_function(format!("softstage/{name}"), |b| {
-            b.iter(|| run_once(params, false))
+        r.bench(&format!("softstage/{name}"), || {
+            black_box(run_once(params, false));
         });
-        g.bench_function(format!("xftp/{name}"), |b| b.iter(|| run_once(params, true)));
+        r.bench(&format!("xftp/{name}"), || {
+            black_box(run_once(params, true));
+        });
     }
-    g.finish();
 }
-
-criterion_group!(benches, fig6);
-criterion_main!(benches);

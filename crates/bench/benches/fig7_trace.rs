@@ -1,10 +1,10 @@
 //! Fig. 7 trace replay at reduced scale (120 s trace).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use softstage_experiments::fig7;
+use util::bench::{black_box, Runner};
 use vehicular::{synthesize_wardriving, WardrivingParams};
 
-fn fig7_bench(c: &mut Criterion) {
+fn main() {
     let trace = synthesize_wardriving(
         "bench",
         WardrivingParams {
@@ -14,11 +14,8 @@ fn fig7_bench(c: &mut Criterion) {
         },
         3,
     );
-    let mut g = c.benchmark_group("fig7-120s");
-    g.sample_size(10);
-    g.bench_function("replay-both-clients", |b| b.iter(|| fig7::replay(&trace, 3)));
-    g.finish();
+    let mut r = Runner::new("fig7-120s");
+    r.bench("replay-both-clients", || {
+        black_box(fig7::replay(&trace, 3));
+    });
 }
-
-criterion_group!(benches, fig7_bench);
-criterion_main!(benches);

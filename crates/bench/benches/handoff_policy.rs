@@ -1,9 +1,9 @@
 //! §IV-D handoff policy comparison at reduced scale.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use simnet::{SimDuration, SimTime};
 use softstage::{HandoffPolicy, SoftStageConfig};
 use softstage_experiments::{build, ExperimentParams, MB};
+use util::bench::{black_box, Runner};
 use vehicular::CoverageSchedule;
 
 fn run_policy(policy: HandoffPolicy) -> f64 {
@@ -27,15 +27,12 @@ fn run_policy(policy: HandoffPolicy) -> f64 {
     result.completion.expect("finished").as_secs_f64()
 }
 
-fn handoff(c: &mut Criterion) {
-    let mut g = c.benchmark_group("handoff-16MB");
-    g.sample_size(10);
-    g.bench_function("default-policy", |b| b.iter(|| run_policy(HandoffPolicy::Default)));
-    g.bench_function("chunk-aware-policy", |b| {
-        b.iter(|| run_policy(HandoffPolicy::ChunkAware))
+fn main() {
+    let mut r = Runner::new("handoff-16MB");
+    r.bench("default-policy", || {
+        black_box(run_policy(HandoffPolicy::Default));
     });
-    g.finish();
+    r.bench("chunk-aware-policy", || {
+        black_box(run_policy(HandoffPolicy::ChunkAware));
+    });
 }
-
-criterion_group!(benches, handoff);
-criterion_main!(benches);

@@ -58,7 +58,7 @@ fn main() {
         println!("{}", t.render());
     }
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&tables).expect("tables serialize");
+        let json = util::json::ToJson::to_json(&tables).to_string_pretty();
         let mut f = std::fs::File::create(&path).expect("create json output");
         f.write_all(json.as_bytes()).expect("write json output");
         println!("wrote {path}");

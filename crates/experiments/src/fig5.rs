@@ -12,7 +12,7 @@
 //! Both a wired (100 Mbps) and an 802.11n-class wireless segment are
 //! measured, as in the paper.
 
-use bytes::Bytes;
+use util::bytes::Bytes;
 use simnet::{LinkConfig, SimDuration, SimTime, Simulator};
 use softstage_apps::{build_origin, SeqFetcher};
 use xia_addr::{Principal, Xid};

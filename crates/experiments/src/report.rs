@@ -2,10 +2,10 @@
 
 use std::fmt::Write as _;
 
-use serde::Serialize;
+use util::json::{Json, ToJson};
 
 /// One row of a reproduction table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Row label (parameter value, protocol name, ...).
     pub label: String,
@@ -16,7 +16,7 @@ pub struct Row {
 }
 
 /// A reproduction table for one figure/experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Identifier, e.g. `fig6a-chunk-size`.
     pub id: String,
@@ -69,6 +69,27 @@ impl Table {
     }
 }
 
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("label".into(), self.label.to_json()),
+            ("paper".into(), self.paper.to_json()),
+            ("measured".into(), self.measured.to_json()),
+        ])
+    }
+}
+
+impl ToJson for Table {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("id".into(), self.id.to_json()),
+            ("title".into(), self.title.to_json()),
+            ("unit".into(), self.unit.to_json()),
+            ("rows".into(), self.rows.to_json()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,7 +110,7 @@ mod tests {
     fn serializes_to_json() {
         let mut t = Table::new("x", "Example", "x");
         t.push("a", Some(1.0), 2.0);
-        let json = serde_json::to_string(&t).unwrap();
+        let json = t.to_json().to_string_compact();
         assert!(json.contains("\"measured\":2.0"));
     }
 }

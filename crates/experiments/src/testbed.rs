@@ -14,9 +14,7 @@
 //! overlaps); the wired "Internet" segment carries the emulated bottleneck
 //! (loss-throttled, as in the paper).
 
-use bytes::Bytes;
-use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
+use util::bytes::Bytes;
 use simnet::{LinkConfig, LinkId, NodeId, SimDuration, SimTime, Simulator};
 use softstage::{SoftStageClient, SoftStageConfig, StagingVnf};
 use softstage_apps::build_origin;
@@ -75,7 +73,7 @@ pub struct RunResult {
 
 /// Deterministic pseudo-random content of `len` bytes.
 pub fn generate_content(len: usize, seed: u64) -> Bytes {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+    let mut rng = simnet::Rng::seed_from_u64(seed ^ 0xC0FFEE);
     let mut data = vec![0u8; len];
     rng.fill_bytes(&mut data);
     Bytes::from(data)

@@ -8,6 +8,9 @@
 //!   bounded queues (tail drop), Bernoulli channel loss, and optional
 //!   802.11-style link-layer retransmission (ARQ),
 //! - link up/down dynamics (vehicular coverage gaps, handoffs),
+//! - deterministic [`fault`] injection: link flaps, burst loss windows,
+//!   packet corruption (caught by the receiver's wire checksum), node
+//!   crash/restart and cache wipes — all scheduled on the sim clock,
 //! - [`Node`]s as event-driven state machines receiving packets, timers and
 //!   link events through a [`Context`],
 //! - a seeded, deterministic random number generator: every simulation is a
@@ -54,14 +57,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod link;
 pub mod node;
+pub mod rng;
 pub mod sim;
 pub mod stats;
 pub mod time;
 
+pub use fault::{Fault, FaultPlan};
 pub use link::{ArqConfig, LinkConfig, LinkId};
-pub use node::{Context, Message, Node, NodeId, TimerKey};
+pub use node::{Context, Message, Node, NodeFault, NodeId, TimerKey};
+pub use rng::Rng;
 pub use sim::Simulator;
 pub use stats::{LinkStats, SimStats};
 pub use time::{SimDuration, SimTime};

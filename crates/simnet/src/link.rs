@@ -133,11 +133,17 @@ pub(crate) struct Direction {
 }
 
 /// Outcome of offering one packet to a link direction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub(crate) enum TxOutcome {
     /// Delivered to the far end at the contained time; `attempts` counts
-    /// transmissions (1 = no retries).
-    Deliver { at: SimTime, attempts: u32 },
+    /// transmissions (1 = no retries). A `corrupted` delivery arrives with
+    /// flipped bits: the receiver's wire checksum catches it and drops the
+    /// packet before parsing.
+    Deliver {
+        at: SimTime,
+        attempts: u32,
+        corrupted: bool,
+    },
     /// Dropped: transmit queue full.
     DropQueue,
     /// Dropped: channel loss exhausted ARQ retries (or no ARQ).
@@ -158,11 +164,18 @@ pub struct Link {
     pub(crate) epoch: u64,
     pub(crate) dir_ab: Direction,
     pub(crate) dir_ba: Direction,
+    /// Current per-attempt loss probability. Starts at `config.loss`; fault
+    /// injection (burst loss) can override and later restore it.
+    pub(crate) loss: f64,
+    /// Current probability that a *delivered* packet arrives with flipped
+    /// bits. Starts at zero; fault injection can raise it.
+    pub(crate) corrupt: f64,
 }
 
 impl Link {
     pub(crate) fn new(a: NodeId, b: NodeId, config: LinkConfig) -> Self {
         let up = config.initially_up;
+        let loss = config.loss;
         Link {
             a,
             b,
@@ -171,6 +184,8 @@ impl Link {
             epoch: 0,
             dir_ab: Direction::default(),
             dir_ba: Direction::default(),
+            loss,
+            corrupt: 0.0,
         }
     }
 
@@ -187,6 +202,31 @@ impl Link {
     /// Whether the link is currently up.
     pub fn is_up(&self) -> bool {
         self.up
+    }
+
+    /// The loss probability currently in effect (config value unless a
+    /// fault override is active).
+    pub fn current_loss(&self) -> f64 {
+        self.loss
+    }
+
+    /// The corruption probability currently in effect (zero unless a fault
+    /// override is active).
+    pub fn current_corruption(&self) -> f64 {
+        self.corrupt
+    }
+
+    /// Overrides channel quality; `None` leaves a parameter unchanged.
+    /// Used by the fault scheduler for burst loss and corruption windows.
+    pub(crate) fn set_quality(&mut self, loss: Option<f64>, corrupt: Option<f64>) {
+        if let Some(l) = loss {
+            assert!((0.0..=1.0).contains(&l), "loss must be in [0,1]");
+            self.loss = l;
+        }
+        if let Some(c) = corrupt {
+            assert!((0.0..=1.0).contains(&c), "corruption must be in [0,1]");
+            self.corrupt = c;
+        }
     }
 
     /// The peer of `node` on this link.
@@ -217,6 +257,8 @@ impl Link {
             return TxOutcome::DropDown;
         }
         let config = self.config.clone();
+        let loss = self.loss;
+        let corrupt = self.corrupt;
         let dir = if from == self.a {
             &mut self.dir_ab
         } else {
@@ -237,7 +279,7 @@ impl Link {
         let mut delivered = false;
         while attempts < max_attempts {
             attempts += 1;
-            if sample() >= config.loss {
+            if sample() >= loss {
                 delivered = true;
                 break;
             }
@@ -248,9 +290,14 @@ impl Link {
         }
         dir.busy_until = tx_start + occupancy;
         if delivered {
+            // Corruption is orthogonal to loss: the frame arrives, but bit
+            // flips make the receiver's checksum reject it. ARQ does not
+            // help because the link-layer ACK covers the frame as sent.
+            let corrupted = corrupt > 0.0 && sample() < corrupt;
             TxOutcome::Deliver {
                 at: dir.busy_until + config.latency,
                 attempts,
+                corrupted,
             }
         } else {
             TxOutcome::DropLoss { attempts }
@@ -290,7 +337,8 @@ mod tests {
             out,
             TxOutcome::Deliver {
                 at: SimTime::ZERO + SimDuration::from_millis(6),
-                attempts: 1
+                attempts: 1,
+                corrupted: false,
             }
         );
     }
@@ -357,7 +405,7 @@ mod tests {
         // First two attempts lose (sample 0.4 < 0.5), third succeeds.
         let mut samples = [0.4, 0.4, 0.9].into_iter();
         let out = l.transmit(NodeId(0), 1500, SimTime::ZERO, || samples.next().unwrap());
-        let TxOutcome::Deliver { at, attempts } = out else {
+        let TxOutcome::Deliver { at, attempts, .. } = out else {
             panic!("expected delivery");
         };
         assert_eq!(attempts, 3);
@@ -387,6 +435,32 @@ mod tests {
         let out = l.transmit(NodeId(0), 100, SimTime::from_micros(0), || 0.9);
         assert!(matches!(out, TxOutcome::Deliver { .. }));
         assert_eq!(l.epoch, 1);
+    }
+
+    #[test]
+    fn quality_overrides_apply_and_restore() {
+        let mut l = mk(LinkConfig::wired(12_000_000, SimDuration::ZERO));
+        assert_eq!(l.current_loss(), 0.0);
+        assert_eq!(l.current_corruption(), 0.0);
+
+        // Full corruption: frames arrive flagged corrupted.
+        l.set_quality(None, Some(1.0));
+        let out = l.transmit(NodeId(0), 100, SimTime::ZERO, || 0.9);
+        assert!(matches!(out, TxOutcome::Deliver { corrupted: true, .. }));
+
+        // Burst loss override drops everything.
+        l.set_quality(Some(1.0), None);
+        assert!(matches!(
+            l.transmit(NodeId(0), 100, SimTime::ZERO, || 0.5),
+            TxOutcome::DropLoss { .. }
+        ));
+
+        // Restoring returns the link to clean delivery.
+        l.set_quality(Some(0.0), Some(0.0));
+        assert!(matches!(
+            l.transmit(NodeId(0), 100, SimTime::ZERO, || 0.5),
+            TxOutcome::Deliver { corrupted: false, .. }
+        ));
     }
 
     #[test]

@@ -3,10 +3,8 @@
 use std::any::Any;
 use std::fmt;
 
-use rand::rngs::StdRng;
-use rand::Rng;
-
 use crate::link::{Link, LinkId};
+use crate::rng::Rng;
 use crate::time::{SimDuration, SimTime};
 
 /// Identifier of a node in the simulation.
@@ -55,6 +53,29 @@ pub trait Node<M: Message>: Any {
 
     /// Called when an attached link changes state (up/down).
     fn on_link_event(&mut self, _ctx: &mut Context<'_, M>, _link: LinkId, _up: bool) {}
+
+    /// Called when a scheduled fault (see [`crate::fault`]) hits this node.
+    ///
+    /// The default is a no-op: nodes that model no internal failure state
+    /// simply shrug faults off. Stateful nodes (hosts, routers, caches)
+    /// override this to drop volatile state on [`NodeFault::Crash`],
+    /// re-initialize on [`NodeFault::Restart`], and clear their content
+    /// store on [`NodeFault::CacheWipe`].
+    fn on_fault(&mut self, _ctx: &mut Context<'_, M>, _fault: NodeFault) {}
+}
+
+/// A fault injected into a node by the simulator's fault scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeFault {
+    /// The node's software crashes: volatile state (connections, timers,
+    /// application progress) is lost and the node stops responding until a
+    /// [`NodeFault::Restart`].
+    Crash,
+    /// The node's software restarts after a crash and re-initializes.
+    Restart,
+    /// The node's content cache is wiped (e.g. an operator flush or disk
+    /// failure) but the node keeps running.
+    CacheWipe,
 }
 
 /// An action requested by a node during a callback, applied by the
@@ -71,7 +92,7 @@ pub struct Context<'a, M: Message> {
     pub(crate) now: SimTime,
     pub(crate) node: NodeId,
     pub(crate) links: &'a [Link],
-    pub(crate) rng: &'a mut StdRng,
+    pub(crate) rng: &'a mut Rng,
     pub(crate) actions: Vec<Action<M>>,
 }
 
@@ -135,20 +156,19 @@ impl<'a, M: Message> Context<'a, M> {
     /// Draws a uniform random `f64` in `[0, 1)` from the simulation's
     /// deterministic generator.
     pub fn random_f64(&mut self) -> f64 {
-        self.rng.gen()
+        self.rng.next_f64()
     }
 
     /// Draws a uniform random `u64` from the simulation's deterministic
     /// generator.
     pub fn random_u64(&mut self) -> u64 {
-        self.rng.gen()
+        self.rng.next_u64()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[derive(Clone, Debug)]
     struct Msg;
@@ -160,7 +180,7 @@ mod tests {
 
     #[test]
     fn context_accumulates_actions_in_order() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let links = vec![];
         let mut ctx: Context<'_, Msg> = Context {
             now: SimTime::ZERO,
@@ -178,8 +198,8 @@ mod tests {
 
     #[test]
     fn random_is_deterministic_for_seed() {
-        let mut r1 = StdRng::seed_from_u64(9);
-        let mut r2 = StdRng::seed_from_u64(9);
+        let mut r1 = Rng::seed_from_u64(9);
+        let mut r2 = Rng::seed_from_u64(9);
         let links = vec![];
         let mut c1: Context<'_, Msg> = Context {
             now: SimTime::ZERO,

@@ -3,11 +3,9 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::link::{Link, LinkConfig, LinkId, TxOutcome};
-use crate::node::{Action, Context, Message, Node, NodeId, TimerKey};
+use crate::node::{Action, Context, Message, Node, NodeFault, NodeId, TimerKey};
+use crate::rng::Rng;
 use crate::stats::{LinkStats, SimStats};
 use crate::time::SimTime;
 
@@ -26,6 +24,15 @@ enum EventKind<M> {
     Timer { node: NodeId, key: TimerKey },
     /// An externally scripted link state change.
     LinkState { link: LinkId, up: bool },
+    /// A scheduled link-quality override (burst loss / corruption window);
+    /// `None` leaves that parameter unchanged.
+    LinkQuality {
+        link: LinkId,
+        loss: Option<f64>,
+        corrupt: Option<f64>,
+    },
+    /// A scheduled node fault (crash / restart / cache wipe).
+    NodeFault { node: NodeId, fault: NodeFault },
 }
 
 struct Event<M> {
@@ -60,7 +67,7 @@ pub struct Simulator<M: Message> {
     queue: BinaryHeap<Reverse<Event<M>>>,
     nodes: Vec<Option<Box<dyn Node<M>>>>,
     links: Vec<Link>,
-    rng: StdRng,
+    rng: Rng,
     stats: SimStats,
     started: bool,
     /// Hard cap on dispatched events, to catch runaway protocols.
@@ -76,7 +83,7 @@ impl<M: Message> Simulator<M> {
             queue: BinaryHeap::new(),
             nodes: Vec::new(),
             links: Vec::new(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             stats: SimStats::default(),
             started: false,
             event_limit: u64::MAX,
@@ -155,6 +162,27 @@ impl<M: Message> Simulator<M> {
         self.push(at, EventKind::Timer { node, key });
     }
 
+    /// Schedules a link-quality override at absolute time `at`: `loss`
+    /// and/or `corrupt` replace the link's current probabilities (`None`
+    /// leaves a parameter unchanged). Schedule a second event with the
+    /// original values to close a burst window — [`crate::fault::FaultPlan`]
+    /// does both ends for you.
+    pub fn schedule_link_quality(
+        &mut self,
+        at: SimTime,
+        link: LinkId,
+        loss: Option<f64>,
+        corrupt: Option<f64>,
+    ) {
+        self.push(at, EventKind::LinkQuality { link, loss, corrupt });
+    }
+
+    /// Schedules a node fault at absolute time `at`. The node's
+    /// [`Node::on_fault`] decides what state is lost.
+    pub fn schedule_node_fault(&mut self, at: SimTime, node: NodeId, fault: NodeFault) {
+        self.push(at, EventKind::NodeFault { node, fault });
+    }
+
     fn push(&mut self, at: SimTime, kind: EventKind<M>) {
         let seq = self.seq;
         self.seq += 1;
@@ -215,11 +243,23 @@ impl<M: Message> Simulator<M> {
         let to = link.peer_of(from);
         let now = self.time;
         let rng = &mut self.rng;
-        let outcome = link.transmit(from, wire, now, || rng.gen());
+        let outcome = link.transmit(from, wire, now, || rng.next_f64());
         let epoch = link.epoch;
         match outcome {
-            TxOutcome::Deliver { at, attempts } => {
+            TxOutcome::Deliver {
+                at,
+                attempts,
+                corrupted,
+            } => {
                 stats.attempts += u64::from(attempts);
+                if corrupted {
+                    // The frame arrives with flipped bits; the receiver's
+                    // wire checksum rejects it before parsing (see
+                    // `xia_wire::codec`), so from the node's perspective the
+                    // packet simply never existed.
+                    stats.corrupted += 1;
+                    return;
+                }
                 stats.delivered += 1;
                 stats.bytes_delivered += wire as u64;
                 self.push(
@@ -286,6 +326,17 @@ impl<M: Message> Simulator<M> {
                 self.with_node(node, |n, ctx| n.on_timer(ctx, key));
             }
             EventKind::LinkState { link, up } => self.apply_link_state(link, up),
+            EventKind::LinkQuality {
+                link,
+                loss,
+                corrupt,
+            } => {
+                self.links[link.0].set_quality(loss, corrupt);
+            }
+            EventKind::NodeFault { node, fault } => {
+                self.stats.faults += 1;
+                self.with_node(node, |n, ctx| n.on_fault(ctx, fault));
+            }
         }
         true
     }

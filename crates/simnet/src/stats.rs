@@ -17,6 +17,9 @@ pub struct LinkStats {
     pub dropped_down: u64,
     /// Packets discarded in flight by a down transition.
     pub dropped_in_flight: u64,
+    /// Packets delivered with flipped bits and rejected by the receiver's
+    /// wire checksum (fault injection only; see `simnet::fault`).
+    pub corrupted: u64,
     /// Total link-layer transmission attempts (≥ offered when ARQ retries).
     pub attempts: u64,
 }
@@ -40,6 +43,8 @@ pub struct SimStats {
     pub timers: u64,
     /// Packet arrivals dispatched.
     pub packets: u64,
+    /// Scheduled node faults dispatched (crashes, restarts, cache wipes).
+    pub faults: u64,
     /// Per-link counters, indexed by link id.
     pub links: Vec<LinkStats>,
 }
@@ -54,7 +59,9 @@ impl SimStats {
     pub fn total_lost(&self) -> u64 {
         self.links
             .iter()
-            .map(|l| l.lost + l.dropped_queue + l.dropped_down + l.dropped_in_flight)
+            .map(|l| {
+                l.lost + l.dropped_queue + l.dropped_down + l.dropped_in_flight + l.corrupted
+            })
             .sum()
     }
 }

@@ -56,10 +56,20 @@ pub struct SoftStageConfig {
     pub coordinator: CoordinatorConfig,
     /// Staging on/off; off gives the Xftp baseline.
     pub staging_enabled: bool,
-    /// Re-request staging for chunks pending longer than this.
+    /// Initial back-off before re-requesting staging for a pending chunk;
+    /// doubles per attempt (with deterministic jitter) up to
+    /// [`SoftStageConfig::stage_retry_cap`].
     pub stage_retry: SimDuration,
-    /// Back-off before retrying a failed origin fetch.
+    /// Upper bound on the staging-request retry back-off.
+    pub stage_retry_cap: SimDuration,
+    /// Total staging re-requests allowed per session before the client
+    /// gives up on staging and degrades to plain Xftp.
+    pub stage_retry_budget: u64,
+    /// Initial back-off before retrying a failed origin fetch; doubles per
+    /// consecutive failure up to [`SoftStageConfig::fetch_retry_cap`].
     pub fetch_retry: SimDuration,
+    /// Upper bound on the fetch retry back-off.
+    pub fetch_retry_cap: SimDuration,
     /// Chunks pre-staged into a handoff target (step ④).
     pub prestage_depth: usize,
     /// Housekeeping tick period.
@@ -74,11 +84,54 @@ impl Default for SoftStageConfig {
             coordinator: CoordinatorConfig::default(),
             staging_enabled: true,
             stage_retry: SimDuration::from_secs(2),
+            stage_retry_cap: SimDuration::from_secs(16),
+            stage_retry_budget: 64,
             fetch_retry: SimDuration::from_millis(500),
+            fetch_retry_cap: SimDuration::from_secs(8),
             prestage_depth: 4,
             tick: SimDuration::from_millis(500),
         }
     }
+}
+
+/// Staging-path state of the client (fault model, §recovery).
+///
+/// The paper's prototype falls back to the origin DAG silently when no
+/// Staging VNF answers; here the fallback is an explicit, observable state
+/// so experiments can count how often the recovery paths run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StagingMode {
+    /// A Staging VNF is known and staging requests flow normally.
+    #[default]
+    Active,
+    /// No reachable Staging VNF: fetches use origin DAGs until beacons
+    /// re-advertise a VNF (e.g. after a VNF restart).
+    OriginFallback,
+    /// The session's staging retry budget is exhausted: staging is off for
+    /// good and the client behaves exactly like plain Xftp.
+    Degraded,
+}
+
+/// Capped exponential back-off with deterministic jitter.
+///
+/// `base · 2^attempt`, clamped to `cap`, then jittered by ±25 % using an
+/// FNV-1a hash of `(salt, attempt)` — reruns of the same seed produce the
+/// same schedule, but distinct chunks don't retry in lock-step.
+fn backoff(base: SimDuration, cap: SimDuration, attempt: u32, salt: u64) -> SimDuration {
+    let exp = attempt.min(16);
+    let us = base
+        .as_micros()
+        .saturating_mul(1u64 << exp)
+        .min(cap.as_micros());
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in salt.to_be_bytes().iter().chain(&attempt.to_be_bytes()) {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    // Map the hash to [-250, 250] per-mille.
+    let jitter_pm = (h % 501) as i64 - 250;
+    let jittered = us as i64 + (us as i64 / 1000) * jitter_pm;
+    SimDuration::from_micros(jittered.max(1) as u64)
 }
 
 impl SoftStageConfig {
@@ -108,6 +161,16 @@ pub struct ClientStats {
     pub fallback_refetches: u64,
     /// Staging request messages sent.
     pub stage_requests: u64,
+    /// Staging requests re-issued after a timeout (back-off retries).
+    pub stage_retries: u64,
+    /// Origin fetches retried after a failure (back-off retries).
+    pub fetch_retries: u64,
+    /// Transitions into [`StagingMode::OriginFallback`] (no reachable VNF).
+    pub origin_fallbacks: u64,
+    /// Times a VNF was re-discovered after a fallback (e.g. VNF restart).
+    pub vnf_rediscoveries: u64,
+    /// Whether the staging retry budget ran out ([`StagingMode::Degraded`]).
+    pub degraded: bool,
     /// Payload bytes downloaded.
     pub bytes_fetched: u64,
 }
@@ -136,6 +199,11 @@ pub struct SoftStageClient {
     in_flight: Option<InFlightFetch>,
     pending_handoff: Option<Xid>,
     current_vnf: Option<Dag>,
+    mode: StagingMode,
+    /// Consecutive failures of the current origin fetch (back-off input).
+    fetch_attempts: u32,
+    /// Staging re-requests spent so far (bounded by `stage_retry_budget`).
+    stage_retry_spent: u64,
     /// Outstanding staging-request send times by token (RTT measurement).
     sent_tokens: HashMap<u64, SimTime>,
     /// When coverage was last lost (for reactive gap measurement).
@@ -162,6 +230,9 @@ impl SoftStageClient {
             in_flight: None,
             pending_handoff: None,
             current_vnf: None,
+            mode: StagingMode::Active,
+            fetch_attempts: 0,
+            stage_retry_spent: 0,
             sent_tokens: HashMap::new(),
             detached_at: None,
             stats: ClientStats::default(),
@@ -200,6 +271,33 @@ impl SoftStageClient {
         self.content_hash.clone().finalize()
     }
 
+    /// Current staging-path state.
+    pub fn mode(&self) -> StagingMode {
+        self.mode
+    }
+
+    /// Staging is off for this session: either configured off (Xftp
+    /// baseline) or degraded after exhausting the retry budget.
+    fn staging_off(&self) -> bool {
+        !self.config.staging_enabled || self.mode == StagingMode::Degraded
+    }
+
+    /// Permanently gives up on staging: every unfetched chunk goes back to
+    /// its origin DAG and the client continues as plain Xftp.
+    fn degrade(&mut self) {
+        self.mode = StagingMode::Degraded;
+        self.stats.degraded = true;
+        for i in 0..self.profile.len() {
+            let pending = self
+                .profile
+                .get(i)
+                .is_some_and(|r| r.staging_state == StagingState::Pending);
+            if pending {
+                self.profile.mark_fallback(i);
+            }
+        }
+    }
+
     fn start_next_fetch(&mut self, ctx: &mut HostCtx<'_, '_>) {
         if self.done || self.in_flight.is_some() {
             return;
@@ -225,13 +323,25 @@ impl SoftStageClient {
 
     /// The Staging Coordinator: keep the staged-ahead depth at target.
     fn maybe_stage(&mut self, ctx: &mut HostCtx<'_, '_>) {
-        if !self.config.staging_enabled || self.done {
+        if self.staging_off() || self.done {
             return;
         }
         let Some(vnf) = self.current_vnf.clone() else {
-            // Fault tolerance: no Staging VNF here; fetches use raw DAGs.
+            // Fault tolerance: no Staging VNF reachable here. Enter the
+            // explicit origin-fallback state; fetches use raw DAGs until a
+            // beacon re-advertises a VNF.
+            if self.mode == StagingMode::Active {
+                self.mode = StagingMode::OriginFallback;
+                self.stats.origin_fallbacks += 1;
+            }
             return;
         };
+        if self.mode == StagingMode::OriginFallback {
+            // A VNF came (back) into reach — e.g. it restarted, or a
+            // handoff brought us into a provisioned network.
+            self.mode = StagingMode::Active;
+            self.stats.vnf_rediscoveries += 1;
+        }
         let ahead = self.profile.staged_ahead(self.next_fetch);
         let deficit = self.coordinator.deficit(ahead);
         if deficit == 0 {
@@ -325,6 +435,17 @@ impl App for SoftStageClient {
 
     fn on_beacon(&mut self, ctx: &mut HostCtx<'_, '_>, link: LinkId, beacon: &Beacon) {
         let _ = self.roamer.on_beacon(ctx, link, beacon);
+        // VNF re-discovery: while associated but without a known VNF (it
+        // crashed, or never advertised), pick up a newly advertised one
+        // from the sensor and resume staging.
+        if self.current_vnf.is_none() && !self.staging_off() {
+            if let RoamState::Associated { nid } = self.roamer.state() {
+                self.current_vnf = self.roamer.sensor.vnf_of(&nid, ctx.now()).cloned();
+                if self.current_vnf.is_some() {
+                    self.maybe_stage(ctx);
+                }
+            }
+        }
         self.handle_handoff_opportunity(ctx);
     }
 
@@ -344,14 +465,28 @@ impl App for SoftStageClient {
                 }
             }
             TICK_TIMER => {
-                // Re-issue staging for requests lost in the air.
-                let stale = self
-                    .profile
-                    .stale_pending(ctx.now(), self.config.stage_retry);
-                for idx in stale {
-                    if let Some(r) = self.profile.get_mut(idx) {
-                        r.staging_state = StagingState::Blank;
-                        r.pending_since = None;
+                // Re-issue staging for requests lost in the air, each
+                // chunk on its own capped-exponential back-off schedule.
+                let (base, cap) = (self.config.stage_retry, self.config.stage_retry_cap);
+                let stale = self.profile.stale_pending_with(ctx.now(), |r| {
+                    let salt = u64::from_be_bytes(r.cid.id()[..8].try_into().expect("8"));
+                    backoff(base, cap, r.stage_attempts.saturating_sub(1), salt)
+                });
+                if !stale.is_empty() && !self.staging_off() {
+                    let budget = self.config.stage_retry_budget;
+                    for idx in stale {
+                        if self.stage_retry_spent >= budget {
+                            // Retry budget exhausted: stop staging for
+                            // good and finish the download as plain Xftp.
+                            self.degrade();
+                            break;
+                        }
+                        self.stage_retry_spent += 1;
+                        self.stats.stage_retries += 1;
+                        if let Some(r) = self.profile.get_mut(idx) {
+                            r.staging_state = StagingState::Blank;
+                            r.pending_since = None;
+                        }
                     }
                 }
                 self.maybe_stage(ctx);
@@ -373,7 +508,7 @@ impl App for SoftStageClient {
         _from: Dag,
         _service: Xid,
         token: u64,
-        body: &bytes::Bytes,
+        body: &util::bytes::Bytes,
     ) {
         let Some(StagingMsg::Staged {
             cid,
@@ -418,6 +553,7 @@ impl App for SoftStageClient {
         }
         match result {
             FetchResult::Complete(bytes) => {
+                self.fetch_attempts = 0;
                 let latency = ctx.now() - fetch.started;
                 self.profile.mark_fetched(fetch.idx, latency);
                 if fetch.staged {
@@ -456,7 +592,17 @@ impl App for SoftStageClient {
                     self.stats.fallback_refetches += 1;
                     self.start_next_fetch(ctx);
                 } else {
-                    ctx.set_app_timer(self.config.fetch_retry, FETCH_RETRY_TIMER as u32);
+                    // Origin fetch failed: retry with capped exponential
+                    // back-off so a down origin isn't hammered.
+                    let delay = backoff(
+                        self.config.fetch_retry,
+                        self.config.fetch_retry_cap,
+                        self.fetch_attempts,
+                        fetch.idx as u64,
+                    );
+                    self.fetch_attempts = self.fetch_attempts.saturating_add(1);
+                    self.stats.fetch_retries += 1;
+                    ctx.set_app_timer(delay, FETCH_RETRY_TIMER as u32);
                 }
             }
         }

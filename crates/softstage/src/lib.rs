@@ -36,7 +36,7 @@ pub mod messages;
 pub mod profile;
 pub mod vnf;
 
-pub use client::{ClientStats, HandoffPolicy, SoftStageClient, SoftStageConfig};
+pub use client::{ClientStats, HandoffPolicy, SoftStageClient, SoftStageConfig, StagingMode};
 pub use coordinator::{CoordinatorConfig, Ewma, StagingCoordinator};
 pub use messages::StagingMsg;
 pub use profile::{ChunkProfile, ChunkRecord, FetchState, StagingState};

@@ -4,12 +4,12 @@
 //! retries stale requests, and the VNF answers idempotently (a chunk
 //! already staged is re-acknowledged immediately).
 
-use bytes::Bytes;
-use serde::{Deserialize, Serialize};
+use util::bytes::Bytes;
+use util::json::{FromJson, Json, JsonError, ToJson};
 use xia_addr::{Dag, Xid};
 
 /// A staging message body.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum StagingMsg {
     /// Manager → VNF: stage these chunks from their origin addresses
     /// (step ④ in the paper's Fig. 2).
@@ -33,15 +33,74 @@ pub enum StagingMsg {
     },
 }
 
+impl ToJson for StagingMsg {
+    fn to_json(&self) -> Json {
+        match self {
+            StagingMsg::Request { chunks } => {
+                let chunks = chunks
+                    .iter()
+                    .map(|(cid, dag)| Json::Arr(vec![cid.to_json(), dag.to_json()]))
+                    .collect();
+                Json::Obj(vec![("request".into(), Json::Arr(chunks))])
+            }
+            StagingMsg::Staged {
+                cid,
+                ok,
+                staging_latency_us,
+                nid,
+                hid,
+            } => Json::Obj(vec![(
+                "staged".into(),
+                Json::Obj(vec![
+                    ("cid".into(), cid.to_json()),
+                    ("ok".into(), ok.to_json()),
+                    ("staging_latency_us".into(), staging_latency_us.to_json()),
+                    ("nid".into(), nid.to_json()),
+                    ("hid".into(), hid.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for StagingMsg {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if let Ok(chunks) = v.field("request") {
+            let chunks = chunks
+                .as_arr()
+                .ok_or_else(|| JsonError::new("request must be an array"))?
+                .iter()
+                .map(|pair| {
+                    let pair = pair
+                        .as_arr()
+                        .filter(|p| p.len() == 2)
+                        .ok_or_else(|| JsonError::new("chunk entry must be a [cid, dag] pair"))?;
+                    Ok((Xid::from_json(&pair[0])?, Dag::from_json(&pair[1])?))
+                })
+                .collect::<Result<Vec<_>, JsonError>>()?;
+            return Ok(StagingMsg::Request { chunks });
+        }
+        let s = v.field("staged")?;
+        Ok(StagingMsg::Staged {
+            cid: Xid::from_json(s.field("cid")?)?,
+            ok: bool::from_json(s.field("ok")?)?,
+            staging_latency_us: u64::from_json(s.field("staging_latency_us")?)?,
+            nid: Xid::from_json(s.field("nid")?)?,
+            hid: Xid::from_json(s.field("hid")?)?,
+        })
+    }
+}
+
 impl StagingMsg {
     /// Serializes the message for a control datagram body.
     pub fn encode(&self) -> Bytes {
-        Bytes::from(serde_json::to_vec(self).expect("staging messages are serializable"))
+        Bytes::from(self.to_json().to_string_compact().into_bytes())
     }
 
     /// Parses a control datagram body.
     pub fn decode(body: &[u8]) -> Option<StagingMsg> {
-        serde_json::from_slice(body).ok()
+        let text = std::str::from_utf8(body).ok()?;
+        StagingMsg::from_json(&Json::parse(text).ok()?).ok()
     }
 }
 

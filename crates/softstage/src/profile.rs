@@ -50,6 +50,9 @@ pub struct ChunkRecord {
     pub location: Option<(Xid, Xid)>,
     /// When the outstanding staging request was sent.
     pub pending_since: Option<SimTime>,
+    /// Staging requests sent for this chunk so far (drives the retry
+    /// back-off; never reset, so re-requests keep slowing down).
+    pub stage_attempts: u32,
     /// Time to fetch this chunk to the client, once measured.
     pub fetch_latency: Option<SimDuration>,
     /// Time the VNF took to stage this chunk from the origin.
@@ -102,6 +105,7 @@ impl ChunkProfile {
             staging_state: StagingState::Blank,
             location: None,
             pending_since: None,
+            stage_attempts: 0,
             fetch_latency: None,
             staging_latency: None,
         });
@@ -146,6 +150,7 @@ impl ChunkProfile {
         let r = &mut self.records[idx];
         r.staging_state = StagingState::Pending;
         r.pending_since = Some(now);
+        r.stage_attempts = r.stage_attempts.saturating_add(1);
     }
 
     /// Records a successful staging reply for `cid`.
@@ -210,12 +215,22 @@ impl ChunkProfile {
     /// Indices whose staging request has been outstanding longer than
     /// `timeout` at `now` (control datagrams are best-effort; retry).
     pub fn stale_pending(&self, now: SimTime, timeout: SimDuration) -> Vec<usize> {
+        self.stale_pending_with(now, |_| timeout)
+    }
+
+    /// Like [`ChunkProfile::stale_pending`], but with a per-record timeout
+    /// (used for the Staging Manager's per-chunk retry back-off).
+    pub fn stale_pending_with(
+        &self,
+        now: SimTime,
+        timeout_for: impl Fn(&ChunkRecord) -> SimDuration,
+    ) -> Vec<usize> {
         self.records
             .iter()
             .enumerate()
             .filter(|(_, r)| {
                 r.staging_state == StagingState::Pending
-                    && r.pending_since.is_some_and(|t| now - t > timeout)
+                    && r.pending_since.is_some_and(|t| now - t > timeout_for(r))
             })
             .map(|(i, _)| i)
             .collect()

@@ -109,13 +109,24 @@ impl App for StagingVnf {
         ctx.register_service(self.sid);
     }
 
+    fn on_fault(&mut self, _ctx: &mut HostCtx<'_, '_>, fault: simnet::NodeFault) {
+        if fault == simnet::NodeFault::Crash {
+            // Volatile fetch bookkeeping dies with the process; clients
+            // whose requests were in flight re-request after their
+            // staging timeout. The restart re-registers the SID via
+            // `on_start`.
+            self.fetches.clear();
+            self.waiters.clear();
+        }
+    }
+
     fn on_control(
         &mut self,
         ctx: &mut HostCtx<'_, '_>,
         from: Dag,
         service: Xid,
         token: u64,
-        body: &bytes::Bytes,
+        body: &util::bytes::Bytes,
     ) {
         if service != self.sid {
             return;

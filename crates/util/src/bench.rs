@@ -1,0 +1,149 @@
+//! A wall-clock micro-benchmark harness, replacing `criterion`.
+//!
+//! Bench binaries (`harness = false`) build a [`Runner`], register
+//! closures, and get a per-iteration timing table on stdout:
+//!
+//! ```no_run
+//! let mut r = util::bench::Runner::new("codec");
+//! r.bench("encode_segment", || {
+//!     // work under test
+//! });
+//! ```
+//!
+//! Each bench auto-calibrates: the closure is warmed up, then batched so
+//! one timed sample lasts long enough for the clock to resolve, and the
+//! median of several samples is reported (robust to scheduler noise).
+
+use std::time::Instant;
+
+/// Re-export of the optimizer barrier for bench bodies.
+pub use std::hint::black_box;
+
+/// Target wall-clock time for one timed sample.
+const SAMPLE_TARGET_NS: u128 = 20_000_000; // 20 ms
+/// Number of timed samples per bench; the median is reported.
+const SAMPLES: usize = 9;
+
+/// Timing summary for one registered bench.
+#[derive(Debug, Clone)]
+pub struct Timing {
+    /// Bench name as registered.
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations per timed sample after calibration.
+    pub iters_per_sample: u64,
+}
+
+impl Timing {
+    fn throughput(&self) -> String {
+        if self.ns_per_iter <= 0.0 {
+            return "-".to_string();
+        }
+        let per_sec = 1e9 / self.ns_per_iter;
+        if per_sec >= 1e6 {
+            format!("{:.2} M/s", per_sec / 1e6)
+        } else if per_sec >= 1e3 {
+            format!("{:.2} K/s", per_sec / 1e3)
+        } else {
+            format!("{per_sec:.2} /s")
+        }
+    }
+}
+
+/// Collects and prints benches for one suite (one bench binary).
+pub struct Runner {
+    suite: String,
+    results: Vec<Timing>,
+}
+
+impl Runner {
+    /// Starts a suite; prints a header immediately.
+    pub fn new(suite: &str) -> Self {
+        println!("suite {suite}");
+        println!("{:<40} {:>14} {:>14} {:>12}", "bench", "ns/iter", "throughput", "iters");
+        Runner {
+            suite: suite.to_string(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Calibrates, times and reports one bench.
+    pub fn bench(&mut self, name: &str, mut f: impl FnMut()) {
+        // Warm-up and calibration: grow the batch size until one batch
+        // takes at least the sample target.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let elapsed = t.elapsed().as_nanos();
+            if elapsed >= SAMPLE_TARGET_NS || iters >= 1 << 30 {
+                break;
+            }
+            // Aim straight for the target, with headroom for jitter.
+            let scale = if elapsed == 0 {
+                16
+            } else {
+                ((SAMPLE_TARGET_NS as f64 / elapsed as f64) * 1.2).ceil() as u64
+            };
+            iters = (iters.saturating_mul(scale.max(2))).min(1 << 30);
+        }
+
+        let mut samples: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    f();
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+
+        let timing = Timing {
+            name: name.to_string(),
+            ns_per_iter: median,
+            iters_per_sample: iters,
+        };
+        println!(
+            "{:<40} {:>14.1} {:>14} {:>12}",
+            timing.name,
+            timing.ns_per_iter,
+            timing.throughput(),
+            timing.iters_per_sample
+        );
+        self.results.push(timing);
+    }
+
+    /// The timings collected so far, in registration order.
+    pub fn results(&self) -> &[Timing] {
+        &self.results
+    }
+
+    /// Suite name, as passed to [`Runner::new`].
+    pub fn suite(&self) -> &str {
+        &self.suite
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrates_and_reports_a_cheap_bench() {
+        let mut r = Runner::new("selftest");
+        let mut acc = 0u64;
+        r.bench("wrapping_add", || {
+            acc = black_box(acc.wrapping_add(3));
+        });
+        let t = &r.results()[0];
+        assert_eq!(t.name, "wrapping_add");
+        assert!(t.ns_per_iter >= 0.0);
+        assert!(t.iters_per_sample >= 1);
+        assert_eq!(r.suite(), "selftest");
+    }
+}

@@ -1,0 +1,303 @@
+//! Cheap-clone byte buffers, replacing the `bytes` crate.
+//!
+//! [`Bytes`] is an immutable, reference-counted view into a shared
+//! allocation: cloning or slicing never copies payload bytes, which keeps
+//! multi-megabyte chunks cheap to pass between the cache, transport and
+//! applications. [`BytesMut`] is a growable builder with big-endian
+//! integer appends that freezes into a [`Bytes`].
+
+use std::fmt;
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// An immutable, cheaply cloneable slice view of shared bytes.
+///
+/// # Examples
+///
+/// ```
+/// use util::bytes::Bytes;
+/// let b = Bytes::from(vec![1u8, 2, 3, 4]);
+/// let tail = b.slice(2..);
+/// assert_eq!(&tail[..], &[3, 4]);
+/// assert_eq!(b.len(), 4); // the original view is unchanged
+/// ```
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation is shared).
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copies `slice` into a new shared buffer.
+    pub fn copy_from_slice(slice: &[u8]) -> Self {
+        Bytes::from(slice.to_vec())
+    }
+
+    /// Wraps a static byte slice (copies once; the name mirrors the
+    /// `bytes` crate's constructor for drop-in compatibility).
+    pub fn from_static(slice: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(slice)
+    }
+
+    /// Length of the view in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A sub-view of this buffer sharing the same allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(lo <= hi && hi <= len, "slice {lo}..{hi} out of range for length {len}");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// Copies the view into an owned `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let data: Arc<[u8]> = v.into();
+        let end = data.len();
+        Bytes { data, start: 0, end }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(s: &[u8; N]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self[..] == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        &self[..] == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
+    }
+}
+
+/// A growable byte builder that freezes into a [`Bytes`].
+///
+/// Integer appends are big-endian, matching the workspace's wire formats.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty builder.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty builder with pre-reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a big-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a byte slice.
+    pub fn put_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+
+    /// Converts the accumulated bytes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_shares_allocation_without_copying() {
+        let b = Bytes::from((0u8..=99).collect::<Vec<_>>());
+        let mid = b.slice(10..20);
+        assert_eq!(&mid[..], &(10u8..20).collect::<Vec<_>>()[..]);
+        let tail = mid.slice(5..);
+        assert_eq!(tail.len(), 5);
+        assert_eq!(tail[0], 15);
+        // The clone is a pointer bump, not a copy.
+        assert_eq!(Arc::strong_count(&b.data), 3);
+    }
+
+    #[test]
+    fn slice_forms() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        assert_eq!(&b.slice(..)[..], &[1, 2, 3, 4, 5]);
+        assert_eq!(&b.slice(..2)[..], &[1, 2]);
+        assert_eq!(&b.slice(3..)[..], &[4, 5]);
+        assert_eq!(&b.slice(1..=2)[..], &[2, 3]);
+        assert!(b.slice(5..).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_out_of_range_panics() {
+        let b = Bytes::from(vec![0u8; 3]);
+        let _ = b.slice(2..5);
+    }
+
+    #[test]
+    fn equality_across_types() {
+        let b = Bytes::from(vec![7u8, 8]);
+        assert_eq!(b, Bytes::copy_from_slice(&[7, 8]));
+        assert_eq!(b, [7u8, 8]);
+        assert_eq!(b, vec![7u8, 8]);
+        assert_eq!(b, &[7u8, 8][..]);
+        assert_ne!(b, Bytes::new());
+    }
+
+    #[test]
+    fn builder_big_endian_layout() {
+        let mut m = BytesMut::with_capacity(32);
+        m.put_u8(0xAB);
+        m.put_u16(0x0102);
+        m.put_u32(0x03040506);
+        m.put_u64(0x0708090A0B0C0D0E);
+        m.put_slice(b"xy");
+        let b = m.freeze();
+        assert_eq!(
+            &b[..],
+            &[0xAB, 1, 2, 3, 4, 5, 6, 7, 8, 9, 0x0A, 0x0B, 0x0C, 0x0D, 0x0E, b'x', b'y']
+        );
+    }
+
+    #[test]
+    fn empty_and_static() {
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::from_static(b"hi"), *b"hi");
+    }
+}

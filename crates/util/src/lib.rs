@@ -1,0 +1,29 @@
+//! Zero-dependency building blocks shared by the whole workspace.
+//!
+//! The reproduction must build and test with **no network and no external
+//! crates** — a registry outage or an air-gapped machine must never stop
+//! `cargo build --release && cargo test -q`. This crate provides the small
+//! slices of third-party functionality the workspace actually uses:
+//!
+//! - [`bytes`]: a cheap-clone, reference-counted byte buffer
+//!   ([`bytes::Bytes`]) and a growable builder ([`bytes::BytesMut`]),
+//!   replacing the `bytes` crate,
+//! - [`json`]: a minimal JSON value model, writer and parser, replacing
+//!   `serde`/`serde_json` for trace files, staging messages and experiment
+//!   reports,
+//! - [`check`]: a seeded property-test harness with shrink-on-fail,
+//!   replacing `proptest` in the workspace's property tests,
+//! - [`bench`]: a wall-clock micro-benchmark harness, replacing
+//!   `criterion` for the reproduction's figure benches.
+//!
+//! Everything here is deterministic where it matters: the property harness
+//! derives its cases from a fixed per-property seed, so CI failures
+//! reproduce locally.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod bytes;
+pub mod check;
+pub mod json;

@@ -1,10 +1,10 @@
 //! Coverage schedules: when the vehicle is inside which network's range.
 
-use serde::{Deserialize, Serialize};
 use simnet::{SimDuration, SimTime};
+use util::json::{FromJson, Json, JsonError, ToJson};
 
 /// One contiguous interval of coverage by one network.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoverageInterval {
     /// Index of the covering network (into the experiment's network list).
     pub network: usize,
@@ -48,7 +48,7 @@ impl CoverageInterval {
 }
 
 /// The full coverage schedule of one drive.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CoverageSchedule {
     /// Coverage intervals, sorted by start time.
     pub intervals: Vec<CoverageInterval>,
@@ -178,6 +178,46 @@ impl CoverageSchedule {
     }
 }
 
+impl ToJson for CoverageInterval {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("network".into(), self.network.to_json()),
+            ("start_us".into(), self.start_us.to_json()),
+            ("end_us".into(), self.end_us.to_json()),
+            ("peak_rss_dbm".into(), self.peak_rss_dbm.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CoverageInterval {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(CoverageInterval {
+            network: usize::from_json(v.field("network")?)?,
+            start_us: u64::from_json(v.field("start_us")?)?,
+            end_us: u64::from_json(v.field("end_us")?)?,
+            peak_rss_dbm: f64::from_json(v.field("peak_rss_dbm")?)?,
+        })
+    }
+}
+
+impl ToJson for CoverageSchedule {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("intervals".into(), self.intervals.to_json()),
+            ("networks".into(), self.networks.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CoverageSchedule {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(CoverageSchedule {
+            intervals: Vec::from_json(v.field("intervals")?)?,
+            networks: usize::from_json(v.field("networks")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,15 +302,15 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let s = CoverageSchedule::alternating(
             SimDuration::from_secs(3),
             SimDuration::from_secs(8),
             2,
             SimDuration::from_secs(20),
         );
-        let json = serde_json::to_string(&s).unwrap();
-        let back: CoverageSchedule = serde_json::from_str(&json).unwrap();
+        let json = s.to_json().to_string_compact();
+        let back = CoverageSchedule::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, s);
     }
 }

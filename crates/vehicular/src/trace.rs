@@ -7,15 +7,13 @@
 //! with the same qualitative structure: alternating connected bursts and
 //! short gaps tuned to a target coverage fraction.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
-use simnet::{SimDuration, SimTime};
+use simnet::{Rng, SimDuration, SimTime};
+use util::json::{FromJson, Json, JsonError, ToJson};
 
 use crate::schedule::{CoverageInterval, CoverageSchedule};
 
 /// One period of a binary connectivity trace.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TracePeriod {
     /// Period start, seconds from trace start.
     pub start_s: f64,
@@ -26,7 +24,7 @@ pub struct TracePeriod {
 }
 
 /// A binary (connected / disconnected) drive trace.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ConnectivityTrace {
     /// Human-readable origin of the trace.
     pub name: String,
@@ -65,13 +63,8 @@ impl ConnectivityTrace {
     }
 
     /// Serializes to the JSON trace format.
-    ///
-    /// # Errors
-    ///
-    /// Propagates JSON serialization errors (effectively infallible for
-    /// this type).
-    pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string_pretty(self)
+    pub fn to_json(&self) -> String {
+        ToJson::to_json(self).to_string_pretty()
     }
 
     /// Parses the JSON trace format.
@@ -80,8 +73,9 @@ impl ConnectivityTrace {
     ///
     /// Fails on malformed JSON or periods out of order / overlapping.
     pub fn from_json(json: &str) -> Result<Self, TraceError> {
-        let trace: ConnectivityTrace =
-            serde_json::from_str(json).map_err(|_| TraceError::Malformed)?;
+        let value = Json::parse(json).map_err(|_| TraceError::Malformed)?;
+        let trace = <ConnectivityTrace as FromJson>::from_json(&value)
+            .map_err(|_| TraceError::Malformed)?;
         trace.validate()?;
         Ok(trace)
     }
@@ -135,6 +129,44 @@ impl ConnectivityTrace {
             net = (net + 1) % networks;
         }
         CoverageSchedule::new(intervals)
+    }
+}
+
+impl ToJson for TracePeriod {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("start_s".into(), self.start_s.to_json()),
+            ("end_s".into(), self.end_s.to_json()),
+            ("connected".into(), self.connected.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TracePeriod {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(TracePeriod {
+            start_s: f64::from_json(v.field("start_s")?)?,
+            end_s: f64::from_json(v.field("end_s")?)?,
+            connected: bool::from_json(v.field("connected")?)?,
+        })
+    }
+}
+
+impl ToJson for ConnectivityTrace {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), self.name.to_json()),
+            ("periods".into(), self.periods.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ConnectivityTrace {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(ConnectivityTrace {
+            name: String::from_json(v.field("name")?)?,
+            periods: Vec::from_json(v.field("periods")?)?,
+        })
     }
 }
 
@@ -193,7 +225,7 @@ pub fn synthesize_wardriving(name: &str, params: WardrivingParams, seed: u64) ->
         "coverage must be in (0,1)"
     );
     assert!(params.mean_burst_s > 0.0 && params.total_s > 0.0);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mean_gap = params.mean_burst_s * (1.0 - params.coverage) / params.coverage;
     let mut periods = Vec::new();
     let mut t = 0.0f64;
@@ -205,7 +237,7 @@ pub fn synthesize_wardriving(name: &str, params: WardrivingParams, seed: u64) ->
             mean_gap
         };
         // Exponential draw, clamped to keep periods sensible (≥ 1 s).
-        let u: f64 = rng.gen_range(1e-6..1.0f64);
+        let u: f64 = rng.gen_range_f64(1e-6, 1.0);
         let dur = (-u.ln() * mean).max(1.0);
         let end = (t + dur).min(params.total_s);
         periods.push(TracePeriod {
@@ -239,7 +271,7 @@ mod tests {
     #[test]
     fn json_roundtrip_and_validation() {
         let t = ConnectivityTrace::from_binary_seconds("x", &[true, false, true]);
-        let json = t.to_json().unwrap();
+        let json = t.to_json();
         assert_eq!(ConnectivityTrace::from_json(&json).unwrap(), t);
         // Overlapping periods rejected.
         let bad = r#"{"name":"b","periods":[

@@ -1,7 +1,7 @@
 //! Splitting content into self-certifying chunks.
 
-use bytes::Bytes;
-use serde::{Deserialize, Serialize};
+use util::bytes::Bytes;
+use util::json::{FromJson, Json, JsonError, ToJson};
 use xia_addr::Xid;
 
 /// A manifest describing one published content object (e.g. a file): the
@@ -10,7 +10,7 @@ use xia_addr::Xid;
 /// In the paper's workflow the client application "contacts the server
 /// application to retrieve the content objects' DAG information"; the
 /// manifest is that information.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Manifest {
     /// Ordered chunk CIDs.
     pub chunks: Vec<Xid>,
@@ -32,6 +32,26 @@ impl Manifest {
     }
 }
 
+impl ToJson for Manifest {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("chunks".into(), self.chunks.to_json()),
+            ("chunk_size".into(), self.chunk_size.to_json()),
+            ("total_len".into(), self.total_len.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Manifest {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Manifest {
+            chunks: Vec::from_json(v.field("chunks")?)?,
+            chunk_size: usize::from_json(v.field("chunk_size")?)?,
+            total_len: u64::from_json(v.field("total_len")?)?,
+        })
+    }
+}
+
 /// Splits `content` into chunks of `chunk_size` bytes (the last chunk holds
 /// the remainder) and derives each chunk's CID from its payload.
 ///
@@ -44,7 +64,7 @@ impl Manifest {
 /// # Examples
 ///
 /// ```
-/// use bytes::Bytes;
+/// use util::bytes::Bytes;
 /// let content = Bytes::from(vec![7u8; 5000]);
 /// let (manifest, chunks) = xcache::chunker::chunk_content(&content, 2048);
 /// assert_eq!(manifest.len(), 3);

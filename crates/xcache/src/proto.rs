@@ -5,7 +5,7 @@
 //! sends a [`ChunkRequest`] frame, and the serving XCache answers with a
 //! response header followed by the raw chunk bytes, then closes.
 
-use bytes::{BufMut, Bytes, BytesMut};
+use util::bytes::{Bytes, BytesMut};
 use xia_addr::{Principal, Xid};
 
 /// Frame tag of a chunk request.

@@ -12,7 +12,7 @@
 
 use std::collections::HashMap;
 
-use bytes::Bytes;
+use util::bytes::Bytes;
 use xia_addr::Xid;
 use xia_wire::ConnId;
 

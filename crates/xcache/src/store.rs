@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use bytes::Bytes;
+use util::bytes::Bytes;
 use xia_addr::Xid;
 
 /// Eviction policy for unpinned chunks when the store exceeds capacity.
@@ -50,7 +50,7 @@ pub struct StoreStats {
 /// # Examples
 ///
 /// ```
-/// use bytes::Bytes;
+/// use util::bytes::Bytes;
 /// use xcache::store::{ChunkStore, EvictionPolicy};
 /// use xia_addr::Xid;
 ///
@@ -177,6 +177,24 @@ impl ChunkStore {
                 hits: 0,
             },
         );
+    }
+
+    /// Drops every cached (unpinned) chunk — the fault-injection "cache
+    /// wipe". Published (pinned) content survives: it models durable origin
+    /// storage, while cached copies are volatile. Returns how many chunks
+    /// were lost.
+    pub fn wipe(&mut self) -> usize {
+        let victims: Vec<Xid> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| !e.pinned)
+            .map(|(cid, _)| *cid)
+            .collect();
+        for cid in &victims {
+            let e = self.entries.remove(cid).expect("victim present");
+            self.used_bytes -= e.data.len();
+        }
+        victims.len()
     }
 
     /// Removes a chunk outright (e.g. invalidation).

@@ -14,7 +14,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use util::json::{FromJson, Json, JsonError, ToJson};
 
 use crate::xid::{Principal, Xid};
 
@@ -23,7 +23,7 @@ pub const SOURCE: usize = usize::MAX;
 
 /// A node in a [`Dag`]: an XID plus its priority-ordered out-edges
 /// (indices into the DAG's node list).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct DagNode {
     /// The identifier at this node.
     pub xid: Xid,
@@ -70,7 +70,7 @@ impl std::error::Error for DagError {}
 /// let dag = Dag::cid_with_fallback(cid, nid, hid);
 /// assert_eq!(dag.to_string(), format!("{} | {} : {}", cid, nid, hid));
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Dag {
     nodes: Vec<DagNode>,
     /// Source out-edges in priority order.
@@ -266,6 +266,43 @@ impl Dag {
     }
 }
 
+impl ToJson for DagNode {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("xid".into(), self.xid.to_json()),
+            ("edges".into(), self.edges.to_json()),
+        ])
+    }
+}
+
+impl FromJson for DagNode {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(DagNode {
+            xid: Xid::from_json(v.field("xid")?)?,
+            edges: Vec::from_json(v.field("edges")?)?,
+        })
+    }
+}
+
+impl ToJson for Dag {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("nodes".into(), self.nodes.to_json()),
+            ("entry".into(), self.entry.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Dag {
+    /// Deserialization re-validates through [`Dag::from_parts`], so a
+    /// hand-edited or corrupted document cannot produce a cyclic address.
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let nodes = Vec::from_json(v.field("nodes")?)?;
+        let entry = Vec::from_json(v.field("entry")?)?;
+        Dag::from_parts(nodes, entry).map_err(|e| JsonError::new(format!("invalid DAG: {e}")))
+    }
+}
+
 impl fmt::Display for Dag {
     /// Formats common shapes in the paper's notation (`CID | NID : HID`),
     /// falling back to an explicit node list for exotic DAGs.
@@ -427,11 +464,17 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip_and_validation() {
         let (cid, nid, hid) = xids();
         let dag = Dag::cid_with_fallback(cid, nid, hid);
-        let json = serde_json::to_string(&dag).unwrap();
-        let back: Dag = serde_json::from_str(&json).unwrap();
+        let json = dag.to_json().to_string_compact();
+        let back = Dag::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, dag);
+        // A document describing a cyclic graph is rejected at parse time.
+        let cyclic = Json::parse(&format!(
+            "{{\"nodes\":[{{\"xid\":\"{cid}\",\"edges\":[1]}},{{\"xid\":\"{nid}\",\"edges\":[0]}}],\"entry\":[0]}}"
+        ))
+        .unwrap();
+        assert!(Dag::from_json(&cyclic).is_err());
     }
 }

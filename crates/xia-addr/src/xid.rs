@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use util::json::{FromJson, Json, JsonError, ToJson};
 
 use crate::sha1;
 
@@ -11,9 +11,7 @@ use crate::sha1;
 /// XIA routers keep one forwarding table per principal type and may support
 /// only a subset of types; unsupported intents are skipped via DAG fallback
 /// edges.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Principal {
     /// Content identifier — hash of the chunk payload.
     Cid,
@@ -73,7 +71,7 @@ impl fmt::Display for Principal {
 /// assert_eq!(cid, Xid::for_content(b"chunk bytes"));
 /// assert_ne!(cid, Xid::for_content(b"other bytes"));
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Xid {
     principal: Principal,
     id: [u8; 20],
@@ -169,6 +167,20 @@ impl std::str::FromStr for Xid {
     }
 }
 
+impl ToJson for Xid {
+    /// XIDs serialize as their textual form, e.g. `"CID:<40 hex digits>"`.
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_text())
+    }
+}
+
+impl FromJson for Xid {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let text = v.as_str().ok_or_else(|| JsonError::new("expected XID string"))?;
+        Xid::from_text(text).map_err(|_| JsonError::new(format!("invalid XID `{text}`")))
+    }
+}
+
 /// Error returned when parsing an [`Xid`] from text fails.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParseXidError;
@@ -239,10 +251,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let xid = Xid::new_random(Principal::Cid, 3);
-        let json = serde_json::to_string(&xid).unwrap();
-        let back: Xid = serde_json::from_str(&json).unwrap();
+        let json = xid.to_json().to_string_compact();
+        let back = Xid::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, xid);
+        assert!(Xid::from_json(&Json::Str("CID:nothex".into())).is_err());
+        assert!(Xid::from_json(&Json::Int(5)).is_err());
     }
 }

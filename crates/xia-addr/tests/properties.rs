@@ -1,105 +1,121 @@
 //! Property-based tests for addressing invariants.
 
-use proptest::prelude::*;
+use util::check::{check, Gen};
 use xia_addr::{dag, sha1, Dag, DagNode, Principal, Xid};
 
-fn arb_principal() -> impl Strategy<Value = Principal> {
-    prop_oneof![
-        Just(Principal::Cid),
-        Just(Principal::Hid),
-        Just(Principal::Nid),
-        Just(Principal::Sid),
-    ]
+fn gen_principal(g: &mut Gen) -> Principal {
+    *g.choose(&Principal::ALL)
 }
 
-fn arb_xid() -> impl Strategy<Value = Xid> {
-    (arb_principal(), any::<[u8; 20]>()).prop_map(|(p, id)| Xid::new(p, id))
+fn gen_xid(g: &mut Gen) -> Xid {
+    let p = gen_principal(g);
+    let bytes = g.bytes(20);
+    let mut id = [0u8; 20];
+    id.copy_from_slice(&bytes);
+    Xid::new(p, id)
 }
 
-proptest! {
-    /// Text form always parses back to the identical XID.
-    #[test]
-    fn xid_text_roundtrip(xid in arb_xid()) {
+/// Text form always parses back to the identical XID.
+#[test]
+fn xid_text_roundtrip() {
+    check("xid_text_roundtrip", 256, |g| {
+        let xid = gen_xid(g);
         let text = xid.to_text();
-        prop_assert_eq!(Xid::from_text(&text).unwrap(), xid);
-    }
+        assert_eq!(Xid::from_text(&text).unwrap(), xid);
+    });
+}
 
-    /// CIDs are a pure function of content: equal content, equal CID;
-    /// hashing is consistent with the one-shot SHA-1.
-    #[test]
-    fn cid_matches_sha1(content in proptest::collection::vec(any::<u8>(), 0..2048)) {
+/// CIDs are a pure function of content: equal content, equal CID;
+/// hashing is consistent with the one-shot SHA-1.
+#[test]
+fn cid_matches_sha1() {
+    check("cid_matches_sha1", 64, |g| {
+        let len = g.usize_in(0, 2047);
+        let content = g.bytes(len);
         let cid = Xid::for_content(&content);
-        prop_assert_eq!(*cid.id(), sha1::sha1(&content));
-        prop_assert_eq!(cid, Xid::for_content(&content));
-    }
+        assert_eq!(*cid.id(), sha1::sha1(&content));
+        assert_eq!(cid, Xid::for_content(&content));
+    });
+}
 
-    /// Incremental hashing equals one-shot hashing for any split.
-    #[test]
-    fn sha1_incremental_equals_oneshot(
-        content in proptest::collection::vec(any::<u8>(), 0..4096),
-        split_frac in 0.0f64..1.0,
-    ) {
-        let split = ((content.len() as f64) * split_frac) as usize;
+/// Incremental hashing equals one-shot hashing for any split.
+#[test]
+fn sha1_incremental_equals_oneshot() {
+    check("sha1_incremental_equals_oneshot", 64, |g| {
+        let len = g.usize_in(0, 4095);
+        let content = g.bytes(len);
+        let split = if content.is_empty() {
+            0
+        } else {
+            g.usize_in(0, content.len())
+        };
         let mut h = sha1::Sha1::new();
         h.update(&content[..split]);
         h.update(&content[split..]);
-        prop_assert_eq!(h.finalize(), sha1::sha1(&content));
-    }
+        assert_eq!(h.finalize(), sha1::sha1(&content));
+    });
+}
 
-    /// The standard fallback DAG always preserves its intent under
-    /// fallback rewriting, and accessors agree with construction.
-    #[test]
-    fn fallback_rewrite_preserves_intent(
-        cid_seed in any::<u64>(),
-        nid_seed in any::<u64>(),
-        hid_seed in any::<u64>(),
-        new_nid_seed in any::<u64>(),
-        new_hid_seed in any::<u64>(),
-    ) {
-        let cid = Xid::new_random(Principal::Cid, cid_seed);
-        let nid = Xid::new_random(Principal::Nid, nid_seed);
-        let hid = Xid::new_random(Principal::Hid, hid_seed);
+/// The standard fallback DAG always preserves its intent under
+/// fallback rewriting, and accessors agree with construction.
+#[test]
+fn fallback_rewrite_preserves_intent() {
+    check("fallback_rewrite_preserves_intent", 256, |g| {
+        let cid = Xid::new_random(Principal::Cid, g.u64());
+        let nid = Xid::new_random(Principal::Nid, g.u64());
+        let hid = Xid::new_random(Principal::Hid, g.u64());
         let dag = Dag::cid_with_fallback(cid, nid, hid);
-        prop_assert_eq!(dag.intent(), cid);
-        prop_assert_eq!(dag.network(), Some(nid));
-        prop_assert_eq!(dag.fallback_host(), Some(hid));
-        let new_nid = Xid::new_random(Principal::Nid, new_nid_seed);
-        let new_hid = Xid::new_random(Principal::Hid, new_hid_seed);
+        assert_eq!(dag.intent(), cid);
+        assert_eq!(dag.network(), Some(nid));
+        assert_eq!(dag.fallback_host(), Some(hid));
+        let new_nid = Xid::new_random(Principal::Nid, g.u64());
+        let new_hid = Xid::new_random(Principal::Hid, g.u64());
         let moved = dag.with_fallback(new_nid, new_hid);
-        prop_assert_eq!(moved.intent(), cid);
-        prop_assert_eq!(moved.network(), Some(new_nid));
-    }
+        assert_eq!(moved.intent(), cid);
+        assert_eq!(moved.network(), Some(new_nid));
+    });
+}
 
-    /// `Dag::from_parts` never panics on arbitrary small graphs: it either
-    /// builds a DAG whose intent is a sink, or reports a structured error.
-    #[test]
-    fn from_parts_total(
-        xids in proptest::collection::vec(any::<u64>(), 1..6),
-        edges in proptest::collection::vec(
-            proptest::collection::vec(0usize..8, 0..3), 1..6),
-        entry in proptest::collection::vec(0usize..8, 0..4),
-    ) {
-        let n = xids.len().min(edges.len());
+/// `Dag::from_parts` never panics on arbitrary small graphs: it either
+/// builds a DAG whose intent is a sink, or reports a structured error.
+#[test]
+fn from_parts_total() {
+    check("from_parts_total", 512, |g| {
+        let n = g.usize_in(1, 5);
         let nodes: Vec<DagNode> = (0..n)
-            .map(|i| DagNode {
-                xid: Xid::new_random(Principal::Cid, xids[i]),
-                edges: edges[i].clone(),
+            .map(|_| {
+                let xid = Xid::new_random(Principal::Cid, g.u64());
+                let edges = g.vec_of(0, 2, |g| g.usize_in(0, 7));
+                DagNode { xid, edges }
             })
             .collect();
-        match Dag::from_parts(nodes, entry) {
-            Ok(dag) => {
-                let intent_idx = dag.intent_index();
-                prop_assert!(dag.out_edges(intent_idx).is_empty());
-                // Walking any edge chain from SOURCE terminates (acyclic).
-                let mut ptr = dag::SOURCE;
-                let mut steps = 0;
-                while let Some(&e) = dag.out_edges(ptr).first() {
-                    ptr = e;
-                    steps += 1;
-                    prop_assert!(steps <= n, "walk exceeded node count");
-                }
+        let entry = g.vec_of(0, 3, |g| g.usize_in(0, 7));
+        if let Ok(dag) = Dag::from_parts(nodes, entry) {
+            let intent_idx = dag.intent_index();
+            assert!(dag.out_edges(intent_idx).is_empty());
+            // Walking any edge chain from SOURCE terminates (acyclic).
+            let mut ptr = dag::SOURCE;
+            let mut steps = 0;
+            while let Some(&e) = dag.out_edges(ptr).first() {
+                ptr = e;
+                steps += 1;
+                assert!(steps <= n, "walk exceeded node count");
             }
-            Err(_) => {}
         }
-    }
+    });
+}
+
+/// JSON serialization round-trips and re-validates on parse.
+#[test]
+fn dag_json_roundtrip() {
+    use util::json::{FromJson, Json, ToJson};
+    check("dag_json_roundtrip", 128, |g| {
+        let cid = Xid::new_random(Principal::Cid, g.u64());
+        let nid = Xid::new_random(Principal::Nid, g.u64());
+        let hid = Xid::new_random(Principal::Hid, g.u64());
+        let dag = Dag::cid_with_fallback(cid, nid, hid);
+        let text = dag.to_json().to_string_compact();
+        let back = Dag::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, dag);
+    });
 }

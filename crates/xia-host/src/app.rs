@@ -2,8 +2,8 @@
 
 use std::any::Any;
 
-use bytes::Bytes;
-use simnet::LinkId;
+use util::bytes::Bytes;
+use simnet::{LinkId, NodeFault};
 use xia_addr::{Dag, Xid};
 use xia_transport::TransportEvent;
 use xia_wire::Beacon;
@@ -66,4 +66,11 @@ pub trait App: Any {
 
     /// A timer armed with [`HostCtx::set_app_timer`] expired.
     fn on_timer(&mut self, ctx: &mut HostCtx<'_, '_>, key: u64) {}
+
+    /// A node-level fault hit the hosting stack (fault injection). On
+    /// [`NodeFault::Crash`] apps should drop volatile bookkeeping; the
+    /// host re-runs [`App::on_start`] after the matching
+    /// [`NodeFault::Restart`], so timers and service registrations come
+    /// back by the normal path.
+    fn on_fault(&mut self, ctx: &mut HostCtx<'_, '_>, fault: NodeFault) {}
 }

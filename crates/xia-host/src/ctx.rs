@@ -2,7 +2,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use bytes::Bytes;
+use util::bytes::Bytes;
 use simnet::{Context as SimContext, LinkId, SimDuration, SimTime};
 use xia_addr::{Dag, Xid};
 use xia_transport::{TransportError, TransportEvent, TransportMux};

@@ -2,8 +2,8 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use bytes::Bytes;
-use simnet::{Context as SimContext, LinkId, Node, TimerKey};
+use util::bytes::Bytes;
+use simnet::{Context as SimContext, LinkId, Node, NodeFault, TimerKey};
 use xia_addr::{Dag, Principal, Xid};
 use xia_transport::{TransportConfig, TransportEvent, TransportMux};
 use xia_wire::{ConnId, L4, XiaPacket};
@@ -58,6 +58,9 @@ pub struct Host {
     fetchers: HashMap<ConnId, FetchState>,
     pending: VecDeque<TransportEvent>,
     outbox: Vec<XiaPacket>,
+    /// Crashed and not yet restarted: the stack drops all traffic, timers
+    /// and link events until a [`NodeFault::Restart`] arrives.
+    down: bool,
 }
 
 impl Host {
@@ -81,6 +84,7 @@ impl Host {
             fetchers: HashMap::new(),
             pending: VecDeque::new(),
             outbox: Vec::new(),
+            down: false,
         }
     }
 
@@ -214,6 +218,60 @@ impl Host {
         self.drain(ctx);
     }
 
+    /// Whether the stack is crashed and awaiting a restart.
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// Applies a node-level fault to this stack.
+    ///
+    /// - [`NodeFault::CacheWipe`]: cached (unpinned) chunks vanish;
+    ///   published content and everything else survive.
+    /// - [`NodeFault::Crash`]: all volatile state is lost — transport
+    ///   connections, fetch bookkeeping, queued packets, service
+    ///   registrations, cached chunks — and the stack goes down, dropping
+    ///   every upcall until it restarts.
+    /// - [`NodeFault::Restart`]: the stack comes back empty-handed and
+    ///   re-runs every app's [`App::on_start`] (re-arming timers and
+    ///   re-registering services), exactly like a fresh boot.
+    pub fn handle_fault(&mut self, ctx: &mut SimContext<'_, XiaPacket>, fault: NodeFault) {
+        match fault {
+            NodeFault::CacheWipe => {
+                self.store.wipe();
+                for idx in 0..self.apps.len() {
+                    self.with_app(ctx, idx, |app, hctx| app.on_fault(hctx, fault));
+                }
+                self.drain(ctx);
+            }
+            NodeFault::Crash => {
+                self.down = true;
+                self.mux.reset();
+                self.owners.clear();
+                self.fetchers.clear();
+                self.pending.clear();
+                self.outbox.clear();
+                self.meta.services.clear();
+                self.store.wipe();
+                for idx in 0..self.apps.len() {
+                    self.with_app(ctx, idx, |app, hctx| app.on_fault(hctx, fault));
+                }
+                // No drain: anything apps tried to emit died with the node.
+                self.pending.clear();
+                self.outbox.clear();
+            }
+            NodeFault::Restart => {
+                if !self.down {
+                    return;
+                }
+                self.down = false;
+                for idx in 0..self.apps.len() {
+                    self.with_app(ctx, idx, |app, hctx| app.on_fault(hctx, fault));
+                }
+                self.start(ctx);
+            }
+        }
+    }
+
     /// Handles a packet destined to this stack.
     pub fn handle_packet(
         &mut self,
@@ -221,6 +279,9 @@ impl Host {
         link: LinkId,
         pkt: XiaPacket,
     ) {
+        if self.down {
+            return;
+        }
         match &pkt.l4 {
             L4::Beacon(beacon) => {
                 let beacon = beacon.clone();
@@ -257,6 +318,11 @@ impl Host {
     /// Handles a timer belonging to this stack. Returns `false` if the key
     /// is not recognized.
     pub fn handle_timer(&mut self, ctx: &mut SimContext<'_, XiaPacket>, key: TimerKey) -> bool {
+        if self.down {
+            // A crashed node's timers die with it; on_start re-arms app
+            // timers after the restart.
+            return true;
+        }
         if key & (0xFFFF << 48) == xia_transport::TIMER_TAG {
             let mut env = HostEnv {
                 sim: ctx,
@@ -284,6 +350,9 @@ impl Host {
         link: LinkId,
         up: bool,
     ) {
+        if self.down {
+            return;
+        }
         for idx in 0..self.apps.len() {
             self.with_app(ctx, idx, |app, hctx| app.on_link_event(hctx, link, up));
         }
@@ -589,6 +658,11 @@ impl Node<XiaPacket> for EndHost {
 
     fn on_link_event(&mut self, ctx: &mut SimContext<'_, XiaPacket>, link: LinkId, up: bool) {
         self.host.handle_link_event(ctx, link, up);
+        self.flush(ctx);
+    }
+
+    fn on_fault(&mut self, ctx: &mut SimContext<'_, XiaPacket>, fault: NodeFault) {
+        self.host.handle_fault(ctx, fault);
         self.flush(ctx);
     }
 }

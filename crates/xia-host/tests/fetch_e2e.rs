@@ -1,6 +1,6 @@
 //! End-to-end chunk fetches between two host stacks over simulated links.
 
-use bytes::Bytes;
+use util::bytes::Bytes;
 use simnet::{LinkConfig, SimDuration, SimTime, Simulator};
 use xia_addr::{Dag, Principal, Xid};
 use xia_host::{App, EndHost, FetchResult, Host, HostConfig, HostCtx};

@@ -25,7 +25,7 @@
 
 use std::collections::HashMap;
 
-use simnet::{Context as SimContext, LinkId, Node, TimerKey};
+use simnet::{Context as SimContext, LinkId, Node, NodeFault, TimerKey};
 use xia_addr::{dag::SOURCE, Principal, Xid};
 use xia_host::Host;
 use xia_wire::{L4, XiaPacket};
@@ -105,6 +105,8 @@ pub struct RouterStats {
     pub dropped_no_route: u64,
     /// Packets dropped: hop limit exhausted.
     pub dropped_ttl: u64,
+    /// Packets dropped because the node was crashed (fault injection).
+    pub dropped_down: u64,
 }
 
 /// An XIA router: forwarding engine plus an embedded host stack whose
@@ -187,6 +189,11 @@ impl RouterNode {
         ingress: Option<LinkId>,
         mut pkt: XiaPacket,
     ) {
+        if self.host.is_down() {
+            // A crashed router neither forwards nor delivers.
+            self.stats.dropped_down += 1;
+            return;
+        }
         if pkt.hop_limit == 0 {
             self.stats.dropped_ttl += 1;
             return;
@@ -326,6 +333,11 @@ impl Node<XiaPacket> for RouterNode {
 
     fn on_link_event(&mut self, ctx: &mut SimContext<'_, XiaPacket>, link: LinkId, up: bool) {
         self.host.handle_link_event(ctx, link, up);
+        self.flush(ctx);
+    }
+
+    fn on_fault(&mut self, ctx: &mut SimContext<'_, XiaPacket>, fault: NodeFault) {
+        self.host.handle_fault(ctx, fault);
         self.flush(ctx);
     }
 }

@@ -1,6 +1,6 @@
 //! Multi-hop forwarding and CID interception through real routers.
 
-use bytes::Bytes;
+use util::bytes::Bytes;
 use simnet::{LinkConfig, SimDuration, SimTime, Simulator};
 use xia_addr::{Dag, Principal, Xid};
 use xia_host::{App, EndHost, FetchResult, Host, HostConfig, HostCtx};

@@ -2,7 +2,7 @@
 
 use std::collections::VecDeque;
 
-use bytes::Bytes;
+use util::bytes::Bytes;
 
 /// A queue of [`Bytes`] addressed by a contiguous sequence-number space.
 ///
@@ -74,7 +74,7 @@ impl SendBuffer {
                 self.start += take as u64;
                 self.blocks.pop_front();
             } else {
-                let _ = front.split_to(take);
+                *front = front.slice(take..);
                 self.start += take as u64;
             }
         }

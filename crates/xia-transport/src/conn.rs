@@ -7,7 +7,7 @@
 
 use std::collections::BTreeMap;
 
-use bytes::Bytes;
+use util::bytes::Bytes;
 use simnet::{SimDuration, SimTime};
 use xia_addr::Dag;
 use xia_wire::{ConnId, L4, SegFlags, Segment, XiaPacket};

@@ -3,7 +3,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use bytes::Bytes;
+use util::bytes::Bytes;
 use simnet::SimDuration;
 use xia_addr::{Dag, Xid};
 use xia_wire::{ConnId, L4, SegFlags, Segment, XiaPacket};
@@ -84,6 +84,16 @@ impl TransportMux {
             by_id: HashMap::new(),
             time_wait: VecDeque::new(),
         }
+    }
+
+    /// Drops every connection and all transient transport state without
+    /// notifying peers — the fault-injection "crash". Peers discover the
+    /// loss through retransmission timeouts, exactly as after a real
+    /// process crash.
+    pub fn reset(&mut self) {
+        self.conns.clear();
+        self.by_id.clear();
+        self.time_wait.clear();
     }
 
     /// The transport configuration in use.

@@ -10,7 +10,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::rc::Rc;
 
-use bytes::Bytes;
+use util::bytes::Bytes;
 use simnet::{SimDuration, SimTime};
 use xia_addr::{Dag, Principal, Xid};
 use xia_transport::{

@@ -9,9 +9,9 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::rc::Rc;
 
-use bytes::Bytes;
-use proptest::prelude::*;
 use simnet::{SimDuration, SimTime};
+use util::bytes::Bytes;
+use util::check::check;
 use xia_addr::{Dag, Principal, Xid};
 use xia_transport::{RttEstimator, TransportConfig, TransportEnv, TransportEvent, TransportMux};
 use xia_wire::XiaPacket;
@@ -145,40 +145,38 @@ fn transfer(payload: &[u8], loss_mask: Vec<bool>) -> Vec<u8> {
     Rc::try_unwrap(received).unwrap().into_inner()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Any payload survives any (finite) loss prefix intact: the transport
-    /// delivers exactly the sent bytes, in order.
-    #[test]
-    fn delivery_is_exact_under_arbitrary_loss(
-        payload in proptest::collection::vec(any::<u8>(), 1..40_000),
-        loss_mask in proptest::collection::vec(any::<bool>(), 0..96),
-    ) {
+/// Any payload survives any (finite) loss prefix intact: the transport
+/// delivers exactly the sent bytes, in order.
+#[test]
+fn delivery_is_exact_under_arbitrary_loss() {
+    check("delivery_is_exact_under_arbitrary_loss", 24, |g| {
+        let len = g.usize_in(1, 39_999);
+        let payload = g.bytes(len);
+        let mut mask = g.vec_of(0, 95, |g| g.bool());
         // Never drop more than 2 of any 3 consecutive packets, so the
         // handshake cannot be starved beyond the RTO budget.
-        let mut mask = loss_mask;
         for i in 0..mask.len() {
             if i >= 2 && mask[i - 1] && mask[i - 2] {
                 mask[i] = false;
             }
         }
         let got = transfer(&payload, mask);
-        prop_assert_eq!(got, payload);
-    }
+        assert_eq!(got, payload);
+    });
 }
 
-proptest! {
-    /// The RTT estimator's RTO always dominates the latest smoothed RTT
-    /// and never panics, for any sample sequence.
-    #[test]
-    fn rto_bounds(samples in proptest::collection::vec(1u64..10_000_000, 1..200)) {
+/// The RTT estimator's RTO always dominates the latest smoothed RTT
+/// and never panics, for any sample sequence.
+#[test]
+fn rto_bounds() {
+    check("rto_bounds", 256, |g| {
+        let samples = g.vec_of(1, 199, |g| g.u64_in(1, 9_999_999));
         let mut e = RttEstimator::new();
         for s in samples {
             e.sample(SimDuration::from_micros(s));
             let srtt = e.srtt().expect("sampled");
             let rto = e.rto(SimDuration::ZERO);
-            prop_assert!(rto >= srtt, "rto {rto} < srtt {srtt}");
+            assert!(rto >= srtt, "rto {rto} < srtt {srtt}");
         }
-    }
+    });
 }

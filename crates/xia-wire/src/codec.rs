@@ -20,9 +20,15 @@
 //! dag := u8 node_count, u8 entry_count, entry indices (u8 each),
 //!        node_count × { u8 principal, [u8; 20] id,
 //!                       u8 edge_count, edges (u8 each) }
+//!
+//! u32 checksum     — FNV-1a over everything above, verified before any
+//!                    parsing; a failed check is [`CodecError::BadChecksum`]
 //! ```
+//!
+//! The trailing checksum is what lets the stack treat in-flight bit flips
+//! (see `simnet::fault`) as losses rather than parsing garbage.
 
-use bytes::{BufMut, Bytes, BytesMut};
+use util::bytes::{Bytes, BytesMut};
 use xia_addr::{dag::SOURCE, Dag, DagNode, Principal, Xid};
 
 use crate::{Beacon, ConnId, L4, SegFlags, Segment, XiaPacket};
@@ -45,6 +51,9 @@ pub enum CodecError {
     BadDag,
     /// A DAG pointer is outside the DAG.
     BadPointer,
+    /// The trailing checksum does not match: the frame was corrupted in
+    /// flight and must be treated as lost.
+    BadChecksum,
 }
 
 impl std::fmt::Display for CodecError {
@@ -56,12 +65,23 @@ impl std::fmt::Display for CodecError {
             CodecError::BadL4Tag => "unknown transport tag",
             CodecError::BadDag => "invalid address graph",
             CodecError::BadPointer => "address pointer out of range",
+            CodecError::BadChecksum => "wire checksum mismatch",
         };
         f.write_str(msg)
     }
 }
 
 impl std::error::Error for CodecError {}
+
+/// 32-bit FNV-1a over `body`, the checksum appended by [`encode`].
+pub fn checksum(body: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in body {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
 
 fn principal_tag(p: Principal) -> u8 {
     match p {
@@ -157,6 +177,8 @@ pub fn encode(pkt: &XiaPacket) -> Bytes {
             }
         }
     }
+    let sum = checksum(&out);
+    out.put_u32(sum);
     out.freeze()
 }
 
@@ -225,11 +247,23 @@ impl<'a> Reader<'a> {
 
 /// Decodes a packet previously produced by [`encode`].
 ///
+/// The trailing checksum is verified before any structural parsing, so a
+/// corrupted frame is rejected as [`CodecError::BadChecksum`] rather than
+/// misparsed.
+///
 /// # Errors
 ///
 /// Returns a [`CodecError`] describing the first structural problem.
 pub fn decode(wire: &[u8]) -> Result<XiaPacket, CodecError> {
-    let mut r = Reader { buf: wire, pos: 0 };
+    if wire.len() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    let (body, tail) = wire.split_at(wire.len() - 4);
+    let expected = u32::from_be_bytes(tail.try_into().expect("4"));
+    if checksum(body) != expected {
+        return Err(CodecError::BadChecksum);
+    }
+    let mut r = Reader { buf: body, pos: 0 };
     if r.u8()? != WIRE_VERSION {
         return Err(CodecError::BadVersion);
     }
@@ -400,11 +434,40 @@ mod tests {
         assert_eq!(decode(&encode(&pkt)).unwrap().dst_ptr, SOURCE);
     }
 
+    /// Recomputes the trailing checksum after a test mutated the body, so
+    /// structural errors are reachable past the checksum gate.
+    fn reseal(mut wire: Vec<u8>) -> Vec<u8> {
+        let body_len = wire.len() - 4;
+        let sum = checksum(&wire[..body_len]);
+        wire[body_len..].copy_from_slice(&sum.to_be_bytes());
+        wire
+    }
+
     #[test]
     fn truncation_at_every_length_is_an_error_not_a_panic() {
         let wire = encode(&sample_segment());
         for cut in 0..wire.len() {
-            assert_eq!(decode(&wire[..cut]), Err(CodecError::Truncated), "cut {cut}");
+            // Short prefixes fail the length gate; longer ones fail the
+            // checksum; resealed truncations reach the structural parser.
+            assert!(decode(&wire[..cut]).is_err(), "cut {cut}");
+            if cut >= 4 {
+                let resealed = reseal(wire[..cut].to_vec());
+                assert!(decode(&resealed).is_err(), "resealed cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_caught_by_the_checksum() {
+        let wire = encode(&sample_segment()).to_vec();
+        for byte in 0..wire.len() {
+            let mut bad = wire.clone();
+            bad[byte] ^= 0x10;
+            assert_eq!(
+                decode(&bad),
+                Err(CodecError::BadChecksum),
+                "flip in byte {byte}"
+            );
         }
     }
 
@@ -413,10 +476,10 @@ mod tests {
         let wire = encode(&sample_segment()).to_vec();
         let mut bad = wire.clone();
         bad[0] = 0x7F;
-        assert_eq!(decode(&bad), Err(CodecError::BadVersion));
+        assert_eq!(decode(&reseal(bad)), Err(CodecError::BadVersion));
         let mut bad = wire.clone();
         bad[1] = 0; // dst node count 0 → invalid DAG
-        assert!(decode(&bad).is_err());
+        assert!(decode(&reseal(bad)).is_err());
     }
 
     #[test]
@@ -434,6 +497,6 @@ mod tests {
         };
         let mut bad = wire.clone();
         bad[1 + dag_len] = 7;
-        assert_eq!(decode(&bad), Err(CodecError::BadPointer));
+        assert_eq!(decode(&reseal(bad)), Err(CodecError::BadPointer));
     }
 }

@@ -21,7 +21,7 @@
 
 pub mod codec;
 
-use bytes::Bytes;
+use util::bytes::Bytes;
 use xia_addr::{Dag, Xid};
 
 /// Conventional maximum transport payload per packet (bytes), chosen so a

@@ -1,111 +1,118 @@
 //! Property tests: the wire codec is a lossless bijection on valid
 //! packets and total (never panics) on arbitrary input bytes.
 
-use bytes::Bytes;
-use proptest::prelude::*;
+use util::bytes::Bytes;
+use util::check::{check, Gen};
 use xia_addr::{Dag, Principal, Xid};
-use xia_wire::codec::{decode, encode};
+use xia_wire::codec::{decode, encode, CodecError};
 use xia_wire::{Beacon, ConnId, L4, SegFlags, Segment, XiaPacket};
 
-fn arb_xid(principal: Principal) -> impl Strategy<Value = Xid> {
-    any::<[u8; 20]>().prop_map(move |id| Xid::new(principal, id))
+fn gen_xid(g: &mut Gen, principal: Principal) -> Xid {
+    let bytes = g.bytes(20);
+    let mut id = [0u8; 20];
+    id.copy_from_slice(&bytes);
+    Xid::new(principal, id)
 }
 
-fn arb_addr_pair() -> impl Strategy<Value = (Dag, Dag)> {
-    (
-        arb_xid(Principal::Cid),
-        arb_xid(Principal::Nid),
-        arb_xid(Principal::Hid),
-        arb_xid(Principal::Hid),
-    )
-        .prop_map(|(cid, nid, hid, chid)| {
-            (Dag::cid_with_fallback(cid, nid, hid), Dag::host(nid, chid))
-        })
+fn gen_addr_pair(g: &mut Gen) -> (Dag, Dag) {
+    let cid = gen_xid(g, Principal::Cid);
+    let nid = gen_xid(g, Principal::Nid);
+    let hid = gen_xid(g, Principal::Hid);
+    let chid = gen_xid(g, Principal::Hid);
+    (Dag::cid_with_fallback(cid, nid, hid), Dag::host(nid, chid))
 }
 
-fn arb_l4() -> impl Strategy<Value = L4> {
-    prop_oneof![
-        (
-            arb_xid(Principal::Hid),
-            any::<u64>(),
-            any::<u64>(),
-            any::<u64>(),
-            any::<[bool; 4]>(),
-            any::<u64>(),
-            proptest::collection::vec(any::<u8>(), 0..256),
-        )
-            .prop_map(|(initiator, port, seq, ack, f, window, payload)| {
-                L4::Segment(Segment {
-                    conn: ConnId { initiator, port },
-                    seq,
-                    ack,
-                    flags: SegFlags {
-                        syn: f[0],
-                        ack: f[1],
-                        fin: f[2],
-                        rst: f[3],
-                    },
-                    window,
-                    payload: Bytes::from(payload),
-                })
-            }),
-        (
-            arb_xid(Principal::Sid),
-            any::<u64>(),
-            proptest::collection::vec(any::<u8>(), 0..256),
-        )
-            .prop_map(|(service, token, body)| L4::Control {
+fn gen_l4(g: &mut Gen) -> L4 {
+    match g.usize_in(0, 2) {
+        0 => {
+            let initiator = gen_xid(g, Principal::Hid);
+            let port = g.u64();
+            let seq = g.u64();
+            let ack = g.u64();
+            let flags = SegFlags {
+                syn: g.bool(),
+                ack: g.bool(),
+                fin: g.bool(),
+                rst: g.bool(),
+            };
+            let window = g.u64();
+            let len = g.usize_in(0, 255);
+            let payload = Bytes::from(g.bytes(len));
+            L4::Segment(Segment {
+                conn: ConnId { initiator, port },
+                seq,
+                ack,
+                flags,
+                window,
+                payload,
+            })
+        }
+        1 => {
+            let service = gen_xid(g, Principal::Sid);
+            let token = g.u64();
+            let len = g.usize_in(0, 255);
+            L4::Control {
                 service,
                 token,
-                body: Bytes::from(body),
-            }),
-        (
-            arb_xid(Principal::Nid),
-            arb_xid(Principal::Hid),
-            -95.0f64..-20.0,
-            any::<bool>(),
-            arb_xid(Principal::Sid),
-        )
-            .prop_map(|(nid, hid, rss_dbm, has_vnf, sid)| {
-                L4::Beacon(Beacon {
-                    nid,
-                    hid,
-                    rss_dbm,
-                    staging_vnf: has_vnf
-                        .then(|| Dag::service_with_fallback(sid, nid, hid)),
-                })
-            }),
-    ]
+                body: Bytes::from(g.bytes(len)),
+            }
+        }
+        _ => {
+            let nid = gen_xid(g, Principal::Nid);
+            let hid = gen_xid(g, Principal::Hid);
+            let rss_dbm = g.f64_in(-95.0, -20.0);
+            let staging_vnf = g
+                .bool()
+                .then(|| Dag::service_with_fallback(gen_xid(g, Principal::Sid), nid, hid));
+            L4::Beacon(Beacon {
+                nid,
+                hid,
+                rss_dbm,
+                staging_vnf,
+            })
+        }
+    }
 }
 
-proptest! {
-    /// encode → decode is the identity on any well-formed packet.
-    #[test]
-    fn roundtrip((dst, src) in arb_addr_pair(), l4 in arb_l4(), hop in any::<u8>(), use_ptr in any::<bool>()) {
+/// encode → decode is the identity on any well-formed packet.
+#[test]
+fn roundtrip() {
+    check("codec_roundtrip", 256, |g| {
+        let (dst, src) = gen_addr_pair(g);
+        let l4 = gen_l4(g);
         let mut pkt = XiaPacket::new(dst, src, l4);
-        pkt.hop_limit = hop;
-        if use_ptr {
+        pkt.hop_limit = g.u64() as u8;
+        if g.bool() {
             pkt.dst_ptr = 1; // a real node of the 3-node fallback DAG
         }
         let wire = encode(&pkt);
-        prop_assert_eq!(decode(&wire).unwrap(), pkt);
-    }
+        assert_eq!(decode(&wire).unwrap(), pkt);
+    });
+}
 
-    /// decode is total: arbitrary bytes produce an error or a packet, and
-    /// never panic.
-    #[test]
-    fn decode_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+/// decode is total: arbitrary bytes produce an error or a packet, and
+/// never panic.
+#[test]
+fn decode_is_total() {
+    check("decode_is_total", 256, |g| {
+        let len = g.usize_in(0, 511);
+        let bytes = g.bytes(len);
         let _ = decode(&bytes);
-    }
+    });
+}
 
-    /// Any single-byte corruption either fails to decode or decodes to a
-    /// (possibly different) packet — but never panics.
-    #[test]
-    fn corruption_is_safe((dst, src) in arb_addr_pair(), l4 in arb_l4(), idx_frac in 0.0f64..1.0, bit in 0u8..8) {
+/// Any single-bit corruption is rejected by the trailing checksum — the
+/// parser never sees a damaged frame.
+#[test]
+fn corruption_is_rejected_by_checksum() {
+    check("corruption_is_rejected_by_checksum", 256, |g| {
+        let (dst, src) = gen_addr_pair(g);
+        let l4 = gen_l4(g);
         let pkt = XiaPacket::new(dst, src, l4);
         let mut wire = encode(&pkt).to_vec();
-        let idx = ((wire.len() as f64 - 1.0) * idx_frac) as usize;
+        let idx = g.usize_in(0, wire.len() - 1);
+        let bit = g.usize_in(0, 7) as u8;
         wire[idx] ^= 1 << bit;
-        let _ = decode(&wire);
-    }
+        assert_eq!(decode(&wire), Err(CodecError::BadChecksum));
+    });
 }

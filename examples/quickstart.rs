@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use bytes::Bytes;
+use util::bytes::Bytes;
 use simnet::{LinkConfig, SimDuration, Simulator};
 use softstage_suite::apps::{build_origin, SeqFetcher};
 use softstage_suite::xia_addr::{sha1, Principal, Xid};

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full offline verification: tier-1 (build + workspace tests) plus the
+# fault-injection chaos suite and the determinism regression. Runs with no
+# network access — the workspace has zero external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release --offline
+
+echo "== tier-1: workspace tests =="
+cargo test -q --offline
+
+echo "== chaos suite (fault injection, release) =="
+cargo test -q --offline --release -p softstage-suite --test chaos --test determinism
+
+echo "== benches compile (feature-gated, not run) =="
+cargo check -q --offline -p softstage-bench --features bench --benches
+
+echo "verify: OK"

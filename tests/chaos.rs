@@ -1,0 +1,229 @@
+//! Chaos suite: every fault the simulator can inject, driven against full
+//! downloads. The invariant under test is the paper's fault-tolerance
+//! claim (§III-B): SoftStage may lose staging, never the download — every
+//! run below must complete with a byte-correct content hash, within a
+//! bounded slowdown of the fault-free run.
+
+use softstage_suite::simnet::fault::FaultPlan;
+use softstage_suite::simnet::{SimDuration, SimTime};
+use softstage_suite::softstage::{SoftStageConfig, StagingMode};
+use softstage_suite::experiments::{build, ExperimentParams, RunResult, Testbed, MB};
+
+const SEEDS: [u64; 3] = [7, 101, 9001];
+
+fn deadline() -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(2000)
+}
+
+fn small(seed: u64) -> ExperimentParams {
+    ExperimentParams {
+        file_size: 6 * MB,
+        chunk_size: MB,
+        seed,
+        ..ExperimentParams::default()
+    }
+}
+
+fn testbed(params: &ExperimentParams) -> Testbed {
+    let schedule = params.alternating_schedule(SimDuration::from_secs(2000));
+    build(params, &schedule, SoftStageConfig::default())
+}
+
+/// Runs the scenario and asserts the core chaos invariants: completion,
+/// content integrity and bounded slowdown versus the fault-free twin.
+fn assert_survives(params: &ExperimentParams, inject: impl Fn(&mut Testbed)) -> RunResult {
+    let clean = testbed(params).run(deadline());
+    assert!(clean.content_ok, "fault-free run must pass: {clean:?}");
+    let clean_t = clean.completion.expect("fault-free completion");
+
+    let mut tb = testbed(params);
+    inject(&mut tb);
+    let result = tb.run(deadline());
+    assert!(
+        result.content_ok,
+        "download must complete with intact content under faults \
+         (seed {}): {result:?}",
+        params.seed
+    );
+    let faulted_t = result.completion.expect("faulted completion");
+    // Bounded slowdown: recovery may cost retry back-offs and re-staging,
+    // but never an unbounded stall.
+    let bound = SimTime::ZERO + (clean_t - SimTime::ZERO) * 8 + SimDuration::from_secs(120);
+    assert!(
+        faulted_t <= bound,
+        "slowdown out of bounds (seed {}): clean {clean_t:?}, faulted {faulted_t:?}",
+        params.seed
+    );
+    result
+}
+
+#[test]
+fn link_flaps_mid_download_are_survivable() {
+    for seed in SEEDS {
+        let p = small(seed);
+        assert_survives(&p, |tb| {
+            let mut plan = FaultPlan::new();
+            for (i, &link) in tb.radio_links.clone().iter().enumerate() {
+                plan.random_flaps(
+                    link,
+                    4,
+                    SimTime::ZERO + SimDuration::from_secs(2),
+                    SimTime::ZERO + SimDuration::from_secs(60),
+                    SimDuration::from_millis(1500),
+                    seed ^ (i as u64 + 1),
+                );
+            }
+            plan.apply(&mut tb.sim);
+        });
+    }
+}
+
+#[test]
+fn burst_loss_windows_are_survivable() {
+    for seed in SEEDS {
+        let p = small(seed);
+        assert_survives(&p, |tb| {
+            let mut plan = FaultPlan::new();
+            for &link in &tb.radio_links.clone() {
+                // Near-total loss for 5 s right in the middle of the
+                // first encounters.
+                plan.burst_loss(
+                    link,
+                    SimTime::ZERO + SimDuration::from_secs(4),
+                    SimDuration::from_secs(5),
+                    0.95,
+                );
+            }
+            plan.apply(&mut tb.sim);
+        });
+    }
+}
+
+#[test]
+fn wire_corruption_is_dropped_by_checksum_and_survivable() {
+    for seed in SEEDS {
+        let p = small(seed);
+        let result = assert_survives(&p, |tb| {
+            let mut plan = FaultPlan::new();
+            for &link in &tb.radio_links.clone() {
+                plan.corruption(
+                    link,
+                    SimTime::ZERO + SimDuration::from_secs(3),
+                    SimDuration::from_secs(4),
+                    0.5,
+                );
+            }
+            plan.apply(&mut tb.sim);
+        });
+        assert!(result.content_ok);
+    }
+}
+
+#[test]
+fn vnf_crash_and_restart_is_survivable() {
+    for seed in SEEDS {
+        let p = small(seed);
+        assert_survives(&p, |tb| {
+            let mut plan = FaultPlan::new();
+            // Both edge routers crash (staging state, caches and beacons
+            // die) and come back 8 s later; the client must ride out the
+            // silence and re-stage after the restart.
+            for &edge in &tb.edges.clone() {
+                plan.crash(
+                    edge,
+                    SimTime::ZERO + SimDuration::from_secs(6),
+                    Some(SimDuration::from_secs(8)),
+                );
+            }
+            plan.apply(&mut tb.sim);
+        });
+    }
+}
+
+#[test]
+fn cache_wipe_falls_back_to_origin_and_is_survivable() {
+    for seed in SEEDS {
+        let p = small(seed);
+        assert_survives(&p, |tb| {
+            let mut plan = FaultPlan::new();
+            for &edge in &tb.edges.clone() {
+                // Wipe staged chunks twice, mid-encounter: staged fetches
+                // miss and must re-fetch from the origin.
+                plan.cache_wipe(edge, SimTime::ZERO + SimDuration::from_secs(5));
+                plan.cache_wipe(edge, SimTime::ZERO + SimDuration::from_secs(25));
+            }
+            plan.apply(&mut tb.sim);
+        });
+    }
+}
+
+#[test]
+fn vnf_unreachable_uses_explicit_origin_fallback() {
+    for seed in SEEDS {
+        let p = ExperimentParams {
+            vnf_deployed: false,
+            ..small(seed)
+        };
+        let mut tb = testbed(&p);
+        let result = tb.run(deadline());
+        assert!(result.content_ok, "no-VNF run (seed {seed}): {result:?}");
+        assert_eq!(result.from_staged, 0);
+        let app = tb.client_app();
+        assert!(
+            app.stats().origin_fallbacks > 0,
+            "origin-DAG fallback must be recorded: {:?}",
+            app.stats()
+        );
+        assert_eq!(app.mode(), StagingMode::OriginFallback);
+    }
+}
+
+#[test]
+fn long_vnf_outage_exhausts_retry_budget_and_degrades_to_xftp() {
+    for seed in SEEDS {
+        let p = ExperimentParams {
+            // One network so the client cannot escape to a healthy VNF.
+            edge_networks: 1,
+            file_size: 12 * MB,
+            chunk_size: MB,
+            seed,
+            ..ExperimentParams::default()
+        };
+        let config = SoftStageConfig {
+            stage_retry: SimDuration::from_millis(250),
+            stage_retry_cap: SimDuration::from_secs(1),
+            stage_retry_budget: 8,
+            ..SoftStageConfig::default()
+        };
+        let schedule = p.alternating_schedule(SimDuration::from_secs(2000));
+        let mut tb = build(&p, &schedule, config);
+        let mut plan = FaultPlan::new();
+        for &edge in &tb.edges.clone() {
+            // A 300 s outage: far longer than the budget can bridge, so
+            // staging must be abandoned; the download then finishes as
+            // plain Xftp once the router is back.
+            plan.crash(
+                edge,
+                SimTime::ZERO + SimDuration::from_secs(2),
+                Some(SimDuration::from_secs(300)),
+            );
+        }
+        plan.apply(&mut tb.sim);
+        let result = tb.run(deadline());
+        assert!(
+            result.content_ok,
+            "degraded run must still complete intact (seed {seed}): {result:?}"
+        );
+        let app = tb.client_app();
+        let stats = app.stats();
+        assert!(
+            stats.degraded,
+            "budget exhaustion must be recorded (seed {seed}): {stats:?}"
+        );
+        assert_eq!(app.mode(), StagingMode::Degraded);
+        assert!(
+            stats.stage_retries <= 8,
+            "retry budget must bound staging retries (seed {seed}): {stats:?}"
+        );
+    }
+}
