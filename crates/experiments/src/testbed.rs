@@ -16,7 +16,7 @@
 
 use util::bytes::Bytes;
 use simnet::{LinkConfig, LinkId, NodeId, SimDuration, SimTime, Simulator};
-use softstage::{SoftStageClient, SoftStageConfig, StagingVnf};
+use softstage::{HandoffPolicy, SoftStageClient, SoftStageConfig, StagingVnf};
 use softstage_apps::build_origin;
 use vehicular::{BeaconApp, CoverageSchedule};
 use xia_addr::{sha1, Dag, Principal, Xid};
@@ -47,6 +47,9 @@ pub struct Testbed {
     pub chunk_dags: Vec<(Xid, Dag)>,
     /// SHA-1 of the published content (integrity checks).
     pub content_digest: [u8; 20],
+    /// Whether the client runs the chunk-aware handoff policy (decides
+    /// whether the trace oracle enforces handoff atomicity).
+    pub chunk_aware: bool,
 }
 
 /// Outcome of one client run.
@@ -139,6 +142,7 @@ pub fn build(
     }
 
     // --- client ---
+    let chunk_aware = client_config.policy == HandoffPolicy::ChunkAware;
     let client_app = SoftStageClient::new(chunk_dags.clone(), client_config);
     let mut client_host = Host::new(HostConfig::new(hid_client));
     client_host.add_app(Box::new(client_app));
@@ -217,10 +221,48 @@ pub fn build(
         manifest,
         chunk_dags,
         content_digest,
+        chunk_aware,
     }
 }
 
 impl Testbed {
+    /// Attaches the simulator's flight recorder with room for `capacity`
+    /// records. Call before [`Testbed::run`].
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.sim.enable_trace(capacity);
+    }
+
+    /// The recorded trace as JSON lines (empty when tracing is off).
+    pub fn trace_jsonl(&self) -> String {
+        self.sim.trace().map(simnet::TraceSink::to_jsonl).unwrap_or_default()
+    }
+
+    /// Records dropped by the flight recorder's ring (0 means the trace is
+    /// complete and every oracle rule is sound).
+    pub fn trace_dropped(&self) -> u64 {
+        self.sim.trace().map_or(0, simnet::TraceSink::dropped)
+    }
+
+    /// Audits the recorded trace against the invariant oracle, including
+    /// the per-link stats cross-check. The handoff-atomicity rule applies
+    /// only under the chunk-aware policy — the legacy policy legitimately
+    /// switches networks mid-chunk. Returns no violations when tracing is
+    /// off or the ring overflowed (counting rules are unsound on a
+    /// truncated trace; assert [`Testbed::trace_dropped`]` == 0` first).
+    pub fn audit_trace(&self) -> Vec<simnet::Violation> {
+        let Some(sink) = self.sim.trace() else {
+            return Vec::new();
+        };
+        if sink.dropped() > 0 {
+            return Vec::new();
+        }
+        let mut oracle = simnet::TraceOracle::new();
+        if !self.chunk_aware {
+            oracle = oracle.without_handoff_atomicity();
+        }
+        oracle.audit_with_stats(&sink.to_vec(), self.sim.stats())
+    }
+
     /// The client's SoftStage application.
     pub fn client_app(&self) -> &SoftStageClient {
         self.sim

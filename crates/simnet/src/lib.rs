@@ -14,7 +14,10 @@
 //! - [`Node`]s as event-driven state machines receiving packets, timers and
 //!   link events through a [`Context`],
 //! - a seeded, deterministic random number generator: every simulation is a
-//!   pure function of (topology, parameters, seed).
+//!   pure function of (topology, parameters, seed),
+//! - an optional [`trace`] flight recorder: typed per-event records in a
+//!   bounded ring buffer, JSON-lines export, and a [`TraceOracle`] that
+//!   audits protocol invariants over a recorded run.
 //!
 //! Time is integer microseconds ([`SimTime`]); ties are broken by insertion
 //! order, so runs are exactly reproducible.
@@ -64,6 +67,7 @@ pub mod rng;
 pub mod sim;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use fault::{Fault, FaultPlan};
 pub use link::{ArqConfig, LinkConfig, LinkId};
@@ -72,3 +76,7 @@ pub use rng::Rng;
 pub use sim::Simulator;
 pub use stats::{LinkStats, SimStats};
 pub use time::{SimDuration, SimTime};
+pub use trace::{
+    ClientMode, DropReason, FetchSource, InvariantKind, Tag, TraceEvent, TraceOracle,
+    TraceRecord, TraceSink, Violation,
+};

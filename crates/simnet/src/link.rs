@@ -31,6 +31,13 @@ impl LinkId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// Rebuilds an id from a raw index — for trace tooling that
+    /// reconstructs or synthesizes [`crate::TraceRecord`]s outside the
+    /// simulator.
+    pub fn from_index(index: usize) -> LinkId {
+        LinkId(index)
+    }
 }
 
 impl fmt::Display for LinkId {

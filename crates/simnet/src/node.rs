@@ -6,6 +6,7 @@ use std::fmt;
 use crate::link::{Link, LinkId};
 use crate::rng::Rng;
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceEvent, TraceSink};
 
 /// Identifier of a node in the simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -15,6 +16,13 @@ impl NodeId {
     /// The raw index of this node.
     pub fn index(self) -> usize {
         self.0
+    }
+
+    /// Rebuilds an id from a raw index — for trace tooling that
+    /// reconstructs or synthesizes [`crate::TraceRecord`]s outside the
+    /// simulator.
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(index)
     }
 }
 
@@ -94,6 +102,7 @@ pub struct Context<'a, M: Message> {
     pub(crate) links: &'a [Link],
     pub(crate) rng: &'a mut Rng,
     pub(crate) actions: Vec<Action<M>>,
+    pub(crate) trace: Option<&'a mut TraceSink>,
 }
 
 impl<'a, M: Message> Context<'a, M> {
@@ -153,6 +162,20 @@ impl<'a, M: Message> Context<'a, M> {
             .collect()
     }
 
+    /// Whether a flight-recorder sink is attached. Check before building
+    /// event payloads by hand — `util::trace_event!` does it for you.
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Records `event` against this node at the current time; a no-op
+    /// when no sink is attached.
+    pub fn trace(&mut self, event: TraceEvent) {
+        if let Some(sink) = self.trace.as_deref_mut() {
+            sink.record(self.now, self.node, event);
+        }
+    }
+
     /// Draws a uniform random `f64` in `[0, 1)` from the simulation's
     /// deterministic generator.
     pub fn random_f64(&mut self) -> f64 {
@@ -188,6 +211,7 @@ mod tests {
             links: &links,
             rng: &mut rng,
             actions: vec![],
+            trace: None,
         };
         ctx.set_timer(SimDuration::from_micros(5), 42);
         ctx.send(LinkId(0), Msg);
@@ -207,6 +231,7 @@ mod tests {
             links: &links,
             rng: &mut r1,
             actions: vec![],
+            trace: None,
         };
         let v1 = (c1.random_u64(), c1.random_f64());
         let links2 = vec![];
@@ -216,6 +241,7 @@ mod tests {
             links: &links2,
             rng: &mut r2,
             actions: vec![],
+            trace: None,
         };
         let v2 = (c2.random_u64(), c2.random_f64());
         assert_eq!(v1, v2);

@@ -8,6 +8,24 @@ use crate::node::{Action, Context, Message, Node, NodeFault, NodeId, TimerKey};
 use crate::rng::Rng;
 use crate::stats::{LinkStats, SimStats};
 use crate::time::SimTime;
+use crate::trace::{DropReason, TraceEvent, TraceSink};
+
+/// Records `event` into an optional sink; compiled away entirely when the
+/// `util/trace` feature is off.
+#[inline]
+fn emit(sink: &mut Option<TraceSink>, at: SimTime, node: NodeId, event: TraceEvent) {
+    if util::trace_compiled() {
+        if let Some(s) = sink {
+            s.record(at, node, event);
+        }
+    }
+}
+
+/// Clamps a wire size into the `u32` carried by packet trace events.
+#[inline]
+fn wire32(wire: usize) -> u32 {
+    u32::try_from(wire).unwrap_or(u32::MAX)
+}
 
 /// What happens when a scheduled event fires.
 #[derive(Debug)]
@@ -72,6 +90,9 @@ pub struct Simulator<M: Message> {
     started: bool,
     /// Hard cap on dispatched events, to catch runaway protocols.
     event_limit: u64,
+    /// Flight recorder; `None` (the default) records nothing and keeps
+    /// every hot path a single branch.
+    sink: Option<TraceSink>,
 }
 
 impl<M: Message> Simulator<M> {
@@ -87,7 +108,32 @@ impl<M: Message> Simulator<M> {
             stats: SimStats::default(),
             started: false,
             event_limit: u64::MAX,
+            sink: None,
         }
+    }
+
+    /// Creates a simulator with an attached flight recorder holding at
+    /// most `capacity` records (see [`crate::trace::TraceSink`]).
+    pub fn with_trace(seed: u64, capacity: usize) -> Self {
+        let mut sim = Self::new(seed);
+        sim.enable_trace(capacity);
+        sim
+    }
+
+    /// Attaches (or replaces) a flight recorder holding at most
+    /// `capacity` records.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.sink = Some(TraceSink::new(capacity));
+    }
+
+    /// Read access to the flight record, if tracing is enabled.
+    pub fn trace(&self) -> Option<&TraceSink> {
+        self.sink.as_ref()
+    }
+
+    /// Detaches and returns the flight record, disabling tracing.
+    pub fn take_trace(&mut self) -> Option<TraceSink> {
+        self.sink.take()
     }
 
     /// Caps the number of dispatched events; [`Simulator::run`] panics when
@@ -215,6 +261,7 @@ impl<M: Message> Simulator<M> {
             links: &self.links,
             rng: &mut self.rng,
             actions: Vec::new(),
+            trace: self.sink.as_mut(),
         };
         f(node.as_mut(), &mut ctx);
         let actions = ctx.actions;
@@ -237,14 +284,24 @@ impl<M: Message> Simulator<M> {
 
     fn transmit(&mut self, from: NodeId, link_id: LinkId, msg: M) {
         let wire = msg.wire_size();
+        let bytes = wire32(wire);
+        let now = self.time;
         let stats = &mut self.stats.links[link_id.0];
         stats.offered += 1;
         let link = &mut self.links[link_id.0];
         let to = link.peer_of(from);
-        let now = self.time;
         let rng = &mut self.rng;
         let outcome = link.transmit(from, wire, now, || rng.next_f64());
         let epoch = link.epoch;
+        emit(
+            &mut self.sink,
+            now,
+            from,
+            TraceEvent::PacketEnqueue {
+                link: link_id,
+                bytes,
+            },
+        );
         match outcome {
             TxOutcome::Deliver {
                 at,
@@ -258,10 +315,30 @@ impl<M: Message> Simulator<M> {
                     // `xia_wire::codec`), so from the node's perspective the
                     // packet simply never existed.
                     stats.corrupted += 1;
+                    emit(
+                        &mut self.sink,
+                        now,
+                        from,
+                        TraceEvent::PacketDrop {
+                            link: link_id,
+                            bytes,
+                            reason: DropReason::Corrupt,
+                        },
+                    );
                     return;
                 }
                 stats.delivered += 1;
                 stats.bytes_delivered += wire as u64;
+                emit(
+                    &mut self.sink,
+                    now,
+                    from,
+                    TraceEvent::PacketTx {
+                        link: link_id,
+                        bytes,
+                        attempts,
+                    },
+                );
                 self.push(
                     at,
                     EventKind::Arrival {
@@ -275,9 +352,43 @@ impl<M: Message> Simulator<M> {
             TxOutcome::DropLoss { attempts } => {
                 stats.attempts += u64::from(attempts);
                 stats.lost += 1;
+                emit(
+                    &mut self.sink,
+                    now,
+                    from,
+                    TraceEvent::PacketDrop {
+                        link: link_id,
+                        bytes,
+                        reason: DropReason::Loss,
+                    },
+                );
             }
-            TxOutcome::DropQueue => stats.dropped_queue += 1,
-            TxOutcome::DropDown => stats.dropped_down += 1,
+            TxOutcome::DropQueue => {
+                stats.dropped_queue += 1;
+                emit(
+                    &mut self.sink,
+                    now,
+                    from,
+                    TraceEvent::PacketDrop {
+                        link: link_id,
+                        bytes,
+                        reason: DropReason::Queue,
+                    },
+                );
+            }
+            TxOutcome::DropDown => {
+                stats.dropped_down += 1;
+                emit(
+                    &mut self.sink,
+                    now,
+                    from,
+                    TraceEvent::PacketDrop {
+                        link: link_id,
+                        bytes,
+                        reason: DropReason::Down,
+                    },
+                );
+            }
         }
     }
 
@@ -287,6 +398,13 @@ impl<M: Message> Simulator<M> {
             return;
         }
         let (a, b) = link.endpoints();
+        // Link-wide events are attributed to endpoint `a` by convention.
+        let ev = if up {
+            TraceEvent::LinkUp { link: link_id }
+        } else {
+            TraceEvent::LinkDown { link: link_id }
+        };
+        emit(&mut self.sink, self.time, a, ev);
         self.with_node(a, |node, ctx| node.on_link_event(ctx, link_id, up));
         self.with_node(b, |node, ctx| node.on_link_event(ctx, link_id, up));
     }
@@ -313,12 +431,29 @@ impl<M: Message> Simulator<M> {
                 epoch,
                 msg,
             } => {
+                let bytes = wire32(msg.wire_size());
                 if self.links[link.0].epoch != epoch || !self.links[link.0].up {
                     // Lost to a down transition while in flight.
                     self.stats.links[link.0].dropped_in_flight += 1;
+                    emit(
+                        &mut self.sink,
+                        self.time,
+                        node,
+                        TraceEvent::PacketDrop {
+                            link,
+                            bytes,
+                            reason: DropReason::InFlight,
+                        },
+                    );
                     return true;
                 }
                 self.stats.packets += 1;
+                emit(
+                    &mut self.sink,
+                    self.time,
+                    node,
+                    TraceEvent::PacketDeliver { link, bytes },
+                );
                 self.with_node(node, |n, ctx| n.on_packet(ctx, link, msg));
             }
             EventKind::Timer { node, key } => {
@@ -331,10 +466,31 @@ impl<M: Message> Simulator<M> {
                 loss,
                 corrupt,
             } => {
-                self.links[link.0].set_quality(loss, corrupt);
+                let l = &mut self.links[link.0];
+                l.set_quality(loss, corrupt);
+                let (a, _) = l.endpoints();
+                // At-baseline quality means the fault window closed.
+                let ev = if l.current_loss() == l.config().loss
+                    && l.current_corruption() == 0.0
+                {
+                    TraceEvent::FaultClear { link }
+                } else {
+                    TraceEvent::FaultOnset {
+                        link,
+                        loss: l.current_loss(),
+                        corrupt: l.current_corruption(),
+                    }
+                };
+                emit(&mut self.sink, self.time, a, ev);
             }
             EventKind::NodeFault { node, fault } => {
                 self.stats.faults += 1;
+                let ev = match fault {
+                    NodeFault::Crash => TraceEvent::NodeCrash,
+                    NodeFault::Restart => TraceEvent::NodeRestart,
+                    NodeFault::CacheWipe => TraceEvent::CacheWipe,
+                };
+                emit(&mut self.sink, self.time, node, ev);
                 self.with_node(node, |n, ctx| n.on_fault(ctx, fault));
             }
         }

@@ -1,0 +1,1195 @@
+//! Deterministic flight recorder and trace-invariant oracle.
+//!
+//! Every layer of the stack can emit typed [`TraceEvent`]s into a bounded
+//! ring-buffer [`TraceSink`] owned by the simulator. A record is a `Copy`
+//! struct — recording on the hot path is a couple of stores, never an
+//! allocation or a format. The sink exports JSON lines (one object per
+//! record, fixed key order) via `util::json`, so two runs of the same
+//! seeded configuration produce **byte-identical** trace files.
+//!
+//! [`TraceOracle`] replays a trace and checks protocol invariants that
+//! aggregate counters cannot express:
+//!
+//! - sequence numbers strictly increase and timestamps never go backwards
+//!   (globally, hence also per node),
+//! - every delivery has a matching transmission on the same link
+//!   (no orphan deliveries),
+//! - no fetch completes from an edge cache that never staged the chunk,
+//! - no chunk transfer spans a committed handoff (chunk-aware policy),
+//! - per-link event counts and byte totals match [`LinkStats`] exactly
+//!   (only meaningful on untruncated traces).
+//!
+//! Identifiers larger than a machine word (XIA CIDs/NIDs) are folded into
+//! a 63-bit [`Tag`] so every field of a record serializes as a JSON
+//! integer and survives a parse round trip exactly.
+
+use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use util::json::{FromJson, Json, JsonError, ToJson};
+
+use crate::link::LinkId;
+use crate::node::NodeId;
+use crate::stats::SimStats;
+use crate::time::SimTime;
+
+/// A compact 63-bit identity tag for content (CIDs) and networks (NIDs).
+///
+/// Folds the first eight bytes of an identifier big-endian and masks the
+/// sign bit away, so the tag round-trips exactly through JSON integers
+/// (`util::json` has no unsigned type). Collisions are astronomically
+/// unlikely within one run and would only blur a trace, never corrupt
+/// the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tag(pub u64);
+
+impl Tag {
+    /// Folds an identifier's leading bytes into a tag.
+    pub fn of(id: &[u8]) -> Tag {
+        let mut v: u64 = 0;
+        for &b in id.iter().take(8) {
+            v = (v << 8) | u64::from(b);
+        }
+        Tag(v & i64::MAX as u64)
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Why a packet never reached the far end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Channel loss exhausted ARQ retries (or no ARQ).
+    Loss,
+    /// Tail drop at a full transmit queue.
+    Queue,
+    /// The link was administratively down at transmit time.
+    Down,
+    /// Discarded in flight by a down transition.
+    InFlight,
+    /// Delivered with flipped bits; the wire checksum rejected it.
+    Corrupt,
+}
+
+impl DropReason {
+    fn name(self) -> &'static str {
+        match self {
+            DropReason::Loss => "loss",
+            DropReason::Queue => "queue",
+            DropReason::Down => "down",
+            DropReason::InFlight => "in_flight",
+            DropReason::Corrupt => "corrupt",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, JsonError> {
+        Ok(match s {
+            "loss" => DropReason::Loss,
+            "queue" => DropReason::Queue,
+            "down" => DropReason::Down,
+            "in_flight" => DropReason::InFlight,
+            "corrupt" => DropReason::Corrupt,
+            other => return Err(JsonError::new(format!("unknown drop reason {other:?}"))),
+        })
+    }
+}
+
+/// Where a client fetch was directed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchSource {
+    /// The in-network staging cache (VNF-fronted edge router).
+    EdgeCache,
+    /// The origin server over the wired path.
+    Origin,
+}
+
+impl FetchSource {
+    fn name(self) -> &'static str {
+        match self {
+            FetchSource::EdgeCache => "edge",
+            FetchSource::Origin => "origin",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, JsonError> {
+        Ok(match s {
+            "edge" => FetchSource::EdgeCache,
+            "origin" => FetchSource::Origin,
+            other => return Err(JsonError::new(format!("unknown fetch source {other:?}"))),
+        })
+    }
+}
+
+/// Client staging lifecycle mode, mirrored from `softstage::StagingMode`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientMode {
+    /// Staging through the VNF.
+    Active,
+    /// Fetching straight from the origin DAG.
+    OriginFallback,
+    /// Retry budget exhausted; plain Xftp for the rest of the run.
+    Degraded,
+}
+
+impl ClientMode {
+    fn name(self) -> &'static str {
+        match self {
+            ClientMode::Active => "active",
+            ClientMode::OriginFallback => "origin_fallback",
+            ClientMode::Degraded => "degraded",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, JsonError> {
+        Ok(match s {
+            "active" => ClientMode::Active,
+            "origin_fallback" => ClientMode::OriginFallback,
+            "degraded" => ClientMode::Degraded,
+            other => return Err(JsonError::new(format!("unknown client mode {other:?}"))),
+        })
+    }
+}
+
+/// One typed event in the flight record. All variants are `Copy`.
+///
+/// Packet events are attributed to the node acting at that instant:
+/// enqueue/tx/drop-at-tx to the sender, deliver/in-flight-drop to the
+/// receiver. Link and fault events are attributed to the affected
+/// node (endpoint `a` for link-wide events).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// A node offered a packet to a link.
+    PacketEnqueue {
+        /// Link the packet was offered to.
+        link: LinkId,
+        /// Wire size in bytes.
+        bytes: u32,
+    },
+    /// The link accepted the packet and will deliver it.
+    PacketTx {
+        /// Link carrying the packet.
+        link: LinkId,
+        /// Wire size in bytes.
+        bytes: u32,
+        /// Link-layer attempts (1 = no ARQ retries).
+        attempts: u32,
+    },
+    /// The packet arrived intact and was dispatched to the receiver.
+    PacketDeliver {
+        /// Link that carried the packet.
+        link: LinkId,
+        /// Wire size in bytes.
+        bytes: u32,
+    },
+    /// The packet was lost; `reason` says where.
+    PacketDrop {
+        /// Link involved.
+        link: LinkId,
+        /// Wire size in bytes.
+        bytes: u32,
+        /// Which mechanism dropped it.
+        reason: DropReason,
+    },
+    /// A link came up.
+    LinkUp {
+        /// The link.
+        link: LinkId,
+    },
+    /// A link went down (in-flight packets will be discarded).
+    LinkDown {
+        /// The link.
+        link: LinkId,
+    },
+    /// Fault injection degraded a link's channel quality.
+    FaultOnset {
+        /// The link.
+        link: LinkId,
+        /// Per-attempt loss probability now in effect.
+        loss: f64,
+        /// Corruption probability now in effect.
+        corrupt: f64,
+    },
+    /// Channel quality returned to its configured baseline.
+    FaultClear {
+        /// The link.
+        link: LinkId,
+    },
+    /// The node crashed: volatile state and cache are gone.
+    NodeCrash,
+    /// The node restarted after a crash.
+    NodeRestart,
+    /// The node's content cache was wiped in place.
+    CacheWipe,
+    /// Client asked a VNF to stage a chunk.
+    StageRequest {
+        /// Content tag.
+        chunk: Tag,
+    },
+    /// VNF acknowledged a staging request.
+    StageAck {
+        /// Content tag.
+        chunk: Tag,
+        /// Whether the VNF accepted the request.
+        ok: bool,
+    },
+    /// VNF began pulling a chunk from the origin.
+    StageStart {
+        /// Content tag.
+        chunk: Tag,
+    },
+    /// A chunk is now resident in the edge cache. `bytes == 0` means the
+    /// chunk was already cached when requested (no backhaul transfer).
+    Staged {
+        /// Content tag.
+        chunk: Tag,
+        /// Bytes pulled over the backhaul (0 if already cached).
+        bytes: u64,
+    },
+    /// VNF failed to pull a chunk from the origin.
+    StageFailed {
+        /// Content tag.
+        chunk: Tag,
+    },
+    /// The cache evicted a chunk to make room (or a wipe removed it).
+    ChunkEvicted {
+        /// Content tag.
+        chunk: Tag,
+    },
+    /// The content service answered a chunk request from its cache.
+    ChunkServed {
+        /// Content tag.
+        chunk: Tag,
+        /// Chunk payload size in bytes.
+        bytes: u64,
+    },
+    /// Client began fetching a chunk.
+    FetchStart {
+        /// Content tag.
+        chunk: Tag,
+        /// Where the fetch is directed.
+        source: FetchSource,
+    },
+    /// Client finished (or abandoned) fetching a chunk.
+    FetchComplete {
+        /// Content tag.
+        chunk: Tag,
+        /// Bytes received (0 on failure).
+        bytes: u64,
+        /// Where the fetch was directed.
+        source: FetchSource,
+        /// Whether the chunk arrived intact.
+        ok: bool,
+    },
+    /// Chunk-aware policy deferred a handoff until the chunk boundary.
+    HandoffDefer {
+        /// Target network tag.
+        target: Tag,
+    },
+    /// The client committed a handoff to a new network.
+    HandoffCommit {
+        /// Target network tag.
+        target: Tag,
+    },
+    /// The client's staging mode changed.
+    ModeTransition {
+        /// The mode entered.
+        mode: ClientMode,
+    },
+    /// The staging coordinator's target pipeline depth changed.
+    StageDepth {
+        /// New target depth in chunks.
+        depth: u32,
+    },
+}
+
+impl TraceEvent {
+    /// The event's wire name (the `"ev"` field in JSON lines).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::PacketEnqueue { .. } => "pkt_enqueue",
+            TraceEvent::PacketTx { .. } => "pkt_tx",
+            TraceEvent::PacketDeliver { .. } => "pkt_deliver",
+            TraceEvent::PacketDrop { .. } => "pkt_drop",
+            TraceEvent::LinkUp { .. } => "link_up",
+            TraceEvent::LinkDown { .. } => "link_down",
+            TraceEvent::FaultOnset { .. } => "fault_onset",
+            TraceEvent::FaultClear { .. } => "fault_clear",
+            TraceEvent::NodeCrash => "node_crash",
+            TraceEvent::NodeRestart => "node_restart",
+            TraceEvent::CacheWipe => "cache_wipe",
+            TraceEvent::StageRequest { .. } => "stage_request",
+            TraceEvent::StageAck { .. } => "stage_ack",
+            TraceEvent::StageStart { .. } => "stage_start",
+            TraceEvent::Staged { .. } => "staged",
+            TraceEvent::StageFailed { .. } => "stage_failed",
+            TraceEvent::ChunkEvicted { .. } => "chunk_evicted",
+            TraceEvent::ChunkServed { .. } => "chunk_served",
+            TraceEvent::FetchStart { .. } => "fetch_start",
+            TraceEvent::FetchComplete { .. } => "fetch_complete",
+            TraceEvent::HandoffDefer { .. } => "handoff_defer",
+            TraceEvent::HandoffCommit { .. } => "handoff_commit",
+            TraceEvent::ModeTransition { .. } => "mode",
+            TraceEvent::StageDepth { .. } => "stage_depth",
+        }
+    }
+}
+
+/// One recorded event: sequence number, sim time, acting node, payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRecord {
+    /// Monotonically increasing record number (gap-free while the ring
+    /// has not overflowed).
+    pub seq: u64,
+    /// Simulation time of the event.
+    pub at: SimTime,
+    /// The node the event is attributed to.
+    pub node: NodeId,
+    /// The typed payload.
+    pub event: TraceEvent,
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn int(v: u64) -> Json {
+    Json::Int(v as i64)
+}
+
+impl ToJson for TraceRecord {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("seq", int(self.seq)),
+            ("t", int(self.at.as_micros())),
+            ("node", int(self.node.index() as u64)),
+            ("ev", Json::Str(self.event.name().to_string())),
+        ];
+        match self.event {
+            TraceEvent::PacketEnqueue { link, bytes }
+            | TraceEvent::PacketDeliver { link, bytes } => {
+                fields.push(("link", int(link.index() as u64)));
+                fields.push(("bytes", int(u64::from(bytes))));
+            }
+            TraceEvent::PacketTx {
+                link,
+                bytes,
+                attempts,
+            } => {
+                fields.push(("link", int(link.index() as u64)));
+                fields.push(("bytes", int(u64::from(bytes))));
+                fields.push(("attempts", int(u64::from(attempts))));
+            }
+            TraceEvent::PacketDrop { link, bytes, reason } => {
+                fields.push(("link", int(link.index() as u64)));
+                fields.push(("bytes", int(u64::from(bytes))));
+                fields.push(("reason", Json::Str(reason.name().to_string())));
+            }
+            TraceEvent::LinkUp { link }
+            | TraceEvent::LinkDown { link }
+            | TraceEvent::FaultClear { link } => {
+                fields.push(("link", int(link.index() as u64)));
+            }
+            TraceEvent::FaultOnset { link, loss, corrupt } => {
+                fields.push(("link", int(link.index() as u64)));
+                fields.push(("loss", Json::Float(loss)));
+                fields.push(("corrupt", Json::Float(corrupt)));
+            }
+            TraceEvent::NodeCrash | TraceEvent::NodeRestart | TraceEvent::CacheWipe => {}
+            TraceEvent::StageRequest { chunk }
+            | TraceEvent::StageStart { chunk }
+            | TraceEvent::StageFailed { chunk }
+            | TraceEvent::ChunkEvicted { chunk } => {
+                fields.push(("chunk", int(chunk.0)));
+            }
+            TraceEvent::StageAck { chunk, ok } => {
+                fields.push(("chunk", int(chunk.0)));
+                fields.push(("ok", Json::Bool(ok)));
+            }
+            TraceEvent::Staged { chunk, bytes } | TraceEvent::ChunkServed { chunk, bytes } => {
+                fields.push(("chunk", int(chunk.0)));
+                fields.push(("bytes", int(bytes)));
+            }
+            TraceEvent::FetchStart { chunk, source } => {
+                fields.push(("chunk", int(chunk.0)));
+                fields.push(("source", Json::Str(source.name().to_string())));
+            }
+            TraceEvent::FetchComplete {
+                chunk,
+                bytes,
+                source,
+                ok,
+            } => {
+                fields.push(("chunk", int(chunk.0)));
+                fields.push(("bytes", int(bytes)));
+                fields.push(("source", Json::Str(source.name().to_string())));
+                fields.push(("ok", Json::Bool(ok)));
+            }
+            TraceEvent::HandoffDefer { target } | TraceEvent::HandoffCommit { target } => {
+                fields.push(("target", int(target.0)));
+            }
+            TraceEvent::ModeTransition { mode } => {
+                fields.push(("mode", Json::Str(mode.name().to_string())));
+            }
+            TraceEvent::StageDepth { depth } => {
+                fields.push(("depth", int(u64::from(depth))));
+            }
+        }
+        obj(fields)
+    }
+}
+
+fn req_u64(v: &Json, key: &str) -> Result<u64, JsonError> {
+    v.field(key)?
+        .as_u64()
+        .ok_or_else(|| JsonError::new(format!("field {key:?} is not an unsigned integer")))
+}
+
+fn req_u32(v: &Json, key: &str) -> Result<u32, JsonError> {
+    u32::try_from(req_u64(v, key)?)
+        .map_err(|_| JsonError::new(format!("field {key:?} exceeds u32")))
+}
+
+fn req_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, JsonError> {
+    v.field(key)?
+        .as_str()
+        .ok_or_else(|| JsonError::new(format!("field {key:?} is not a string")))
+}
+
+fn req_bool(v: &Json, key: &str) -> Result<bool, JsonError> {
+    v.field(key)?
+        .as_bool()
+        .ok_or_else(|| JsonError::new(format!("field {key:?} is not a bool")))
+}
+
+fn req_f64(v: &Json, key: &str) -> Result<f64, JsonError> {
+    v.field(key)?
+        .as_f64()
+        .ok_or_else(|| JsonError::new(format!("field {key:?} is not a number")))
+}
+
+fn req_link(v: &Json) -> Result<LinkId, JsonError> {
+    Ok(LinkId(req_u64(v, "link")? as usize))
+}
+
+fn req_tag(v: &Json, key: &str) -> Result<Tag, JsonError> {
+    Ok(Tag(req_u64(v, key)?))
+}
+
+impl FromJson for TraceRecord {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let seq = req_u64(v, "seq")?;
+        let at = SimTime::from_micros(req_u64(v, "t")?);
+        let node = NodeId(req_u64(v, "node")? as usize);
+        let ev = req_str(v, "ev")?;
+        let event = match ev {
+            "pkt_enqueue" => TraceEvent::PacketEnqueue {
+                link: req_link(v)?,
+                bytes: req_u32(v, "bytes")?,
+            },
+            "pkt_tx" => TraceEvent::PacketTx {
+                link: req_link(v)?,
+                bytes: req_u32(v, "bytes")?,
+                attempts: req_u32(v, "attempts")?,
+            },
+            "pkt_deliver" => TraceEvent::PacketDeliver {
+                link: req_link(v)?,
+                bytes: req_u32(v, "bytes")?,
+            },
+            "pkt_drop" => TraceEvent::PacketDrop {
+                link: req_link(v)?,
+                bytes: req_u32(v, "bytes")?,
+                reason: DropReason::parse(req_str(v, "reason")?)?,
+            },
+            "link_up" => TraceEvent::LinkUp { link: req_link(v)? },
+            "link_down" => TraceEvent::LinkDown { link: req_link(v)? },
+            "fault_onset" => TraceEvent::FaultOnset {
+                link: req_link(v)?,
+                loss: req_f64(v, "loss")?,
+                corrupt: req_f64(v, "corrupt")?,
+            },
+            "fault_clear" => TraceEvent::FaultClear { link: req_link(v)? },
+            "node_crash" => TraceEvent::NodeCrash,
+            "node_restart" => TraceEvent::NodeRestart,
+            "cache_wipe" => TraceEvent::CacheWipe,
+            "stage_request" => TraceEvent::StageRequest {
+                chunk: req_tag(v, "chunk")?,
+            },
+            "stage_ack" => TraceEvent::StageAck {
+                chunk: req_tag(v, "chunk")?,
+                ok: req_bool(v, "ok")?,
+            },
+            "stage_start" => TraceEvent::StageStart {
+                chunk: req_tag(v, "chunk")?,
+            },
+            "staged" => TraceEvent::Staged {
+                chunk: req_tag(v, "chunk")?,
+                bytes: req_u64(v, "bytes")?,
+            },
+            "stage_failed" => TraceEvent::StageFailed {
+                chunk: req_tag(v, "chunk")?,
+            },
+            "chunk_evicted" => TraceEvent::ChunkEvicted {
+                chunk: req_tag(v, "chunk")?,
+            },
+            "chunk_served" => TraceEvent::ChunkServed {
+                chunk: req_tag(v, "chunk")?,
+                bytes: req_u64(v, "bytes")?,
+            },
+            "fetch_start" => TraceEvent::FetchStart {
+                chunk: req_tag(v, "chunk")?,
+                source: FetchSource::parse(req_str(v, "source")?)?,
+            },
+            "fetch_complete" => TraceEvent::FetchComplete {
+                chunk: req_tag(v, "chunk")?,
+                bytes: req_u64(v, "bytes")?,
+                source: FetchSource::parse(req_str(v, "source")?)?,
+                ok: req_bool(v, "ok")?,
+            },
+            "handoff_defer" => TraceEvent::HandoffDefer {
+                target: req_tag(v, "target")?,
+            },
+            "handoff_commit" => TraceEvent::HandoffCommit {
+                target: req_tag(v, "target")?,
+            },
+            "mode" => TraceEvent::ModeTransition {
+                mode: ClientMode::parse(req_str(v, "mode")?)?,
+            },
+            "stage_depth" => TraceEvent::StageDepth {
+                depth: req_u32(v, "depth")?,
+            },
+            other => return Err(JsonError::new(format!("unknown event {other:?}"))),
+        };
+        Ok(TraceRecord {
+            seq,
+            at,
+            node,
+            event,
+        })
+    }
+}
+
+/// Bounded in-memory flight record.
+///
+/// A ring buffer of [`TraceRecord`]s: when full, the oldest record is
+/// discarded and [`TraceSink::dropped`] counts the loss, so memory stays
+/// bounded no matter how long the run. Counting oracle rules are only
+/// sound on untruncated traces (`dropped() == 0`).
+#[derive(Debug, Clone)]
+pub struct TraceSink {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl TraceSink {
+    /// Creates a sink holding at most `capacity` records (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceSink {
+            records: VecDeque::with_capacity(capacity),
+            capacity,
+            next_seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends a record, evicting the oldest if the ring is full.
+    #[inline]
+    pub fn record(&mut self, at: SimTime, node: NodeId, event: TraceEvent) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceRecord {
+            seq: self.next_seq,
+            at,
+            node,
+            event,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the sink holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Ring capacity in records.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records evicted by ring overflow (0 means the trace is complete).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total records ever written (equals the next sequence number).
+    pub fn total_recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Iterates the retained records oldest-first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> + '_ {
+        self.records.iter()
+    }
+
+    /// Copies the retained records into a `Vec`, oldest-first.
+    pub fn to_vec(&self) -> Vec<TraceRecord> {
+        self.records.iter().copied().collect()
+    }
+
+    /// Serializes the retained records as JSON lines, one object per
+    /// record, in a fixed key order — byte-identical across runs of the
+    /// same seeded configuration.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_json().to_string_compact());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Parses a JSON-lines trace produced by [`TraceSink::to_jsonl`].
+///
+/// Blank lines are ignored; any malformed line aborts with an error.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceRecord>, JsonError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = Json::parse(line)
+            .map_err(|e| JsonError::new(format!("line {}: {e}", i + 1)))?;
+        out.push(
+            TraceRecord::from_json(&v)
+                .map_err(|e| JsonError::new(format!("line {}: {e}", i + 1)))?,
+        );
+    }
+    Ok(out)
+}
+
+/// Which protocol invariant a [`Violation`] breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvariantKind {
+    /// Sequence numbers must strictly increase.
+    MonotoneSeq,
+    /// Timestamps must never go backwards (globally and per node).
+    MonotoneTime,
+    /// A delivery (or in-flight drop) with no matching transmission.
+    OrphanDelivery,
+    /// A successful edge-cache fetch of a chunk that was never staged.
+    UnstagedEdgeFetch,
+    /// A handoff committed while a chunk transfer was in flight.
+    HandoffMidChunk,
+    /// Trace counts disagree with the simulator's [`SimStats`].
+    StatsMismatch,
+}
+
+impl fmt::Display for InvariantKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InvariantKind::MonotoneSeq => "monotone-seq",
+            InvariantKind::MonotoneTime => "monotone-time",
+            InvariantKind::OrphanDelivery => "orphan-delivery",
+            InvariantKind::UnstagedEdgeFetch => "unstaged-edge-fetch",
+            InvariantKind::HandoffMidChunk => "handoff-mid-chunk",
+            InvariantKind::StatsMismatch => "stats-mismatch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One invariant violation found by the oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// The invariant broken.
+    pub kind: InvariantKind,
+    /// Sequence number of the offending record (or the last record seen
+    /// for whole-trace accounting violations).
+    pub seq: u64,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] seq {}: {}", self.kind, self.seq, self.detail)
+    }
+}
+
+/// Replays a trace and checks protocol invariants.
+#[derive(Debug, Clone)]
+pub struct TraceOracle {
+    /// Check that no handoff commits while a chunk fetch is in flight.
+    /// Sound for the chunk-aware handoff policy; the baseline policy
+    /// commits immediately and legitimately violates it.
+    pub check_handoff_atomicity: bool,
+}
+
+impl Default for TraceOracle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[derive(Clone, Default)]
+struct LinkTally {
+    enqueued: u64,
+    tx: u64,
+    tx_bytes: u64,
+    delivered: u64,
+    drops_loss: u64,
+    drops_queue: u64,
+    drops_down: u64,
+    drops_in_flight: u64,
+    drops_corrupt: u64,
+}
+
+impl TraceOracle {
+    /// An oracle with every check enabled.
+    pub fn new() -> Self {
+        TraceOracle {
+            check_handoff_atomicity: true,
+        }
+    }
+
+    /// Disables the handoff-atomicity check (builder style); use for runs
+    /// with the immediate baseline handoff policy.
+    pub fn without_handoff_atomicity(mut self) -> Self {
+        self.check_handoff_atomicity = false;
+        self
+    }
+
+    /// Structural audit: ordering, orphan deliveries, unstaged fetches,
+    /// handoff atomicity. Sound on any trace, truncated or not (a
+    /// truncated trace can hide a violation but never invent one, except
+    /// that a tx preceding the retained window may make its delivery look
+    /// orphaned — callers with ring overflow should treat orphan findings
+    /// on `dropped() > 0` traces as advisory).
+    pub fn audit(&self, records: &[TraceRecord]) -> Vec<Violation> {
+        let mut v = Vec::new();
+        self.audit_into(records, &mut v);
+        v
+    }
+
+    /// Full audit plus accounting against the simulator's counters.
+    ///
+    /// Only meaningful for complete traces ([`TraceSink::dropped`] == 0)
+    /// of finished runs; in-flight packets at the deadline are tolerated
+    /// (deliveries ≤ transmissions).
+    pub fn audit_with_stats(
+        &self,
+        records: &[TraceRecord],
+        stats: &SimStats,
+    ) -> Vec<Violation> {
+        let mut v = Vec::new();
+        let tallies = self.audit_into(records, &mut v);
+        let last_seq = records.last().map_or(0, |r| r.seq);
+        let mut mismatch = |detail: String| {
+            v.push(Violation {
+                kind: InvariantKind::StatsMismatch,
+                seq: last_seq,
+                detail,
+            });
+        };
+        for (idx, ls) in stats.links.iter().enumerate() {
+            let t = tallies.get(&idx).cloned().unwrap_or_default();
+            let pairs: [(&str, u64, u64); 8] = [
+                ("offered", t.enqueued, ls.offered),
+                ("delivered(tx)", t.tx, ls.delivered),
+                ("bytes_delivered", t.tx_bytes, ls.bytes_delivered),
+                ("lost", t.drops_loss, ls.lost),
+                ("dropped_queue", t.drops_queue, ls.dropped_queue),
+                ("dropped_down", t.drops_down, ls.dropped_down),
+                ("dropped_in_flight", t.drops_in_flight, ls.dropped_in_flight),
+                ("corrupted", t.drops_corrupt, ls.corrupted),
+            ];
+            for (name, traced, counted) in pairs {
+                if traced != counted {
+                    mismatch(format!(
+                        "link {idx}: trace {name} = {traced}, LinkStats says {counted}"
+                    ));
+                }
+            }
+        }
+        for idx in tallies.keys() {
+            if *idx >= stats.links.len() {
+                mismatch(format!("trace mentions link {idx} unknown to SimStats"));
+            }
+        }
+        v
+    }
+
+    fn audit_into(
+        &self,
+        records: &[TraceRecord],
+        v: &mut Vec<Violation>,
+    ) -> HashMap<usize, LinkTally> {
+        let mut prev_seq: Option<u64> = None;
+        let mut prev_time = SimTime::ZERO;
+        let mut node_time: HashMap<usize, SimTime> = HashMap::new();
+        let mut links: HashMap<usize, LinkTally> = HashMap::new();
+        let mut staged: HashSet<u64> = HashSet::new();
+        let mut in_flight: HashMap<usize, Tag> = HashMap::new();
+        for r in records {
+            if let Some(p) = prev_seq {
+                if r.seq <= p {
+                    v.push(Violation {
+                        kind: InvariantKind::MonotoneSeq,
+                        seq: r.seq,
+                        detail: format!("sequence {} follows {}", r.seq, p),
+                    });
+                }
+            }
+            prev_seq = Some(r.seq);
+            if r.at < prev_time {
+                v.push(Violation {
+                    kind: InvariantKind::MonotoneTime,
+                    seq: r.seq,
+                    detail: format!(
+                        "time went backwards: {} µs after {} µs",
+                        r.at.as_micros(),
+                        prev_time.as_micros()
+                    ),
+                });
+            }
+            prev_time = prev_time.max(r.at);
+            let nt = node_time.entry(r.node.index()).or_insert(SimTime::ZERO);
+            if r.at < *nt {
+                v.push(Violation {
+                    kind: InvariantKind::MonotoneTime,
+                    seq: r.seq,
+                    detail: format!(
+                        "node {} time went backwards: {} µs after {} µs",
+                        r.node.index(),
+                        r.at.as_micros(),
+                        nt.as_micros()
+                    ),
+                });
+            }
+            *nt = (*nt).max(r.at);
+            match r.event {
+                TraceEvent::PacketEnqueue { link, .. } => {
+                    links.entry(link.index()).or_default().enqueued += 1;
+                }
+                TraceEvent::PacketTx { link, bytes, .. } => {
+                    let t = links.entry(link.index()).or_default();
+                    t.tx += 1;
+                    t.tx_bytes += u64::from(bytes);
+                }
+                TraceEvent::PacketDeliver { link, .. } => {
+                    let t = links.entry(link.index()).or_default();
+                    t.delivered += 1;
+                    if t.delivered + t.drops_in_flight > t.tx {
+                        v.push(Violation {
+                            kind: InvariantKind::OrphanDelivery,
+                            seq: r.seq,
+                            detail: format!(
+                                "link {}: delivery #{} exceeds {} transmissions",
+                                link.index(),
+                                t.delivered + t.drops_in_flight,
+                                t.tx
+                            ),
+                        });
+                    }
+                }
+                TraceEvent::PacketDrop { link, reason, .. } => {
+                    let t = links.entry(link.index()).or_default();
+                    match reason {
+                        DropReason::Loss => t.drops_loss += 1,
+                        DropReason::Queue => t.drops_queue += 1,
+                        DropReason::Down => t.drops_down += 1,
+                        DropReason::Corrupt => t.drops_corrupt += 1,
+                        DropReason::InFlight => {
+                            t.drops_in_flight += 1;
+                            if t.delivered + t.drops_in_flight > t.tx {
+                                v.push(Violation {
+                                    kind: InvariantKind::OrphanDelivery,
+                                    seq: r.seq,
+                                    detail: format!(
+                                        "link {}: in-flight drop #{} exceeds {} transmissions",
+                                        link.index(),
+                                        t.delivered + t.drops_in_flight,
+                                        t.tx
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+                TraceEvent::Staged { chunk, .. } => {
+                    staged.insert(chunk.0);
+                }
+                TraceEvent::FetchStart { chunk, .. } => {
+                    in_flight.insert(r.node.index(), chunk);
+                }
+                TraceEvent::FetchComplete { chunk, source, ok, .. } => {
+                    in_flight.remove(&r.node.index());
+                    if ok && source == FetchSource::EdgeCache && !staged.contains(&chunk.0) {
+                        v.push(Violation {
+                            kind: InvariantKind::UnstagedEdgeFetch,
+                            seq: r.seq,
+                            detail: format!(
+                                "chunk {chunk} completed from the edge cache but was never staged"
+                            ),
+                        });
+                    }
+                }
+                TraceEvent::HandoffCommit { target } => {
+                    if self.check_handoff_atomicity {
+                        if let Some(chunk) = in_flight.get(&r.node.index()) {
+                            v.push(Violation {
+                                kind: InvariantKind::HandoffMidChunk,
+                                seq: r.seq,
+                                detail: format!(
+                                    "handoff to {target} committed while chunk {chunk} in flight"
+                                ),
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        links
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64, t: u64, node: usize, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            seq,
+            at: SimTime::from_micros(t),
+            node: NodeId(node),
+            event,
+        }
+    }
+
+    #[test]
+    fn tag_folds_and_masks() {
+        let t = Tag::of(&[0xff; 20]);
+        assert_eq!(t.0, u64::MAX >> 1);
+        assert_eq!(Tag::of(&[0, 0, 0, 0, 0, 0, 0, 7]).0, 7);
+        assert_eq!(Tag::of(&[1]).0, 1);
+    }
+
+    #[test]
+    fn ring_overflow_counts_drops() {
+        let mut s = TraceSink::new(2);
+        for i in 0..5 {
+            s.record(
+                SimTime::from_micros(i),
+                NodeId(0),
+                TraceEvent::NodeCrash,
+            );
+        }
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.dropped(), 3);
+        assert_eq!(s.total_recorded(), 5);
+        let v = s.to_vec();
+        assert_eq!(v[0].seq, 3);
+        assert_eq!(v[1].seq, 4);
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let mut s = TraceSink::new(64);
+        s.record(
+            SimTime::from_micros(5),
+            NodeId(1),
+            TraceEvent::PacketTx {
+                link: LinkId(2),
+                bytes: 1460,
+                attempts: 3,
+            },
+        );
+        s.record(
+            SimTime::from_micros(9),
+            NodeId(2),
+            TraceEvent::FetchComplete {
+                chunk: Tag(0x1234),
+                bytes: 1 << 20,
+                source: FetchSource::EdgeCache,
+                ok: true,
+            },
+        );
+        let text = s.to_jsonl();
+        let parsed = parse_jsonl(&text).expect("parse");
+        assert_eq!(parsed, s.to_vec());
+    }
+
+    #[test]
+    fn oracle_accepts_consistent_trace() {
+        let l = LinkId(0);
+        let records = vec![
+            rec(0, 0, 0, TraceEvent::PacketEnqueue { link: l, bytes: 100 }),
+            rec(
+                1,
+                0,
+                0,
+                TraceEvent::PacketTx {
+                    link: l,
+                    bytes: 100,
+                    attempts: 1,
+                },
+            ),
+            rec(2, 10, 1, TraceEvent::PacketDeliver { link: l, bytes: 100 }),
+            rec(3, 12, 1, TraceEvent::Staged { chunk: Tag(7), bytes: 50 }),
+            rec(
+                4,
+                15,
+                2,
+                TraceEvent::FetchStart {
+                    chunk: Tag(7),
+                    source: FetchSource::EdgeCache,
+                },
+            ),
+            rec(
+                5,
+                20,
+                2,
+                TraceEvent::FetchComplete {
+                    chunk: Tag(7),
+                    bytes: 50,
+                    source: FetchSource::EdgeCache,
+                    ok: true,
+                },
+            ),
+        ];
+        assert!(TraceOracle::new().audit(&records).is_empty());
+    }
+
+    #[test]
+    fn oracle_rejects_orphan_delivery() {
+        let records = vec![rec(
+            0,
+            0,
+            1,
+            TraceEvent::PacketDeliver {
+                link: LinkId(3),
+                bytes: 64,
+            },
+        )];
+        let v = TraceOracle::new().audit(&records);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, InvariantKind::OrphanDelivery);
+    }
+
+    #[test]
+    fn oracle_rejects_time_reversal_and_bad_seq() {
+        let records = vec![
+            rec(5, 100, 0, TraceEvent::NodeCrash),
+            rec(5, 90, 0, TraceEvent::NodeRestart),
+        ];
+        let v = TraceOracle::new().audit(&records);
+        assert!(v.iter().any(|x| x.kind == InvariantKind::MonotoneSeq));
+        assert!(v.iter().any(|x| x.kind == InvariantKind::MonotoneTime));
+    }
+
+    #[test]
+    fn oracle_rejects_unstaged_edge_fetch() {
+        let records = vec![rec(
+            0,
+            0,
+            2,
+            TraceEvent::FetchComplete {
+                chunk: Tag(9),
+                bytes: 10,
+                source: FetchSource::EdgeCache,
+                ok: true,
+            },
+        )];
+        let v = TraceOracle::new().audit(&records);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, InvariantKind::UnstagedEdgeFetch);
+        // The same completion from the origin is fine.
+        let records = vec![rec(
+            0,
+            0,
+            2,
+            TraceEvent::FetchComplete {
+                chunk: Tag(9),
+                bytes: 10,
+                source: FetchSource::Origin,
+                ok: true,
+            },
+        )];
+        assert!(TraceOracle::new().audit(&records).is_empty());
+    }
+
+    #[test]
+    fn oracle_rejects_handoff_mid_chunk_when_enabled() {
+        let records = vec![
+            rec(
+                0,
+                0,
+                2,
+                TraceEvent::FetchStart {
+                    chunk: Tag(1),
+                    source: FetchSource::Origin,
+                },
+            ),
+            rec(1, 5, 2, TraceEvent::HandoffCommit { target: Tag(8) }),
+        ];
+        let v = TraceOracle::new().audit(&records);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, InvariantKind::HandoffMidChunk);
+        let relaxed = TraceOracle::new().without_handoff_atomicity();
+        assert!(relaxed.audit(&records).is_empty());
+    }
+
+    #[test]
+    fn stats_audit_flags_mismatch() {
+        let l = LinkId(0);
+        let records = vec![
+            rec(0, 0, 0, TraceEvent::PacketEnqueue { link: l, bytes: 10 }),
+            rec(
+                1,
+                0,
+                0,
+                TraceEvent::PacketTx {
+                    link: l,
+                    bytes: 10,
+                    attempts: 1,
+                },
+            ),
+            rec(2, 3, 1, TraceEvent::PacketDeliver { link: l, bytes: 10 }),
+        ];
+        let mut stats = SimStats::default();
+        stats.links.push(crate::stats::LinkStats {
+            offered: 1,
+            delivered: 1,
+            bytes_delivered: 10,
+            ..Default::default()
+        });
+        assert!(TraceOracle::new()
+            .audit_with_stats(&records, &stats)
+            .is_empty());
+        stats.links[0].bytes_delivered = 11;
+        let v = TraceOracle::new().audit_with_stats(&records, &stats);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, InvariantKind::StatsMismatch);
+    }
+}

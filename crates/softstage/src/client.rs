@@ -23,7 +23,7 @@
 
 use std::collections::HashMap;
 
-use simnet::{LinkId, SimDuration, SimTime};
+use simnet::{ClientMode, FetchSource, LinkId, SimDuration, SimTime, Tag, TraceEvent};
 use vehicular::{RoamConfig, RoamEvent, RoamState, Roamer, ROAM_ASSOC_TIMER};
 use xia_addr::{sha1::Sha1, Dag, Xid};
 use xia_host::{App, FetchResult, HostCtx};
@@ -110,6 +110,11 @@ pub enum StagingMode {
     /// The session's staging retry budget is exhausted: staging is off for
     /// good and the client behaves exactly like plain Xftp.
     Degraded,
+}
+
+/// Flight-recorder tag for an XID.
+fn tag(x: &Xid) -> Tag {
+    Tag::of(x.id())
 }
 
 /// Capped exponential back-off with deterministic jitter.
@@ -200,6 +205,8 @@ pub struct SoftStageClient {
     pending_handoff: Option<Xid>,
     current_vnf: Option<Dag>,
     mode: StagingMode,
+    /// Last coordinator depth recorded into the trace (dedup).
+    last_depth: usize,
     /// Consecutive failures of the current origin fetch (back-off input).
     fetch_attempts: u32,
     /// Staging re-requests spent so far (bounded by `stage_retry_budget`).
@@ -231,6 +238,7 @@ impl SoftStageClient {
             pending_handoff: None,
             current_vnf: None,
             mode: StagingMode::Active,
+            last_depth: 0,
             fetch_attempts: 0,
             stage_retry_spent: 0,
             sent_tokens: HashMap::new(),
@@ -310,8 +318,20 @@ impl SoftStageClient {
         }
         let rec = self.profile.get(self.next_fetch).expect("bounds checked");
         let staged = rec.uses_staged();
+        let cid = rec.cid;
         let dag = rec.best_dag().clone();
         let handle = ctx.xfetch_chunk(dag);
+        util::trace_event!(
+            ctx,
+            TraceEvent::FetchStart {
+                chunk: tag(&cid),
+                source: if staged {
+                    FetchSource::EdgeCache
+                } else {
+                    FetchSource::Origin
+                },
+            }
+        );
         self.in_flight = Some(InFlightFetch {
             handle,
             idx: self.next_fetch,
@@ -333,6 +353,12 @@ impl SoftStageClient {
             if self.mode == StagingMode::Active {
                 self.mode = StagingMode::OriginFallback;
                 self.stats.origin_fallbacks += 1;
+                util::trace_event!(
+                    ctx,
+                    TraceEvent::ModeTransition {
+                        mode: ClientMode::OriginFallback,
+                    }
+                );
             }
             return;
         };
@@ -341,6 +367,22 @@ impl SoftStageClient {
             // handoff brought us into a provisioned network.
             self.mode = StagingMode::Active;
             self.stats.vnf_rediscoveries += 1;
+            util::trace_event!(
+                ctx,
+                TraceEvent::ModeTransition {
+                    mode: ClientMode::Active,
+                }
+            );
+        }
+        let depth = self.coordinator.target_depth();
+        if depth != self.last_depth {
+            self.last_depth = depth;
+            util::trace_event!(
+                ctx,
+                TraceEvent::StageDepth {
+                    depth: u32::try_from(depth).unwrap_or(u32::MAX),
+                }
+            );
         }
         let ahead = self.profile.staged_ahead(self.next_fetch);
         let deficit = self.coordinator.deficit(ahead);
@@ -362,6 +404,9 @@ impl SoftStageClient {
             .filter_map(|&i| self.profile.get(i))
             .map(|r| (r.cid, r.raw_dag.clone()))
             .collect();
+        for (cid, _) in &chunks {
+            util::trace_event!(ctx, TraceEvent::StageRequest { chunk: tag(cid) });
+        }
         let msg = StagingMsg::Request { chunks };
         let token = ctx.send_control(vnf.clone(), vnf.intent(), msg.encode());
         self.sent_tokens.insert(token, ctx.now());
@@ -394,20 +439,23 @@ impl SoftStageClient {
         match self.config.policy {
             HandoffPolicy::Default => {
                 // Legacy: switch immediately, even mid-chunk.
-                self.roamer.begin_handoff(ctx, target);
+                if self.roamer.begin_handoff(ctx, target) != RoamEvent::None {
+                    util::trace_event!(ctx, TraceEvent::HandoffCommit { target: tag(&target) });
+                }
             }
             HandoffPolicy::ChunkAware => {
                 if self.in_flight.is_some() {
                     if self.pending_handoff != Some(target) {
                         self.pending_handoff = Some(target);
+                        util::trace_event!(ctx, TraceEvent::HandoffDefer { target: tag(&target) });
                         if self.config.staging_enabled {
                             if let Some(vnf) = target_vnf {
                                 self.prestage_into(ctx, &vnf);
                             }
                         }
                     }
-                } else {
-                    self.roamer.begin_handoff(ctx, target);
+                } else if self.roamer.begin_handoff(ctx, target) != RoamEvent::None {
+                    util::trace_event!(ctx, TraceEvent::HandoffCommit { target: tag(&target) });
                 }
             }
         }
@@ -479,6 +527,12 @@ impl App for SoftStageClient {
                             // Retry budget exhausted: stop staging for
                             // good and finish the download as plain Xftp.
                             self.degrade();
+                            util::trace_event!(
+                                ctx,
+                                TraceEvent::ModeTransition {
+                                    mode: ClientMode::Degraded,
+                                }
+                            );
                             break;
                         }
                         self.stage_retry_spent += 1;
@@ -520,6 +574,7 @@ impl App for SoftStageClient {
         else {
             return;
         };
+        util::trace_event!(ctx, TraceEvent::StageAck { chunk: tag(&cid), ok });
         if ok {
             let latency = SimDuration::from_micros(staging_latency_us);
             if self.profile.mark_ready(&cid, nid, hid, latency).is_some() {
@@ -541,7 +596,7 @@ impl App for SoftStageClient {
         &mut self,
         ctx: &mut HostCtx<'_, '_>,
         handle: u64,
-        _cid: Xid,
+        cid: Xid,
         result: FetchResult,
     ) {
         let Some(fetch) = self.in_flight.take() else {
@@ -554,6 +609,19 @@ impl App for SoftStageClient {
         match result {
             FetchResult::Complete(bytes) => {
                 self.fetch_attempts = 0;
+                util::trace_event!(
+                    ctx,
+                    TraceEvent::FetchComplete {
+                        chunk: tag(&cid),
+                        bytes: bytes.len() as u64,
+                        source: if fetch.staged {
+                            FetchSource::EdgeCache
+                        } else {
+                            FetchSource::Origin
+                        },
+                        ok: true,
+                    }
+                );
                 let latency = ctx.now() - fetch.started;
                 self.profile.mark_fetched(fetch.idx, latency);
                 if fetch.staged {
@@ -577,6 +645,10 @@ impl App for SoftStageClient {
                 // the chunk boundary, with no connection to migrate.
                 if let Some(target) = self.pending_handoff.take() {
                     if self.roamer.begin_handoff(ctx, target) != RoamEvent::None {
+                        util::trace_event!(
+                            ctx,
+                            TraceEvent::HandoffCommit { target: tag(&target) }
+                        );
                         self.maybe_stage(ctx);
                         return; // Fetch resumes once associated.
                     }
@@ -585,6 +657,19 @@ impl App for SoftStageClient {
                 self.maybe_stage(ctx);
             }
             FetchResult::NotFound | FetchResult::Failed => {
+                util::trace_event!(
+                    ctx,
+                    TraceEvent::FetchComplete {
+                        chunk: tag(&cid),
+                        bytes: 0,
+                        source: if fetch.staged {
+                            FetchSource::EdgeCache
+                        } else {
+                            FetchSource::Origin
+                        },
+                        ok: false,
+                    }
+                );
                 if fetch.staged {
                     // Fault tolerance: the staged copy is gone (evicted,
                     // cache restarted). Fall back to the origin DAG.

@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use simnet::SimTime;
+use simnet::{SimTime, Tag, TraceEvent};
 use xia_addr::{Dag, Xid};
 use xia_host::{App, FetchResult, HostCtx};
 
@@ -137,8 +137,17 @@ impl App for StagingVnf {
         self.stats.requests += 1;
         for (cid, origin) in chunks {
             if ctx.store().contains(&cid) {
-                // Idempotent: already staged (or being served) here.
+                // Idempotent: already staged (or being served) here. Still
+                // recorded as `Staged { bytes: 0 }` so the trace oracle
+                // knows this cache legitimately holds the chunk.
                 self.stats.already_cached += 1;
+                util::trace_event!(
+                    ctx,
+                    TraceEvent::Staged {
+                        chunk: Tag::of(cid.id()),
+                        bytes: 0,
+                    }
+                );
                 self.reply(ctx, &from, token, cid, true, 0);
                 continue;
             }
@@ -153,6 +162,12 @@ impl App for StagingVnf {
                 continue; // One origin fetch serves all requesters.
             }
             let handle = ctx.xfetch_chunk(origin);
+            util::trace_event!(
+                ctx,
+                TraceEvent::StageStart {
+                    chunk: Tag::of(cid.id()),
+                }
+            );
             self.fetches.insert(
                 handle,
                 InFlight {
@@ -180,6 +195,13 @@ impl App for StagingVnf {
             FetchResult::Complete(bytes) => {
                 self.stats.staged += 1;
                 self.stats.bytes_staged += bytes.len() as u64;
+                util::trace_event!(
+                    ctx,
+                    TraceEvent::Staged {
+                        chunk: Tag::of(cid.id()),
+                        bytes: bytes.len() as u64,
+                    }
+                );
                 ctx.store().insert(cid, bytes);
                 for w in waiters {
                     self.reply(ctx, &w.requester, w.token, cid, true, latency.as_micros());
@@ -187,6 +209,12 @@ impl App for StagingVnf {
             }
             FetchResult::NotFound | FetchResult::Failed => {
                 self.stats.failed += 1;
+                util::trace_event!(
+                    ctx,
+                    TraceEvent::StageFailed {
+                        chunk: Tag::of(cid.id()),
+                    }
+                );
                 for w in waiters {
                     self.reply(ctx, &w.requester, w.token, cid, false, latency.as_micros());
                 }

@@ -27,3 +27,31 @@ pub mod bench;
 pub mod bytes;
 pub mod check;
 pub mod json;
+
+/// Whether trace emitters are compiled into this build.
+///
+/// Evaluated against **this crate's** `trace` feature (on by default), not
+/// the caller's, so [`trace_event!`] behaves identically from every crate
+/// in the workspace. When the feature is off the macro body becomes
+/// `if false { ... }` and the optimizer removes both the branch and the
+/// event construction.
+pub const fn trace_compiled() -> bool {
+    cfg!(feature = "trace")
+}
+
+/// Emits a trace event through a context, paying nothing when tracing is
+/// unavailable.
+///
+/// `$ctx` is any value with `tracing(&self) -> bool` and
+/// `trace(&mut self, event)` methods (simnet's `Context`, xia-host's
+/// `HostCtx`). The event expression is only evaluated when a sink is
+/// actually attached, so hot paths never allocate or format for a
+/// disabled recorder.
+#[macro_export]
+macro_rules! trace_event {
+    ($ctx:expr, $ev:expr) => {
+        if $crate::trace_compiled() && $ctx.tracing() {
+            $ctx.trace($ev);
+        }
+    };
+}

@@ -37,7 +37,14 @@ pub struct ChunkServer {
     inbox: HashMap<ConnId, Vec<u8>>,
     served: u64,
     not_found: u64,
+    /// (CID, bytes) pairs served since the last [`ChunkServer::take_served`],
+    /// bounded by [`SERVED_LOG_CAP`].
+    served_log: Vec<(Xid, u64)>,
 }
+
+/// Upper bound on the pending served-chunk log (drained by the host's
+/// flight-recorder flush; entries beyond the cap are silently dropped).
+const SERVED_LOG_CAP: usize = 4096;
 
 impl ChunkServer {
     /// Creates an idle server.
@@ -86,6 +93,9 @@ impl ChunkServer {
         match store.get(&req.cid) {
             Some(chunk) => {
                 self.served += 1;
+                if self.served_log.len() < SERVED_LOG_CAP {
+                    self.served_log.push((req.cid, chunk.len() as u64));
+                }
                 let hdr = ChunkResponseHeader {
                     cid: req.cid,
                     found: true,
@@ -112,6 +122,13 @@ impl ChunkServer {
     /// Forgets a connection that closed or failed.
     pub fn on_gone(&mut self, conn: ConnId) {
         self.inbox.remove(&conn);
+    }
+
+    /// Drains the (CID, bytes) pairs served since the last call, in serve
+    /// order. Costs nothing when nothing was served. The host flushes this
+    /// into the flight recorder after each dispatch.
+    pub fn take_served(&mut self) -> Vec<(Xid, u64)> {
+        std::mem::take(&mut self.served_log)
     }
 }
 

@@ -68,7 +68,14 @@ pub struct ChunkStore {
     used_bytes: usize,
     clock: u64,
     stats: StoreStats,
+    /// CIDs lost to eviction or wipe since the last [`ChunkStore::take_evicted`],
+    /// bounded by [`EVICTED_LOG_CAP`] so an undrained store stays small.
+    evicted_log: Vec<Xid>,
 }
+
+/// Upper bound on the pending evicted-CID log (drained by the host's
+/// flight-recorder flush; entries beyond the cap are silently dropped).
+const EVICTED_LOG_CAP: usize = 4096;
 
 impl ChunkStore {
     /// Creates a store holding at most `capacity_bytes` of chunk data.
@@ -80,6 +87,7 @@ impl ChunkStore {
             used_bytes: 0,
             clock: 0,
             stats: StoreStats::default(),
+            evicted_log: Vec::new(),
         }
     }
 
@@ -184,15 +192,19 @@ impl ChunkStore {
     /// storage, while cached copies are volatile. Returns how many chunks
     /// were lost.
     pub fn wipe(&mut self) -> usize {
-        let victims: Vec<Xid> = self
+        let mut victims: Vec<Xid> = self
             .entries
             .iter()
             .filter(|(_, e)| !e.pinned)
             .map(|(cid, _)| *cid)
             .collect();
+        // HashMap iteration order is nondeterministic; sort so the evicted
+        // log (and hence a recorded trace) is identical across runs.
+        victims.sort_unstable();
         for cid in &victims {
             let e = self.entries.remove(cid).expect("victim present");
             self.used_bytes -= e.data.len();
+            self.log_evicted(*cid);
         }
         victims.len()
     }
@@ -222,10 +234,24 @@ impl ChunkStore {
                 let e = self.entries.remove(&cid).expect("victim present");
                 self.used_bytes -= e.data.len();
                 self.stats.evictions += 1;
+                self.log_evicted(cid);
                 true
             }
             None => false,
         }
+    }
+
+    fn log_evicted(&mut self, cid: Xid) {
+        if self.evicted_log.len() < EVICTED_LOG_CAP {
+            self.evicted_log.push(cid);
+        }
+    }
+
+    /// Drains the CIDs lost to eviction or wipe since the last call, in
+    /// loss order. Costs nothing when no chunk was lost. The host flushes
+    /// this into the flight recorder after each dispatch.
+    pub fn take_evicted(&mut self) -> Vec<Xid> {
+        std::mem::take(&mut self.evicted_log)
     }
 
     /// CIDs currently stored, in no particular order.

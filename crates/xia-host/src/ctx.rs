@@ -293,4 +293,17 @@ impl<'a, 'b> HostCtx<'a, 'b> {
     pub fn random_f64(&mut self) -> f64 {
         self.sim.random_f64()
     }
+
+    /// Whether the simulation's flight recorder is attached. Check before
+    /// building event payloads by hand — `util::trace_event!` does it for
+    /// you.
+    pub fn tracing(&self) -> bool {
+        self.sim.tracing()
+    }
+
+    /// Records `event` against this host's node at the current sim time;
+    /// a no-op when tracing is off.
+    pub fn trace(&mut self, event: simnet::TraceEvent) {
+        self.sim.trace(event);
+    }
 }

@@ -258,6 +258,9 @@ impl Host {
                 // No drain: anything apps tried to emit died with the node.
                 self.pending.clear();
                 self.outbox.clear();
+                // Cache/server trace logs died with the node too.
+                let _ = self.store.take_evicted();
+                let _ = self.server.take_served();
             }
             NodeFault::Restart => {
                 if !self.down {
@@ -414,6 +417,31 @@ impl Host {
     fn drain(&mut self, ctx: &mut SimContext<'_, XiaPacket>) {
         while let Some(event) = self.pending.pop_front() {
             self.route_event(ctx, event);
+        }
+        self.flush_trace(ctx);
+    }
+
+    /// Flushes the store's and server's pending trace logs into the
+    /// flight recorder. The take-calls are cheap no-ops when the logs are
+    /// empty (the common case) and keep the logs bounded even when
+    /// tracing is off.
+    fn flush_trace(&mut self, ctx: &mut SimContext<'_, XiaPacket>) {
+        use simnet::{Tag, TraceEvent};
+        let evicted = self.store.take_evicted();
+        let served = self.server.take_served();
+        if !util::trace_compiled() || !ctx.tracing() {
+            return;
+        }
+        for cid in evicted {
+            ctx.trace(TraceEvent::ChunkEvicted {
+                chunk: Tag::of(cid.id()),
+            });
+        }
+        for (cid, bytes) in served {
+            ctx.trace(TraceEvent::ChunkServed {
+                chunk: Tag::of(cid.id()),
+                bytes,
+            });
         }
     }
 

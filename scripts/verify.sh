@@ -14,6 +14,9 @@ cargo test -q --offline
 echo "== chaos suite (fault injection, release) =="
 cargo test -q --offline --release -p softstage-suite --test chaos --test determinism
 
+echo "== golden traces (flight recorder + invariant oracle, release) =="
+cargo test -q --offline --release -p softstage-suite --test golden_trace
+
 echo "== benches compile (feature-gated, not run) =="
 cargo check -q --offline -p softstage-bench --features bench --benches
 

@@ -3,40 +3,36 @@
 //! claim (§III-B): SoftStage may lose staging, never the download — every
 //! run below must complete with a byte-correct content hash, within a
 //! bounded slowdown of the fault-free run.
+//!
+//! Every scenario runs with the flight recorder attached and finishes by
+//! auditing the recorded trace against the invariant oracle, so a fault
+//! path that corrupts event ordering or bookkeeping fails even when the
+//! download itself limps through.
+
+mod common;
 
 use softstage_suite::simnet::fault::FaultPlan;
 use softstage_suite::simnet::{SimDuration, SimTime};
 use softstage_suite::softstage::{SoftStageConfig, StagingMode};
-use softstage_suite::experiments::{build, ExperimentParams, RunResult, Testbed, MB};
+use softstage_suite::experiments::{build, ExperimentParams, RunResult, Testbed};
+
+use common::{deadline, small, testbed, TRACE_CAPACITY};
 
 const SEEDS: [u64; 3] = [7, 101, 9001];
 
-fn deadline() -> SimTime {
-    SimTime::ZERO + SimDuration::from_secs(2000)
-}
-
-fn small(seed: u64) -> ExperimentParams {
-    ExperimentParams {
-        file_size: 6 * MB,
-        chunk_size: MB,
-        seed,
-        ..ExperimentParams::default()
-    }
-}
-
-fn testbed(params: &ExperimentParams) -> Testbed {
-    let schedule = params.alternating_schedule(SimDuration::from_secs(2000));
-    build(params, &schedule, SoftStageConfig::default())
-}
-
 /// Runs the scenario and asserts the core chaos invariants: completion,
-/// content integrity and bounded slowdown versus the fault-free twin.
+/// content integrity, bounded slowdown versus the fault-free twin, and an
+/// oracle-clean trace on both runs.
 fn assert_survives(params: &ExperimentParams, inject: impl Fn(&mut Testbed)) -> RunResult {
-    let clean = testbed(params).run(deadline());
+    let mut clean_tb = testbed(params);
+    clean_tb.enable_trace(TRACE_CAPACITY);
+    let clean = clean_tb.run(deadline());
     assert!(clean.content_ok, "fault-free run must pass: {clean:?}");
+    common::assert_trace_clean(&clean_tb, &format!("clean seed {}", params.seed));
     let clean_t = clean.completion.expect("fault-free completion");
 
     let mut tb = testbed(params);
+    tb.enable_trace(TRACE_CAPACITY);
     inject(&mut tb);
     let result = tb.run(deadline());
     assert!(
@@ -45,6 +41,7 @@ fn assert_survives(params: &ExperimentParams, inject: impl Fn(&mut Testbed)) -> 
          (seed {}): {result:?}",
         params.seed
     );
+    common::assert_trace_clean(&tb, &format!("faulted seed {}", params.seed));
     let faulted_t = result.completion.expect("faulted completion");
     // Bounded slowdown: recovery may cost retry back-offs and re-staging,
     // but never an unbounded stall.
@@ -165,9 +162,11 @@ fn vnf_unreachable_uses_explicit_origin_fallback() {
             ..small(seed)
         };
         let mut tb = testbed(&p);
+        tb.enable_trace(TRACE_CAPACITY);
         let result = tb.run(deadline());
         assert!(result.content_ok, "no-VNF run (seed {seed}): {result:?}");
         assert_eq!(result.from_staged, 0);
+        common::assert_trace_clean(&tb, &format!("no-VNF seed {seed}"));
         let app = tb.client_app();
         assert!(
             app.stats().origin_fallbacks > 0,
@@ -184,8 +183,8 @@ fn long_vnf_outage_exhausts_retry_budget_and_degrades_to_xftp() {
         let p = ExperimentParams {
             // One network so the client cannot escape to a healthy VNF.
             edge_networks: 1,
-            file_size: 12 * MB,
-            chunk_size: MB,
+            file_size: 12 * softstage_suite::experiments::MB,
+            chunk_size: softstage_suite::experiments::MB,
             seed,
             ..ExperimentParams::default()
         };
@@ -197,6 +196,7 @@ fn long_vnf_outage_exhausts_retry_budget_and_degrades_to_xftp() {
         };
         let schedule = p.alternating_schedule(SimDuration::from_secs(2000));
         let mut tb = build(&p, &schedule, config);
+        tb.enable_trace(TRACE_CAPACITY);
         let mut plan = FaultPlan::new();
         for &edge in &tb.edges.clone() {
             // A 300 s outage: far longer than the budget can bridge, so
@@ -214,6 +214,7 @@ fn long_vnf_outage_exhausts_retry_budget_and_degrades_to_xftp() {
             result.content_ok,
             "degraded run must still complete intact (seed {seed}): {result:?}"
         );
+        common::assert_trace_clean(&tb, &format!("long-outage seed {seed}"));
         let app = tb.client_app();
         let stats = app.stats();
         assert!(

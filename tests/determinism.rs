@@ -3,29 +3,22 @@
 //! produce byte-identical statistics, with and without an active fault
 //! schedule. Any hidden nondeterminism (hash-map iteration order leaking
 //! into event order, unseeded randomness, wall-clock use) breaks this.
+//!
+//! The digest also folds in the flight recorder's full event sequence, so
+//! nondeterminism visible only in event *ordering* (not in the final
+//! counters) is caught too.
 
-use std::fmt::Write as _;
+mod common;
 
 use softstage_suite::simnet::fault::FaultPlan;
 use softstage_suite::simnet::{SimDuration, SimTime};
-use softstage_suite::softstage::SoftStageConfig;
-use softstage_suite::experiments::{build, ExperimentParams, Testbed, MB};
-use softstage_suite::xia_addr::sha1;
 
-fn params(seed: u64) -> ExperimentParams {
-    ExperimentParams {
-        file_size: 6 * MB,
-        chunk_size: MB,
-        seed,
-        ..ExperimentParams::default()
-    }
-}
-
-/// Runs one download and folds every observable statistic into a digest.
+/// Runs one download and folds every observable statistic — including the
+/// recorded trace — into a digest.
 fn run_digest(seed: u64, faults: bool) -> [u8; 20] {
-    let p = params(seed);
-    let schedule = p.alternating_schedule(SimDuration::from_secs(2000));
-    let mut tb = build(&p, &schedule, SoftStageConfig::default());
+    let p = common::small(seed);
+    let mut tb = common::testbed(&p);
+    tb.enable_trace(common::TRACE_CAPACITY);
     if faults {
         let mut plan = FaultPlan::new();
         for (i, &link) in tb.radio_links.clone().iter().enumerate() {
@@ -49,23 +42,9 @@ fn run_digest(seed: u64, faults: bool) -> [u8; 20] {
         }
         plan.apply(&mut tb.sim);
     }
-    let result = tb.run(SimTime::ZERO + SimDuration::from_secs(2000));
-    digest_of(&tb, seed, faults, &result)
-}
-
-fn digest_of(
-    tb: &Testbed,
-    seed: u64,
-    faults: bool,
-    result: &softstage_suite::experiments::RunResult,
-) -> [u8; 20] {
-    let mut s = String::new();
-    let _ = write!(s, "seed={seed} faults={faults} {result:?}");
-    let app = tb.client_app();
-    let _ = write!(s, " stats={:?} mode={:?}", app.stats(), app.mode());
-    let _ = write!(s, " digest={:02x?}", app.content_digest());
-    let _ = write!(s, " sim={:?}", tb.sim.stats());
-    sha1::sha1(s.as_bytes())
+    let result = tb.run(common::deadline());
+    common::assert_trace_clean(&tb, &format!("seed {seed} faults {faults}"));
+    common::digest_of(&tb, &format!("seed={seed} faults={faults}"), &result)
 }
 
 #[test]
