@@ -1,9 +1,9 @@
 //! Origin content server construction.
 
 use util::bytes::Bytes;
+use xcache::Manifest;
 use xia_addr::{Dag, Xid};
 use xia_host::{Host, HostConfig};
-use xcache::Manifest;
 
 /// Builds an origin server host: publishes `content` as `chunk_size`
 /// chunks into an unbounded pinned store and returns the host, the

@@ -32,11 +32,23 @@ fn main() {
     let cases: Vec<(&str, ExperimentParams)> = vec![
         ("defaults", small(|_| {})),
         ("a-chunk-2MB", small(|p| p.chunk_size = 2 * MB)),
-        ("b-encounter-3s", small(|p| p.encounter = SimDuration::from_secs(3))),
-        ("c-disconnect-32s", small(|p| p.disconnection = SimDuration::from_secs(32))),
+        (
+            "b-encounter-3s",
+            small(|p| p.encounter = SimDuration::from_secs(3)),
+        ),
+        (
+            "c-disconnect-32s",
+            small(|p| p.disconnection = SimDuration::from_secs(32)),
+        ),
         ("d-loss-37pct", small(|p| p.wireless_loss = 0.37)),
-        ("e-internet-15mbps", small(|p| p.internet_bw_bps = 15 * MBPS)),
-        ("f-rtt-100ms", small(|p| p.internet_rtt = SimDuration::from_millis(100))),
+        (
+            "e-internet-15mbps",
+            small(|p| p.internet_bw_bps = 15 * MBPS),
+        ),
+        (
+            "f-rtt-100ms",
+            small(|p| p.internet_rtt = SimDuration::from_millis(100)),
+        ),
     ];
     for (name, params) in &cases {
         r.bench(&format!("softstage/{name}"), || {

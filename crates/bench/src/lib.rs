@@ -2,3 +2,7 @@
 //! regenerates (a scaled-down instance of) one of the paper's tables or
 //! figures; the full-scale regeneration lives in the
 //! `softstage-experiments` crate's `reproduce` binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(unreachable_pub)]

@@ -47,11 +47,7 @@ fn run_overlap(params: &ExperimentParams, config: SoftStageConfig) -> f64 {
 /// Internet with hard handoffs, and the handoff mechanisms under
 /// overlapping coverage.
 pub fn run(seed: u64) -> Table {
-    let mut t = Table::new(
-        "ablation",
-        "Design ablations: 64 MB download time",
-        "s",
-    );
+    let mut t = Table::new("ablation", "Design ablations: 64 MB download time", "s");
 
     // --- staging depth, under a 15 Mbps Internet with 8 s gaps ---
     let slow_internet = ExperimentParams {
@@ -152,7 +148,13 @@ mod tests {
             },
         );
         let none = run_with(&params, SoftStageConfig::baseline());
-        assert!(full <= shallow * 1.05, "gap-aware depth helps: {full} vs {shallow}");
-        assert!(shallow < none, "even shallow staging beats none: {shallow} vs {none}");
+        assert!(
+            full <= shallow * 1.05,
+            "gap-aware depth helps: {full} vs {shallow}"
+        );
+        assert!(
+            shallow < none,
+            "even shallow staging beats none: {shallow} vs {none}"
+        );
     }
 }

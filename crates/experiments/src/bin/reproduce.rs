@@ -24,7 +24,11 @@ fn main() {
                     .unwrap_or_else(|| usage("--seed needs an integer"));
             }
             "--json" => {
-                json_path = Some(it.next().cloned().unwrap_or_else(|| usage("--json needs a path")));
+                json_path = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage("--json needs a path")),
+                );
             }
             other if !other.starts_with('-') => target = other.to_owned(),
             other => usage(&format!("unknown flag {other}")),

@@ -12,9 +12,9 @@
 //! Both a wired (100 Mbps) and an 802.11n-class wireless segment are
 //! measured, as in the paper.
 
-use util::bytes::Bytes;
 use simnet::{LinkConfig, SimDuration, SimTime, Simulator};
 use softstage_apps::{build_origin, SeqFetcher};
+use util::bytes::Bytes;
 use xia_addr::{Principal, Xid};
 use xia_host::{EndHost, Host, HostConfig};
 use xia_transport::TransportConfig;
@@ -59,9 +59,7 @@ pub fn throughput(proto: Proto, segment: Segment, seed: u64) -> f64 {
         Segment::Wired => LinkConfig::wired(100 * MBPS, SimDuration::from_millis(1)),
         // Light residual interference; ARQ hides it, as on a quiet 802.11n
         // channel.
-        Segment::Wireless => {
-            LinkConfig::wireless(40 * MBPS, SimDuration::from_millis(2), 0.05)
-        }
+        Segment::Wireless => LinkConfig::wireless(40 * MBPS, SimDuration::from_millis(2), 0.05),
     };
 
     let mut sim: Simulator<XiaPacket> = Simulator::new(seed);
@@ -160,6 +158,9 @@ mod tests {
         let tcp = throughput(Proto::LinuxTcp, Segment::Wireless, 1);
         let xchunkp = throughput(Proto::XChunkP, Segment::Wireless, 1);
         assert!(tcp > 18.0 && tcp < 38.0, "tcp {tcp:.1}");
-        assert!(xchunkp < tcp, "chunking overhead shows: {xchunkp:.1} < {tcp:.1}");
+        assert!(
+            xchunkp < tcp,
+            "chunking overhead shows: {xchunkp:.1} < {tcp:.1}"
+        );
     }
 }

@@ -86,7 +86,11 @@ pub fn run(seed: u64) -> Table {
     );
     for trace in traces(seed) {
         let result = replay(&trace, seed);
-        t.push(format!("{} xftp", trace.name), None, result.xftp_chunks as f64);
+        t.push(
+            format!("{} xftp", trace.name),
+            None,
+            result.xftp_chunks as f64,
+        );
         t.push(
             format!("{} softstage", trace.name),
             None,

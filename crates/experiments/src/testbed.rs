@@ -14,16 +14,16 @@
 //! overlaps); the wired "Internet" segment carries the emulated bottleneck
 //! (loss-throttled, as in the paper).
 
-use util::bytes::Bytes;
 use simnet::{LinkConfig, LinkId, NodeId, SimDuration, SimTime, Simulator};
 use softstage::{HandoffPolicy, SoftStageClient, SoftStageConfig, StagingVnf};
 use softstage_apps::build_origin;
+use util::bytes::Bytes;
 use vehicular::{BeaconApp, CoverageSchedule};
+use xcache::Manifest;
 use xia_addr::{sha1, Dag, Principal, Xid};
 use xia_host::{EndHost, Host, HostConfig};
 use xia_router::RouterNode;
 use xia_wire::XiaPacket;
-use xcache::Manifest;
 
 use crate::params::ExperimentParams;
 
@@ -154,8 +154,7 @@ pub fn build(
     let l_server = sim.add_link(
         server,
         core,
-        LinkConfig::wired(100_000_000, params.internet_rtt / 2)
-            .with_loss(params.internet_loss()),
+        LinkConfig::wired(100_000_000, params.internet_rtt / 2).with_loss(params.internet_loss()),
     );
     sim.node_mut::<EndHost>(server)
         .unwrap()
@@ -234,7 +233,10 @@ impl Testbed {
 
     /// The recorded trace as JSON lines (empty when tracing is off).
     pub fn trace_jsonl(&self) -> String {
-        self.sim.trace().map(simnet::TraceSink::to_jsonl).unwrap_or_default()
+        self.sim
+            .trace()
+            .map(simnet::TraceSink::to_jsonl)
+            .unwrap_or_default()
     }
 
     /// Records dropped by the flight recorder's ring (0 means the trace is

@@ -51,10 +51,7 @@ fn softstage_beats_xftp_on_default_parameters() {
     let soft = build(&params, &schedule, SoftStageConfig::default()).run(deadline());
     let base = build(&params, &schedule, SoftStageConfig::baseline()).run(deadline());
     let (s, b) = (soft.completion.unwrap(), base.completion.unwrap());
-    assert!(
-        s < b,
-        "SoftStage ({s}) should finish before Xftp ({b})"
-    );
+    assert!(s < b, "SoftStage ({s}) should finish before Xftp ({b})");
 }
 
 #[test]
@@ -64,7 +61,10 @@ fn no_vnf_falls_back_to_origin() {
     let schedule = params.alternating_schedule(SimDuration::from_secs(600));
     let mut tb = build(&params, &schedule, SoftStageConfig::default());
     let result = tb.run(deadline());
-    assert!(result.completion.is_some(), "fault tolerance: still completes");
+    assert!(
+        result.completion.is_some(),
+        "fault tolerance: still completes"
+    );
     assert!(result.content_ok);
     assert_eq!(result.from_staged, 0);
 }

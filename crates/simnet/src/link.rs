@@ -247,6 +247,7 @@ impl Link {
         } else if node == self.b {
             self.a
         } else {
+            // sslint: allow(panic) — documented contract: callers must pass an endpoint; wrong topology wiring cannot be recovered here
             panic!("{node} is not an endpoint of this link");
         }
     }
@@ -274,8 +275,7 @@ impl Link {
         let tx_start = dir.busy_until.max(now);
         // Tail drop if the backlog (expressed as waiting time) exceeds what
         // the queue can hold.
-        let max_wait =
-            SimDuration::transmission(config.queue_bytes, config.bandwidth_bps);
+        let max_wait = SimDuration::transmission(config.queue_bytes, config.bandwidth_bps);
         if tx_start - now > max_wait {
             return TxOutcome::DropQueue;
         }
@@ -404,11 +404,7 @@ mod tests {
 
     #[test]
     fn arq_recovers_and_charges_airtime() {
-        let mut l = mk(LinkConfig::wireless(
-            12_000_000,
-            SimDuration::ZERO,
-            0.5,
-        ));
+        let mut l = mk(LinkConfig::wireless(12_000_000, SimDuration::ZERO, 0.5));
         // First two attempts lose (sample 0.4 < 0.5), third succeeds.
         let mut samples = [0.4, 0.4, 0.9].into_iter();
         let out = l.transmit(NodeId(0), 1500, SimTime::ZERO, || samples.next().unwrap());
@@ -453,7 +449,13 @@ mod tests {
         // Full corruption: frames arrive flagged corrupted.
         l.set_quality(None, Some(1.0));
         let out = l.transmit(NodeId(0), 100, SimTime::ZERO, || 0.9);
-        assert!(matches!(out, TxOutcome::Deliver { corrupted: true, .. }));
+        assert!(matches!(
+            out,
+            TxOutcome::Deliver {
+                corrupted: true,
+                ..
+            }
+        ));
 
         // Burst loss override drops everything.
         l.set_quality(Some(1.0), None);
@@ -466,7 +468,10 @@ mod tests {
         l.set_quality(Some(0.0), Some(0.0));
         assert!(matches!(
             l.transmit(NodeId(0), 100, SimTime::ZERO, || 0.5),
-            TxOutcome::Deliver { corrupted: false, .. }
+            TxOutcome::Deliver {
+                corrupted: false,
+                ..
+            }
         ));
     }
 

@@ -46,7 +46,8 @@ impl Rng {
     /// component does not perturb another.
     pub fn split(&self, stream: u64) -> Rng {
         // Mix the parent state with the stream id through SplitMix64.
-        let mut sm = self.s[0] ^ self.s[2].rotate_left(17) ^ stream.wrapping_mul(0xA24BAED4963EE407);
+        let mut sm =
+            self.s[0] ^ self.s[2].rotate_left(17) ^ stream.wrapping_mul(0xA24BAED4963EE407);
         Rng {
             s: [
                 splitmix64(&mut sm),

@@ -220,7 +220,14 @@ impl<M: Message> Simulator<M> {
         loss: Option<f64>,
         corrupt: Option<f64>,
     ) {
-        self.push(at, EventKind::LinkQuality { link, loss, corrupt });
+        self.push(
+            at,
+            EventKind::LinkQuality {
+                link,
+                loss,
+                corrupt,
+            },
+        );
     }
 
     /// Schedules a node fault at absolute time `at`. The node's
@@ -247,12 +254,9 @@ impl<M: Message> Simulator<M> {
     }
 
     /// Runs `f` on a node with a fresh context, then applies its actions.
-    fn with_node(
-        &mut self,
-        id: NodeId,
-        f: impl FnOnce(&mut dyn Node<M>, &mut Context<'_, M>),
-    ) {
+    fn with_node(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Node<M>, &mut Context<'_, M>)) {
         let mut node = self.nodes[id.0].take().unwrap_or_else(|| {
+            // sslint: allow(panic) — reentrant dispatch is a scheduler bug; continuing would corrupt the event order the traces attest to
             panic!("reentrant dispatch on node {id}");
         });
         let mut ctx = Context {
@@ -470,9 +474,7 @@ impl<M: Message> Simulator<M> {
                 l.set_quality(loss, corrupt);
                 let (a, _) = l.endpoints();
                 // At-baseline quality means the fault window closed.
-                let ev = if l.current_loss() == l.config().loss
-                    && l.current_corruption() == 0.0
-                {
+                let ev = if l.current_loss() == l.config().loss && l.current_corruption() == 0.0 {
                     TraceEvent::FaultClear { link }
                 } else {
                     TraceEvent::FaultOnset {
@@ -618,8 +620,14 @@ mod tests {
         sim.run();
         let log_b = &sim.node::<Echo>(b).unwrap().log;
         let log_a = &sim.node::<Echo>(a).unwrap().log;
-        assert_eq!(log_b.iter().map(|(_, v)| *v).collect::<Vec<_>>(), vec![0, 2, 4]);
-        assert_eq!(log_a.iter().map(|(_, v)| *v).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(
+            log_b.iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+            vec![0, 2, 4]
+        );
+        assert_eq!(
+            log_a.iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
         // Each hop = 1 ms serialization + 10 ms propagation = 11 ms.
         assert_eq!(log_b[0].0, SimTime::from_micros(11_000));
         assert_eq!(log_a[0].0, SimTime::from_micros(22_000));

@@ -59,9 +59,7 @@ impl SimStats {
     pub fn total_lost(&self) -> u64 {
         self.links
             .iter()
-            .map(|l| {
-                l.lost + l.dropped_queue + l.dropped_down + l.dropped_in_flight + l.corrupted
-            })
+            .map(|l| l.lost + l.dropped_queue + l.dropped_down + l.dropped_in_flight + l.corrupted)
             .sum()
     }
 }

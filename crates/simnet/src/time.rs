@@ -187,11 +187,11 @@ mod tests {
     #[test]
     fn constructors_agree() {
         assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2_000));
+        assert_eq!(SimDuration::from_millis(3), SimDuration::from_micros(3_000));
         assert_eq!(
-            SimDuration::from_millis(3),
-            SimDuration::from_micros(3_000)
+            SimDuration::from_secs_f64(0.5),
+            SimDuration::from_millis(500)
         );
-        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_millis(500));
     }
 
     #[test]
@@ -210,10 +210,7 @@ mod tests {
         let d = SimDuration::transmission(1500, 12_000_000);
         assert_eq!(d, SimDuration::from_millis(1));
         // Zero bytes take zero time.
-        assert_eq!(
-            SimDuration::transmission(0, 1_000),
-            SimDuration::ZERO
-        );
+        assert_eq!(SimDuration::transmission(0, 1_000), SimDuration::ZERO);
     }
 
     #[test]

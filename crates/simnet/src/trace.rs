@@ -24,7 +24,7 @@
 //! integer and survives a parse round trip exactly.
 
 use std::collections::VecDeque;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use util::json::{FromJson, Json, JsonError, ToJson};
@@ -389,7 +389,11 @@ impl ToJson for TraceRecord {
                 fields.push(("bytes", int(u64::from(bytes))));
                 fields.push(("attempts", int(u64::from(attempts))));
             }
-            TraceEvent::PacketDrop { link, bytes, reason } => {
+            TraceEvent::PacketDrop {
+                link,
+                bytes,
+                reason,
+            } => {
                 fields.push(("link", int(link.index() as u64)));
                 fields.push(("bytes", int(u64::from(bytes))));
                 fields.push(("reason", Json::Str(reason.name().to_string())));
@@ -399,7 +403,11 @@ impl ToJson for TraceRecord {
             | TraceEvent::FaultClear { link } => {
                 fields.push(("link", int(link.index() as u64)));
             }
-            TraceEvent::FaultOnset { link, loss, corrupt } => {
+            TraceEvent::FaultOnset {
+                link,
+                loss,
+                corrupt,
+            } => {
                 fields.push(("link", int(link.index() as u64)));
                 fields.push(("loss", Json::Float(loss)));
                 fields.push(("corrupt", Json::Float(corrupt)));
@@ -677,8 +685,7 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<TraceRecord>, JsonError> {
         if line.trim().is_empty() {
             continue;
         }
-        let v = Json::parse(line)
-            .map_err(|e| JsonError::new(format!("line {}: {e}", i + 1)))?;
+        let v = Json::parse(line).map_err(|e| JsonError::new(format!("line {}: {e}", i + 1)))?;
         out.push(
             TraceRecord::from_json(&v)
                 .map_err(|e| JsonError::new(format!("line {}: {e}", i + 1)))?,
@@ -796,11 +803,7 @@ impl TraceOracle {
     /// Only meaningful for complete traces ([`TraceSink::dropped`] == 0)
     /// of finished runs; in-flight packets at the deadline are tolerated
     /// (deliveries ≤ transmissions).
-    pub fn audit_with_stats(
-        &self,
-        records: &[TraceRecord],
-        stats: &SimStats,
-    ) -> Vec<Violation> {
+    pub fn audit_with_stats(&self, records: &[TraceRecord], stats: &SimStats) -> Vec<Violation> {
         let mut v = Vec::new();
         let tallies = self.audit_into(records, &mut v);
         let last_seq = records.last().map_or(0, |r| r.seq);
@@ -843,13 +846,13 @@ impl TraceOracle {
         &self,
         records: &[TraceRecord],
         v: &mut Vec<Violation>,
-    ) -> HashMap<usize, LinkTally> {
+    ) -> BTreeMap<usize, LinkTally> {
         let mut prev_seq: Option<u64> = None;
         let mut prev_time = SimTime::ZERO;
-        let mut node_time: HashMap<usize, SimTime> = HashMap::new();
-        let mut links: HashMap<usize, LinkTally> = HashMap::new();
-        let mut staged: HashSet<u64> = HashSet::new();
-        let mut in_flight: HashMap<usize, Tag> = HashMap::new();
+        let mut node_time: BTreeMap<usize, SimTime> = BTreeMap::new();
+        let mut links: BTreeMap<usize, LinkTally> = BTreeMap::new();
+        let mut staged: BTreeSet<u64> = BTreeSet::new();
+        let mut in_flight: BTreeMap<usize, Tag> = BTreeMap::new();
         for r in records {
             if let Some(p) = prev_seq {
                 if r.seq <= p {
@@ -942,7 +945,9 @@ impl TraceOracle {
                 TraceEvent::FetchStart { chunk, .. } => {
                     in_flight.insert(r.node.index(), chunk);
                 }
-                TraceEvent::FetchComplete { chunk, source, ok, .. } => {
+                TraceEvent::FetchComplete {
+                    chunk, source, ok, ..
+                } => {
                     in_flight.remove(&r.node.index());
                     if ok && source == FetchSource::EdgeCache && !staged.contains(&chunk.0) {
                         v.push(Violation {
@@ -999,11 +1004,7 @@ mod tests {
     fn ring_overflow_counts_drops() {
         let mut s = TraceSink::new(2);
         for i in 0..5 {
-            s.record(
-                SimTime::from_micros(i),
-                NodeId(0),
-                TraceEvent::NodeCrash,
-            );
+            s.record(SimTime::from_micros(i), NodeId(0), TraceEvent::NodeCrash);
         }
         assert_eq!(s.len(), 2);
         assert_eq!(s.dropped(), 3);
@@ -1044,7 +1045,15 @@ mod tests {
     fn oracle_accepts_consistent_trace() {
         let l = LinkId(0);
         let records = vec![
-            rec(0, 0, 0, TraceEvent::PacketEnqueue { link: l, bytes: 100 }),
+            rec(
+                0,
+                0,
+                0,
+                TraceEvent::PacketEnqueue {
+                    link: l,
+                    bytes: 100,
+                },
+            ),
             rec(
                 1,
                 0,
@@ -1055,8 +1064,24 @@ mod tests {
                     attempts: 1,
                 },
             ),
-            rec(2, 10, 1, TraceEvent::PacketDeliver { link: l, bytes: 100 }),
-            rec(3, 12, 1, TraceEvent::Staged { chunk: Tag(7), bytes: 50 }),
+            rec(
+                2,
+                10,
+                1,
+                TraceEvent::PacketDeliver {
+                    link: l,
+                    bytes: 100,
+                },
+            ),
+            rec(
+                3,
+                12,
+                1,
+                TraceEvent::Staged {
+                    chunk: Tag(7),
+                    bytes: 50,
+                },
+            ),
             rec(
                 4,
                 15,

@@ -28,13 +28,19 @@ fn arb_event(g: &mut Gen) -> TraceEvent {
     let bytes32 = g.u64_in(0, u64::from(u32::MAX)) as u32;
     let bytes64 = arb_u63(g);
     match g.usize_in(0, 23) {
-        0 => TraceEvent::PacketEnqueue { link, bytes: bytes32 },
+        0 => TraceEvent::PacketEnqueue {
+            link,
+            bytes: bytes32,
+        },
         1 => TraceEvent::PacketTx {
             link,
             bytes: bytes32,
             attempts: g.u64_in(1, 16) as u32,
         },
-        2 => TraceEvent::PacketDeliver { link, bytes: bytes32 },
+        2 => TraceEvent::PacketDeliver {
+            link,
+            bytes: bytes32,
+        },
         3 => TraceEvent::PacketDrop {
             link,
             bytes: bytes32,
@@ -144,7 +150,12 @@ fn consistent_trace(g: &mut Gen) -> Vec<TraceRecord> {
     for _ in 0..g.usize_in(1, 20) {
         let bytes = g.u64_in(1, 100_000) as u32;
         t += g.u64_in(0, 500);
-        push(&mut records, t, sender, TraceEvent::PacketEnqueue { link, bytes });
+        push(
+            &mut records,
+            t,
+            sender,
+            TraceEvent::PacketEnqueue { link, bytes },
+        );
         push(
             &mut records,
             t,
@@ -156,12 +167,22 @@ fn consistent_trace(g: &mut Gen) -> Vec<TraceRecord> {
             },
         );
         t += g.u64_in(1, 1_000);
-        push(&mut records, t, receiver, TraceEvent::PacketDeliver { link, bytes });
+        push(
+            &mut records,
+            t,
+            receiver,
+            TraceEvent::PacketDeliver { link, bytes },
+        );
     }
     let chunk = arb_tag(g);
     let bytes = g.u64_in(0, 1 << 30);
     t += 1;
-    push(&mut records, t, receiver, TraceEvent::Staged { chunk, bytes });
+    push(
+        &mut records,
+        t,
+        receiver,
+        TraceEvent::Staged { chunk, bytes },
+    );
     t += 1;
     push(
         &mut records,

@@ -21,7 +21,7 @@
 //! Disabling staging (`SoftStageConfig::baseline()`) yields exactly the
 //! paper's Xftp baseline: same transport, same roaming, no staging.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use simnet::{ClientMode, FetchSource, LinkId, SimDuration, SimTime, Tag, TraceEvent};
 use vehicular::{RoamConfig, RoamEvent, RoamState, Roamer, ROAM_ASSOC_TIMER};
@@ -212,7 +212,7 @@ pub struct SoftStageClient {
     /// Staging re-requests spent so far (bounded by `stage_retry_budget`).
     stage_retry_spent: u64,
     /// Outstanding staging-request send times by token (RTT measurement).
-    sent_tokens: HashMap<u64, SimTime>,
+    sent_tokens: BTreeMap<u64, SimTime>,
     /// When coverage was last lost (for reactive gap measurement).
     detached_at: Option<SimTime>,
     stats: ClientStats,
@@ -241,7 +241,7 @@ impl SoftStageClient {
             last_depth: 0,
             fetch_attempts: 0,
             stage_retry_spent: 0,
-            sent_tokens: HashMap::new(),
+            sent_tokens: BTreeMap::new(),
             detached_at: None,
             stats: ClientStats::default(),
             done: false,
@@ -313,10 +313,9 @@ impl SoftStageClient {
         if !matches!(self.roamer.state(), RoamState::Associated { .. }) {
             return;
         }
-        if self.next_fetch >= self.profile.len() {
+        let Some(rec) = self.profile.get(self.next_fetch) else {
             return;
-        }
-        let rec = self.profile.get(self.next_fetch).expect("bounds checked");
+        };
         let staged = rec.uses_staged();
         let cid = rec.cid;
         let dag = rec.best_dag().clone();
@@ -440,14 +439,24 @@ impl SoftStageClient {
             HandoffPolicy::Default => {
                 // Legacy: switch immediately, even mid-chunk.
                 if self.roamer.begin_handoff(ctx, target) != RoamEvent::None {
-                    util::trace_event!(ctx, TraceEvent::HandoffCommit { target: tag(&target) });
+                    util::trace_event!(
+                        ctx,
+                        TraceEvent::HandoffCommit {
+                            target: tag(&target)
+                        }
+                    );
                 }
             }
             HandoffPolicy::ChunkAware => {
                 if self.in_flight.is_some() {
                     if self.pending_handoff != Some(target) {
                         self.pending_handoff = Some(target);
-                        util::trace_event!(ctx, TraceEvent::HandoffDefer { target: tag(&target) });
+                        util::trace_event!(
+                            ctx,
+                            TraceEvent::HandoffDefer {
+                                target: tag(&target)
+                            }
+                        );
                         if self.config.staging_enabled {
                             if let Some(vnf) = target_vnf {
                                 self.prestage_into(ctx, &vnf);
@@ -455,7 +464,12 @@ impl SoftStageClient {
                         }
                     }
                 } else if self.roamer.begin_handoff(ctx, target) != RoamEvent::None {
-                    util::trace_event!(ctx, TraceEvent::HandoffCommit { target: tag(&target) });
+                    util::trace_event!(
+                        ctx,
+                        TraceEvent::HandoffCommit {
+                            target: tag(&target)
+                        }
+                    );
                 }
             }
         }
@@ -517,7 +531,12 @@ impl App for SoftStageClient {
                 // chunk on its own capped-exponential back-off schedule.
                 let (base, cap) = (self.config.stage_retry, self.config.stage_retry_cap);
                 let stale = self.profile.stale_pending_with(ctx.now(), |r| {
-                    let salt = u64::from_be_bytes(r.cid.id()[..8].try_into().expect("8"));
+                    let salt = r
+                        .cid
+                        .id()
+                        .iter()
+                        .take(8)
+                        .fold(0u64, |acc, &b| (acc << 8) | u64::from(b));
                     backoff(base, cap, r.stage_attempts.saturating_sub(1), salt)
                 });
                 if !stale.is_empty() && !self.staging_off() {
@@ -574,7 +593,13 @@ impl App for SoftStageClient {
         else {
             return;
         };
-        util::trace_event!(ctx, TraceEvent::StageAck { chunk: tag(&cid), ok });
+        util::trace_event!(
+            ctx,
+            TraceEvent::StageAck {
+                chunk: tag(&cid),
+                ok
+            }
+        );
         if ok {
             let latency = SimDuration::from_micros(staging_latency_us);
             if self.profile.mark_ready(&cid, nid, hid, latency).is_some() {
@@ -647,7 +672,9 @@ impl App for SoftStageClient {
                     if self.roamer.begin_handoff(ctx, target) != RoamEvent::None {
                         util::trace_event!(
                             ctx,
-                            TraceEvent::HandoffCommit { target: tag(&target) }
+                            TraceEvent::HandoffCommit {
+                                target: tag(&target)
+                            }
                         );
                         self.maybe_stage(ctx);
                         return; // Fetch resumes once associated.

@@ -49,7 +49,8 @@ impl Ewma {
 
     /// The current estimate, if any sample has arrived.
     pub fn value(&self) -> Option<SimDuration> {
-        self.value_us.map(|v| SimDuration::from_micros(v.max(0.0) as u64))
+        self.value_us
+            .map(|v| SimDuration::from_micros(v.max(0.0) as u64))
     }
 }
 

@@ -1,7 +1,7 @@
 //! The Chunk Profile (Table I of the paper): per-chunk staging state, kept
 //! on the client by the Staging Manager.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use simnet::{SimDuration, SimTime};
 use xia_addr::{Dag, Xid};
@@ -81,7 +81,7 @@ impl ChunkRecord {
 #[derive(Debug, Default)]
 pub struct ChunkProfile {
     records: Vec<ChunkRecord>,
-    by_cid: HashMap<Xid, usize>,
+    by_cid: BTreeMap<Xid, usize>,
 }
 
 impl ChunkProfile {

@@ -7,7 +7,7 @@
 //! per-client session state — only the transient fetch bookkeeping — so
 //! edge networks scale to many clients.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use simnet::{SimTime, Tag, TraceEvent};
 use xia_addr::{Dag, Xid};
@@ -48,8 +48,8 @@ pub struct VnfStats {
 #[derive(Debug)]
 pub struct StagingVnf {
     sid: Xid,
-    fetches: HashMap<u64, InFlight>,
-    waiters: HashMap<Xid, Vec<Waiter>>,
+    fetches: BTreeMap<u64, InFlight>,
+    waiters: BTreeMap<Xid, Vec<Waiter>>,
     stats: VnfStats,
 }
 
@@ -58,8 +58,8 @@ impl StagingVnf {
     pub fn new(sid: Xid) -> Self {
         StagingVnf {
             sid,
-            fetches: HashMap::new(),
-            waiters: HashMap::new(),
+            fetches: BTreeMap::new(),
+            waiters: BTreeMap::new(),
             stats: VnfStats::default(),
         }
     }
@@ -89,10 +89,12 @@ impl StagingVnf {
         ok: bool,
         staging_latency_us: u64,
     ) {
-        let (nid, hid) = (
-            ctx.nid().expect("edge router stack is always attached"),
-            ctx.hid(),
-        );
+        let Some(nid) = ctx.nid() else {
+            // A reply from a stack without an attached edge router cannot
+            // name its staging point; drop it rather than fabricate one.
+            return;
+        };
+        let hid = ctx.hid();
         let msg = StagingMsg::Staged {
             cid,
             ok,

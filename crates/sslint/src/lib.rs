@@ -1,0 +1,227 @@
+//! `sslint` — the SoftStage workspace's in-tree determinism & hygiene
+//! auditor.
+//!
+//! The workspace's headline guarantee is reproducibility: same (topology,
+//! params, seed) ⇒ byte-identical stats digests and flight-recorder
+//! traces. That contract is easy to break silently — one `HashMap`
+//! iteration, one `Instant::now()`, one registry dependency — so this
+//! crate machine-checks it. A small hand-rolled Rust lexer
+//! ([`lex`]) and manifest reader ([`manifest`]) feed a token-pattern rule
+//! engine ([`rules`]) that audits every member crate:
+//!
+//! | group | rules |
+//! |-------|-------|
+//! | D — determinism | `wall-clock`, `hash-iter` |
+//! | P — panic hygiene | `panic` |
+//! | H — hermeticity & layering | `dep-hermetic`, `layering`, `unsafe-forbid` |
+//! | T — trace conventions | `trace-kind` |
+//!
+//! Violations can be justified two ways: inline with
+//! `// sslint: allow(<rule>) — <reason>` (covers that line and the next),
+//! or centrally in the checked-in `sslint.allow` file
+//! (`<rule> <path> <reason>` per line). Reasonless inline allows and
+//! stale allowlist entries are themselves findings (`allow-reason`,
+//! `allowlist-unused`) so the escape hatches cannot rot.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lex;
+pub mod manifest;
+pub mod rules;
+pub mod workspace;
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+use util::json::{Json, ToJson};
+
+pub use rules::Finding;
+
+/// Default name of the checked-in allowlist file at the workspace root.
+pub const ALLOWLIST_FILE: &str = "sslint.allow";
+
+/// One entry of the root allowlist file.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule id the entry suppresses.
+    pub rule: String,
+    /// Workspace-relative path the entry applies to.
+    pub path: String,
+    /// Why the exception is sound.
+    pub reason: String,
+    /// 1-based line in the allowlist file.
+    pub line: u32,
+}
+
+/// Parses the allowlist text: one `<rule> <path> <reason…>` entry per
+/// line; blank lines and `#` comments are skipped. Lines that don't fit
+/// the shape are reported as malformed rather than silently dropped.
+pub fn parse_allowlist(text: &str) -> (Vec<AllowEntry>, Vec<u32>) {
+    let mut entries = Vec::new();
+    let mut malformed = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, char::is_whitespace);
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some(rule), Some(path), Some(reason))
+                if rules::ALL_RULES.contains(&rule) && !reason.trim().is_empty() =>
+            {
+                entries.push(AllowEntry {
+                    rule: rule.to_string(),
+                    path: path.to_string(),
+                    reason: reason.trim().to_string(),
+                    line: (idx + 1) as u32,
+                });
+            }
+            _ => malformed.push((idx + 1) as u32),
+        }
+    }
+    (entries, malformed)
+}
+
+/// The outcome of a lint run: surviving findings plus summary counters.
+pub struct Report {
+    /// Findings that were not suppressed, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// How many findings inline allow comments suppressed.
+    pub suppressed_inline: usize,
+    /// How many findings the allowlist file suppressed.
+    pub suppressed_allowlist: usize,
+    /// How many source files were audited.
+    pub files_audited: usize,
+}
+
+impl ToJson for Finding {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("rule".to_string(), Json::Str(self.rule.to_string())),
+            ("file".to_string(), Json::Str(self.file.clone())),
+            ("line".to_string(), Json::Int(self.line as i64)),
+            ("msg".to_string(), Json::Str(self.msg.clone())),
+        ])
+    }
+}
+
+/// Runs the full audit over the workspace rooted at `root`, applying the
+/// allowlist at `allowlist_path` (workspace-relative) if it exists.
+pub fn run(root: &Path, allowlist_path: &str) -> io::Result<Report> {
+    let ws = workspace::load(root)?;
+    let raw = rules::run_all(&ws);
+
+    // Inline allow map: (file, line) → allowed rules. An allow comment
+    // covers its own line and the one after it, so a trailing comment and
+    // a comment-above both work.
+    let mut inline: BTreeMap<(&str, u32), &[String]> = BTreeMap::new();
+    let mut files_audited = 0usize;
+    for krate in &ws.crates {
+        for file in &krate.files {
+            files_audited += 1;
+            for (line, allowed) in &file.lexed.allows {
+                inline.insert((file.rel.as_str(), *line), allowed);
+            }
+        }
+    }
+
+    let allow_text = match std::fs::read_to_string(root.join(allowlist_path)) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(e),
+    };
+    let (entries, malformed) = parse_allowlist(&allow_text);
+    let mut entry_used = vec![false; entries.len()];
+
+    let mut findings = Vec::new();
+    let mut suppressed_inline = 0usize;
+    let mut suppressed_allowlist = 0usize;
+    'next: for f in raw {
+        for back in 0..=1u32 {
+            let line = f.line.saturating_sub(back);
+            if let Some(allowed) = inline.get(&(f.file.as_str(), line)) {
+                if allowed.iter().any(|r| r == f.rule) {
+                    suppressed_inline += 1;
+                    continue 'next;
+                }
+            }
+        }
+        for (i, e) in entries.iter().enumerate() {
+            if e.rule == f.rule && e.path == f.file {
+                entry_used[i] = true;
+                suppressed_allowlist += 1;
+                continue 'next;
+            }
+        }
+        findings.push(f);
+    }
+
+    for line in malformed {
+        findings.push(Finding {
+            rule: rules::RULE_ALLOWLIST_UNUSED,
+            file: allowlist_path.to_string(),
+            line,
+            msg: "malformed allowlist entry — expected `<rule> <path> <reason…>` \
+                  with a known rule id"
+                .to_string(),
+        });
+    }
+    for (i, e) in entries.iter().enumerate() {
+        if !entry_used[i] {
+            findings.push(Finding {
+                rule: rules::RULE_ALLOWLIST_UNUSED,
+                file: allowlist_path.to_string(),
+                line: e.line,
+                msg: format!(
+                    "allowlist entry `{} {}` matched no finding — remove the \
+                     stale exception",
+                    e.rule, e.path
+                ),
+            });
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+
+    Ok(Report {
+        findings,
+        suppressed_inline,
+        suppressed_allowlist,
+        files_audited,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allowlist_parsing() {
+        let (entries, malformed) = parse_allowlist(
+            "# comment\n\
+             panic crates/util/src/check.rs the harness must abort on contract violation\n\
+             \n\
+             not-a-rule crates/x.rs whatever\n\
+             panic onlytwo\n",
+        );
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].rule, "panic");
+        assert_eq!(entries[0].path, "crates/util/src/check.rs");
+        assert_eq!(entries[0].line, 2);
+        assert_eq!(malformed, vec![4, 5]);
+    }
+
+    #[test]
+    fn finding_serializes_to_json() {
+        let f = Finding {
+            rule: rules::RULE_PANIC,
+            file: "crates/demo/src/lib.rs".to_string(),
+            line: 7,
+            msg: "msg".to_string(),
+        };
+        let j = f.to_json().to_string_compact();
+        assert!(j.contains("\"rule\":\"panic\""), "{j}");
+        assert!(j.contains("\"line\":7"), "{j}");
+    }
+}

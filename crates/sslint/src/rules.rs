@@ -1,0 +1,584 @@
+//! The rule engine: determinism (D), panic hygiene (P), hermeticity &
+//! layering (H) and trace conventions (T).
+//!
+//! Each rule is a pure function from the lexed workspace model to a list
+//! of [`Finding`]s. Rules are deliberately token-pattern based — no type
+//! information — so they over-approximate in principle; in practice the
+//! workspace idioms they target are syntactically regular, and the inline
+//! `// sslint: allow(<rule>) — <reason>` escape hatch covers the rest.
+
+use std::collections::BTreeSet;
+
+use crate::lex::{Tok, TokKind};
+use crate::workspace::{CrateInfo, SrcFile, Workspace};
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule identifier (what allow comments name).
+    pub rule: &'static str,
+    /// Path relative to the workspace root, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+/// Rule D: no wall-clock, thread or process-environment access in
+/// simulation crates.
+pub const RULE_WALL_CLOCK: &str = "wall-clock";
+/// Rule D: no iteration over hash-ordered collections in simulation
+/// crates.
+pub const RULE_HASH_ITER: &str = "hash-iter";
+/// Rule P: no `unwrap`/`expect`/`panic!`/`todo!` in non-test library code.
+pub const RULE_PANIC: &str = "panic";
+/// Rule H: all dependencies must resolve in-tree (path or workspace).
+pub const RULE_DEP_HERMETIC: &str = "dep-hermetic";
+/// Rule H: in-tree dependencies must respect the layering DAG.
+pub const RULE_LAYERING: &str = "layering";
+/// Rule H: every library crate must carry `#![forbid(unsafe_code)]`.
+pub const RULE_UNSAFE_FORBID: &str = "unsafe-forbid";
+/// Rule T: every `TraceEvent` kind used must be declared in
+/// `simnet::trace`.
+pub const RULE_TRACE_KIND: &str = "trace-kind";
+/// Hygiene of the hygiene tool: allow comments must carry a reason.
+pub const RULE_ALLOW_REASON: &str = "allow-reason";
+/// Allowlist-file entries that matched nothing are stale and must go.
+pub const RULE_ALLOWLIST_UNUSED: &str = "allowlist-unused";
+
+/// Every rule id, for `--help` and allowlist validation.
+pub const ALL_RULES: &[&str] = &[
+    RULE_WALL_CLOCK,
+    RULE_HASH_ITER,
+    RULE_PANIC,
+    RULE_DEP_HERMETIC,
+    RULE_LAYERING,
+    RULE_UNSAFE_FORBID,
+    RULE_TRACE_KIND,
+    RULE_ALLOW_REASON,
+    RULE_ALLOWLIST_UNUSED,
+];
+
+/// The layering DAG: each crate's layer number; a crate may only depend
+/// on crates in strictly lower layers. New crates must be added here
+/// consciously — an unknown crate is a layering finding, not a pass.
+const LAYERS: &[(&str, u32)] = &[
+    ("util", 0),
+    ("sslint", 1),
+    ("xia-addr", 1),
+    ("simnet", 1),
+    ("xia-wire", 2),
+    ("xia-transport", 3),
+    ("xcache", 3),
+    ("xia-host", 4),
+    ("xia-router", 5),
+    ("vehicular", 5),
+    ("softstage", 6),
+    ("apps", 7),
+    ("experiments", 8),
+    ("bench", 9),
+    ("suite", 9),
+];
+
+/// Maps a dependency key or package name to its crate directory name.
+fn canonical(name: &str) -> &str {
+    match name {
+        "softstage-util" => "util",
+        "softstage-apps" => "apps",
+        "softstage-experiments" => "experiments",
+        "softstage-bench" => "bench",
+        "softstage-suite" => "suite",
+        other => other,
+    }
+}
+
+fn layer_of(name: &str) -> Option<u32> {
+    let c = canonical(name);
+    LAYERS.iter().find(|(n, _)| *n == c).map(|(_, l)| *l)
+}
+
+/// Whether a crate directory holds simulation logic subject to rule D.
+pub fn is_sim_crate(dir_name: &str) -> bool {
+    matches!(dir_name, "simnet" | "softstage" | "xcache" | "vehicular")
+        || dir_name.starts_with("xia-")
+}
+
+/// Runs every rule over the workspace.
+pub fn run_all(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let declared_kinds = declared_trace_kinds(ws);
+    hermeticity(ws, &mut findings);
+    for krate in &ws.crates {
+        layering(krate, &mut findings);
+        unsafe_forbid(krate, &mut findings);
+        for file in &krate.files {
+            allow_hygiene(file, &mut findings);
+            if is_sim_crate(&krate.dir_name) {
+                wall_clock(file, &mut findings);
+                let hash_names = collect_hash_names(file);
+                hash_iter(file, &hash_names, &mut findings);
+            }
+            if !file.is_bin {
+                panic_hygiene(file, &mut findings);
+            }
+            trace_kinds(file, &declared_kinds, &mut findings);
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Rule D — determinism
+// ---------------------------------------------------------------------------
+
+const WALL_CLOCK_TYPES: &[&str] = &["SystemTime", "Instant"];
+const FORBIDDEN_STD_MODULES: &[&str] = &["thread", "env"];
+
+fn wall_clock(file: &SrcFile, findings: &mut Vec<Finding>) {
+    let toks = &file.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if file.mask[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        if WALL_CLOCK_TYPES.contains(&t.text.as_str()) {
+            findings.push(Finding {
+                rule: RULE_WALL_CLOCK,
+                file: file.rel.clone(),
+                line: t.line,
+                msg: format!(
+                    "`{}` in a simulation crate — simulated time must come \
+                     from `simnet::SimTime`",
+                    t.text
+                ),
+            });
+        }
+        if t.text == "std" && toks.get(i + 1).is_some_and(|n| n.is_punct("::")) {
+            // `std::thread` / `std::env`, plus the braced form
+            // `use std::{thread, env}`.
+            let mut hits: Vec<(&Tok, &str)> = Vec::new();
+            if let Some(n) = toks.get(i + 2) {
+                if n.kind == TokKind::Ident && FORBIDDEN_STD_MODULES.contains(&n.text.as_str()) {
+                    hits.push((n, n.text.as_str()));
+                }
+                if n.is_punct("{") {
+                    let mut j = i + 3;
+                    let mut depth = 1usize;
+                    while let Some(m) = toks.get(j) {
+                        if m.is_punct("{") {
+                            depth += 1;
+                        } else if m.is_punct("}") {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        } else if m.kind == TokKind::Ident
+                            && FORBIDDEN_STD_MODULES.contains(&m.text.as_str())
+                        {
+                            hits.push((m, m.text.as_str()));
+                        }
+                        j += 1;
+                    }
+                }
+            }
+            for (tok, module) in hits {
+                findings.push(Finding {
+                    rule: RULE_WALL_CLOCK,
+                    file: file.rel.clone(),
+                    line: tok.line,
+                    msg: format!(
+                        "`std::{module}` in a simulation crate — threads and \
+                         process environment break reproducibility"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+/// Collects identifiers bound to hash-ordered collections in one file's
+/// non-test code: struct fields, let bindings and fn parameters with a
+/// `HashMap`/`HashSet` annotation, plus `let x = HashMap::new()` style
+/// initializers. Scoped per file — pooling names crate-wide would make a
+/// `Vec`-typed field in one file collide with a same-named map in another.
+fn collect_hash_names(file: &SrcFile) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    let toks = &file.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if file.mask[i] || !HASH_TYPES.contains(&t.text.as_str()) {
+            continue;
+        }
+        // Walk backwards over `std :: collections ::` path prefixes,
+        // reference sigils and `mut` to find `name :` or `name =`.
+        let mut j = i;
+        while j >= 2 && toks[j - 1].is_punct("::") && toks[j - 2].kind == TokKind::Ident {
+            j -= 2;
+        }
+        while j >= 1
+            && (toks[j - 1].is_punct("&")
+                || toks[j - 1].is_ident("mut")
+                || toks[j - 1].is_ident("dyn"))
+        {
+            j -= 1;
+        }
+        if j >= 2
+            && (toks[j - 1].is_punct(":") || toks[j - 1].is_punct("="))
+            && toks[j - 2].kind == TokKind::Ident
+        {
+            names.insert(toks[j - 2].text.clone());
+        }
+    }
+    names
+}
+
+fn hash_iter(file: &SrcFile, hash_names: &BTreeSet<String>, findings: &mut Vec<Finding>) {
+    let toks = &file.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if file.mask[i] {
+            continue;
+        }
+        // `name.iter()`, `self.name.drain()`, …
+        if t.kind == TokKind::Ident
+            && hash_names.contains(&t.text)
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("."))
+            && toks
+                .get(i + 2)
+                .is_some_and(|n| ITER_METHODS.contains(&n.text.as_str()))
+            && toks.get(i + 3).is_some_and(|n| n.is_punct("("))
+        {
+            let method = &toks[i + 2].text;
+            findings.push(Finding {
+                rule: RULE_HASH_ITER,
+                file: file.rel.clone(),
+                line: t.line,
+                msg: format!(
+                    "`{}.{method}()` iterates a hash-ordered collection — \
+                     replace with BTreeMap/BTreeSet or justify with an \
+                     sslint allow comment",
+                    t.text
+                ),
+            });
+        }
+        // `for x in &self.name { … }` — direct iteration of the map value.
+        if t.is_ident("for") {
+            let Some(in_pos) = toks[i..]
+                .iter()
+                .position(|x| x.is_ident("in"))
+                .map(|p| p + i)
+            else {
+                continue;
+            };
+            let Some(brace_pos) = toks[in_pos..]
+                .iter()
+                .position(|x| x.is_punct("{"))
+                .map(|p| p + in_pos)
+            else {
+                continue;
+            };
+            let expr = &toks[in_pos + 1..brace_pos];
+            let calls_method = expr.iter().any(|x| x.is_punct("("));
+            let last_ident = expr.iter().rev().find(|x| x.kind == TokKind::Ident);
+            if let Some(last) = last_ident {
+                if !calls_method && hash_names.contains(&last.text) {
+                    findings.push(Finding {
+                        rule: RULE_HASH_ITER,
+                        file: file.rel.clone(),
+                        line: last.line,
+                        msg: format!(
+                            "`for … in {}` iterates a hash-ordered collection \
+                             — replace with BTreeMap/BTreeSet or justify with \
+                             an sslint allow comment",
+                            last.text
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule P — panic hygiene
+// ---------------------------------------------------------------------------
+
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+fn panic_hygiene(file: &SrcFile, findings: &mut Vec<Finding>) {
+    let toks = &file.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if file.mask[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let prev_is_dot = i > 0 && toks[i - 1].is_punct(".");
+        if t.text == "unwrap" && prev_is_dot && toks.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+            findings.push(Finding {
+                rule: RULE_PANIC,
+                file: file.rel.clone(),
+                line: t.line,
+                msg: "`.unwrap()` in library code — return a Result, \
+                      restructure, or justify with an sslint allow comment"
+                    .to_string(),
+            });
+        }
+        if t.text == "expect"
+            && prev_is_dot
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+            && toks.get(i + 2).is_some_and(|n| {
+                n.kind == TokKind::Literal && n.text.contains('"') && !n.text.starts_with('b')
+            })
+        {
+            findings.push(Finding {
+                rule: RULE_PANIC,
+                file: file.rel.clone(),
+                line: t.line,
+                msg: "`.expect(\"…\")` in library code — return a Result, \
+                      restructure, or justify with an sslint allow comment"
+                    .to_string(),
+            });
+        }
+        if PANIC_MACROS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+        {
+            findings.push(Finding {
+                rule: RULE_PANIC,
+                file: file.rel.clone(),
+                line: t.line,
+                msg: format!(
+                    "`{}!` in library code — return an error, restructure, \
+                     or justify with an sslint allow comment",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule H — hermeticity & layering
+// ---------------------------------------------------------------------------
+
+fn hermeticity(ws: &Workspace, findings: &mut Vec<Finding>) {
+    let mut manifests: Vec<(&str, &crate::manifest::Manifest)> = vec![];
+    if let Some(root) = &ws.root_manifest {
+        manifests.push(("Cargo.toml", root));
+    }
+    for krate in &ws.crates {
+        manifests.push((&krate.manifest_rel, &krate.manifest));
+    }
+    for (rel, m) in manifests {
+        for dep in &m.deps {
+            if !dep.is_in_tree() {
+                findings.push(Finding {
+                    rule: RULE_DEP_HERMETIC,
+                    file: rel.to_string(),
+                    line: dep.line,
+                    msg: format!(
+                        "dependency `{}` is not an in-tree path crate — the \
+                         workspace must build offline with zero registry \
+                         access",
+                        dep.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn layering(krate: &CrateInfo, findings: &mut Vec<Finding>) {
+    let Some(own_layer) = layer_of(&krate.dir_name) else {
+        findings.push(Finding {
+            rule: RULE_LAYERING,
+            file: krate.manifest_rel.clone(),
+            line: 1,
+            msg: format!(
+                "crate `{}` is not in the layering DAG — add it to \
+                 sslint's LAYERS table with a deliberate layer",
+                krate.dir_name
+            ),
+        });
+        return;
+    };
+    for dep in &krate.manifest.deps {
+        if dep.section != "dependencies" {
+            continue; // dev-dependencies may reach sideways for tests.
+        }
+        match layer_of(&dep.name) {
+            None => findings.push(Finding {
+                rule: RULE_LAYERING,
+                file: krate.manifest_rel.clone(),
+                line: dep.line,
+                msg: format!("dependency `{}` is not in the layering DAG", dep.name),
+            }),
+            Some(dep_layer) if dep_layer >= own_layer => findings.push(Finding {
+                rule: RULE_LAYERING,
+                file: krate.manifest_rel.clone(),
+                line: dep.line,
+                msg: format!(
+                    "`{}` (layer {own_layer}) must not depend on `{}` \
+                     (layer {dep_layer}) — layers must strictly decrease",
+                    krate.dir_name, dep.name
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+}
+
+fn unsafe_forbid(krate: &CrateInfo, findings: &mut Vec<Finding>) {
+    let Some(lib) = krate.files.iter().find(|f| f.rel.ends_with("src/lib.rs")) else {
+        return; // Binary-only crates have no lib surface to audit.
+    };
+    let toks = &lib.lexed.tokens;
+    let has = toks.windows(4).any(|w| {
+        w[0].is_ident("forbid")
+            && w[1].is_punct("(")
+            && w[2].is_ident("unsafe_code")
+            && w[3].is_punct(")")
+    });
+    if !has {
+        findings.push(Finding {
+            rule: RULE_UNSAFE_FORBID,
+            file: lib.rel.clone(),
+            line: 1,
+            msg: format!(
+                "crate `{}` lacks `#![forbid(unsafe_code)]` in src/lib.rs",
+                krate.dir_name
+            ),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule T — trace conventions
+// ---------------------------------------------------------------------------
+
+/// Parses the declared `TraceEvent` variant names out of
+/// `crates/simnet/src/trace.rs`. Returns `None` when the workspace has no
+/// trace module (rule T is then skipped — nothing to check against).
+fn declared_trace_kinds(ws: &Workspace) -> Option<BTreeSet<String>> {
+    let simnet = ws.crates.iter().find(|c| c.dir_name == "simnet")?;
+    let trace = simnet
+        .files
+        .iter()
+        .find(|f| f.rel.ends_with("src/trace.rs"))?;
+    let toks = &trace.lexed.tokens;
+    let start = toks
+        .windows(3)
+        .position(|w| w[0].is_ident("enum") && w[1].is_ident("TraceEvent") && w[2].is_punct("{"))?
+        + 3;
+    let mut kinds = BTreeSet::new();
+    let mut depth = 1usize;
+    let mut i = start;
+    let mut at_variant_start = true;
+    while i < toks.len() && depth > 0 {
+        let t = &toks[i];
+        if t.is_punct("{") || t.is_punct("(") {
+            depth += 1;
+        } else if t.is_punct("}") || t.is_punct(")") {
+            depth -= 1;
+            if depth == 1 {
+                at_variant_start = false; // struct-variant body just closed
+            }
+        } else if t.is_punct(",") && depth == 1 {
+            at_variant_start = true;
+        } else if depth == 1 && at_variant_start && t.kind == TokKind::Ident {
+            kinds.insert(t.text.clone());
+            at_variant_start = false;
+        }
+        i += 1;
+    }
+    Some(kinds)
+}
+
+fn trace_kinds(file: &SrcFile, declared: &Option<BTreeSet<String>>, findings: &mut Vec<Finding>) {
+    let Some(declared) = declared else {
+        return;
+    };
+    let toks = &file.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if file.mask[i] {
+            continue;
+        }
+        if t.is_ident("TraceEvent")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            && toks.get(i + 2).is_some_and(|n| n.kind == TokKind::Ident)
+        {
+            let kind = &toks[i + 2].text;
+            if !declared.contains(kind) {
+                findings.push(Finding {
+                    rule: RULE_TRACE_KIND,
+                    file: file.rel.clone(),
+                    line: toks[i + 2].line,
+                    msg: format!(
+                        "trace kind `TraceEvent::{kind}` is not declared in \
+                         simnet::trace — declare the variant before \
+                         emitting it"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Allow hygiene
+// ---------------------------------------------------------------------------
+
+fn allow_hygiene(file: &SrcFile, findings: &mut Vec<Finding>) {
+    for &line in &file.lexed.reasonless_allows {
+        findings.push(Finding {
+            rule: RULE_ALLOW_REASON,
+            file: file.rel.clone(),
+            line,
+            msg: "sslint allow comment without a reason — write \
+                  `// sslint: allow(<rule>) — <why this is sound>`"
+                .to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_table_is_a_dag_over_known_names() {
+        for (name, layer) in LAYERS {
+            assert_eq!(layer_of(name), Some(*layer));
+        }
+        assert_eq!(layer_of("softstage-apps"), layer_of("apps"));
+        assert_eq!(layer_of("no-such-crate"), None);
+    }
+
+    #[test]
+    fn sim_crate_classification() {
+        for c in [
+            "simnet",
+            "softstage",
+            "xcache",
+            "vehicular",
+            "xia-host",
+            "xia-wire",
+        ] {
+            assert!(is_sim_crate(c), "{c}");
+        }
+        for c in ["util", "apps", "experiments", "bench", "suite", "sslint"] {
+            assert!(!is_sim_crate(c), "{c}");
+        }
+    }
+}

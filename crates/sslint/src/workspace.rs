@@ -1,0 +1,121 @@
+//! Loads the workspace into the model the rules operate on: one
+//! [`CrateInfo`] per member crate, each holding its parsed manifest and the
+//! lexed, test-masked source files under `src/`.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lex::{self, Lexed};
+use crate::manifest::{self, Manifest};
+
+/// One lexed source file.
+pub struct SrcFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel: String,
+    /// Whether the file lives under `src/bin/` or is `src/main.rs` — CLI
+    /// entry points, exempt from the library panic rule.
+    pub is_bin: bool,
+    /// The token stream plus allow-comment annotations.
+    pub lexed: Lexed,
+    /// `mask[i]` is true when token `i` sits inside `#[cfg(test)]` /
+    /// `#[test]` gated code.
+    pub mask: Vec<bool>,
+}
+
+/// One workspace member crate.
+pub struct CrateInfo {
+    /// Directory name under `crates/` (the identity the layering DAG uses).
+    pub dir_name: String,
+    /// Manifest path relative to the workspace root.
+    pub manifest_rel: String,
+    /// Parsed `Cargo.toml`.
+    pub manifest: Manifest,
+    /// Lexed files under `src/`, sorted by path.
+    pub files: Vec<SrcFile>,
+}
+
+/// The loaded workspace.
+pub struct Workspace {
+    /// The root `Cargo.toml`, when present.
+    pub root_manifest: Option<Manifest>,
+    /// Member crates, sorted by directory name.
+    pub crates: Vec<CrateInfo>,
+}
+
+/// Loads the workspace rooted at `root`. Only `crates/*/` directories that
+/// contain a `Cargo.toml` become members; everything is read eagerly so
+/// the rules run over a consistent snapshot.
+pub fn load(root: &Path) -> io::Result<Workspace> {
+    let root_manifest = match fs::read_to_string(root.join("Cargo.toml")) {
+        Ok(text) => Some(manifest::parse(&text)),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+        Err(e) => return Err(e),
+    };
+    let mut crates = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = Vec::new();
+    for entry in fs::read_dir(&crates_dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() && path.join("Cargo.toml").is_file() {
+            crate_dirs.push(path);
+        }
+    }
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let dir_name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let manifest_text = fs::read_to_string(dir.join("Cargo.toml"))?;
+        let mut files = Vec::new();
+        let src = dir.join("src");
+        if src.is_dir() {
+            let mut rs_files = Vec::new();
+            collect_rs(&src, &mut rs_files)?;
+            rs_files.sort();
+            for path in rs_files {
+                let text = fs::read_to_string(&path)?;
+                let lexed = lex::lex(&text);
+                let mask = lex::test_mask(&lexed.tokens);
+                let rel = rel_to(root, &path);
+                let is_bin = rel.contains("/src/bin/") || rel.ends_with("/src/main.rs");
+                files.push(SrcFile {
+                    rel,
+                    is_bin,
+                    lexed,
+                    mask,
+                });
+            }
+        }
+        crates.push(CrateInfo {
+            manifest_rel: rel_to(root, &dir.join("Cargo.toml")),
+            dir_name,
+            manifest: manifest::parse(&manifest_text),
+            files,
+        });
+    }
+    Ok(Workspace {
+        root_manifest,
+        crates,
+    })
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_to(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.to_string_lossy().replace('\\', "/")
+}

@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+
+// sslint: allow(panic)
+pub fn id(x: u32) -> u32 {
+    x
+}

@@ -1,0 +1,12 @@
+#![forbid(unsafe_code)]
+use std::collections::HashMap;
+
+pub struct Store {
+    entries: HashMap<u64, u64>,
+}
+
+impl Store {
+    pub fn total(&self) -> u64 {
+        self.entries.values().sum()
+    }
+}

@@ -61,7 +61,10 @@ impl Runner {
     /// Starts a suite; prints a header immediately.
     pub fn new(suite: &str) -> Self {
         println!("suite {suite}");
-        println!("{:<40} {:>14} {:>14} {:>12}", "bench", "ns/iter", "throughput", "iters");
+        println!(
+            "{:<40} {:>14} {:>14} {:>12}",
+            "bench", "ns/iter", "throughput", "iters"
+        );
         Runner {
             suite: suite.to_string(),
             results: Vec::new(),

@@ -72,7 +72,10 @@ impl Bytes {
             Bound::Excluded(&n) => n,
             Bound::Unbounded => len,
         };
-        assert!(lo <= hi && hi <= len, "slice {lo}..{hi} out of range for length {len}");
+        assert!(
+            lo <= hi && hi <= len,
+            "slice {lo}..{hi} out of range for length {len}"
+        );
         Bytes {
             data: Arc::clone(&self.data),
             start: self.start + lo,
@@ -103,7 +106,11 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let data: Arc<[u8]> = v.into();
         let end = data.len();
-        Bytes { data, start: 0, end }
+        Bytes {
+            data,
+            start: 0,
+            end,
+        }
     }
 }
 

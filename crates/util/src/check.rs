@@ -130,7 +130,12 @@ impl Gen {
 
     /// A vector with `lo..=hi` elements drawn from `item`. Shrinks toward
     /// fewer, simpler elements.
-    pub fn vec_of<T>(&mut self, lo: usize, hi: usize, mut item: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+    pub fn vec_of<T>(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        mut item: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
         let n = self.usize_in(lo, hi);
         (0..n).map(|_| item(self)).collect()
     }
@@ -174,11 +179,10 @@ pub fn check(name: &str, cases: usize, prop: impl Fn(&mut Gen)) {
     let _serial = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let saved_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {})); // quiet during search + shrink
-    let outcome = run_all(base, cases, &prop)
-        .map(|(case, tape, msg)| {
-            let (tape, msg) = shrink(&prop, tape, msg);
-            (case, tape, msg)
-        });
+    let outcome = run_all(base, cases, &prop).map(|(case, tape, msg)| {
+        let (tape, msg) = shrink(&prop, tape, msg);
+        (case, tape, msg)
+    });
     std::panic::set_hook(saved_hook);
 
     if let Some((case, tape, msg)) = outcome {
@@ -323,7 +327,10 @@ mod tests {
         assert!(msg.contains("minimal tape"), "got: {msg}");
         // The minimal counterexample for x<50 is x=50; shrinking minimizes
         // the mapped value (the raw tape entry is whatever ≡50 mod 1001).
-        assert!(msg.contains("x too big: 50"), "shrink did not minimize: {msg}");
+        assert!(
+            msg.contains("x too big: 50"),
+            "shrink did not minimize: {msg}"
+        );
         assert!(msg.contains("(1 choices)"), "tape not truncated: {msg}");
     }
 

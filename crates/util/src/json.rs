@@ -452,7 +452,9 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32, JsonError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let b = self.peek().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let b = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let digit = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("bad hex digit in \\u escape"))?;
@@ -478,7 +480,8 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("malformed number"))?;
         if is_float {
             text.parse::<f64>()
                 .map(Json::Float)
@@ -588,7 +591,8 @@ impl FromJson for f64 {
 
 impl FromJson for bool {
     fn from_json(v: &Json) -> Result<Self, JsonError> {
-        v.as_bool().ok_or_else(|| JsonError::new("expected boolean"))
+        v.as_bool()
+            .ok_or_else(|| JsonError::new("expected boolean"))
     }
 }
 
@@ -627,7 +631,10 @@ mod tests {
     fn roundtrip_preserves_structure_and_key_order() {
         let v = Json::Obj(vec![
             ("zebra".into(), Json::Int(1)),
-            ("alpha".into(), Json::Arr(vec![Json::Null, Json::Bool(true)])),
+            (
+                "alpha".into(),
+                Json::Arr(vec![Json::Null, Json::Bool(true)]),
+            ),
             ("pi".into(), Json::Float(3.25)),
             ("name".into(), Json::Str("a \"quoted\"\nline".into())),
         ]);
@@ -649,7 +656,10 @@ mod tests {
     fn large_u64_survives_via_int() {
         let n = (i64::MAX as u64) - 7;
         let j = n.to_json();
-        assert_eq!(u64::from_json(&Json::parse(&j.to_string_compact()).unwrap()).unwrap(), n);
+        assert_eq!(
+            u64::from_json(&Json::parse(&j.to_string_compact()).unwrap()).unwrap(),
+            n
+        );
     }
 
     #[test]
@@ -668,8 +678,17 @@ mod tests {
     #[test]
     fn rejects_malformed_documents() {
         for bad in [
-            "", "{", "[1,", "{\"a\":}", "\"unterminated", "tru", "1.2.3",
-            "{\"a\":1} trailing", "[1 2]", "\"bad \\q escape\"", "\u{1}",
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "\"unterminated",
+            "tru",
+            "1.2.3",
+            "{\"a\":1} trailing",
+            "[1 2]",
+            "\"bad \\q escape\"",
+            "\u{1}",
         ] {
             assert!(Json::parse(bad).is_err(), "accepted malformed: {bad:?}");
         }

@@ -10,7 +10,7 @@
 use simnet::{LinkId, SimDuration};
 use xia_addr::{Dag, Xid};
 use xia_host::{App, HostCtx};
-use xia_wire::{Beacon, L4, XiaPacket};
+use xia_wire::{Beacon, XiaPacket, L4};
 
 use crate::schedule::CoverageSchedule;
 

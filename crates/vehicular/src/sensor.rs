@@ -1,7 +1,7 @@
 //! The network sensor: beacon-driven discovery of edge networks and their
 //! staging VNFs (the paper's *Network Sensor* module).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use simnet::{LinkId, SimDuration, SimTime};
 use xia_addr::{Dag, Xid};
@@ -30,7 +30,7 @@ pub struct NetworkKnowledge {
 /// discovery proceeds even while the data interface transfers chunks.
 #[derive(Debug)]
 pub struct NetworkSensor {
-    networks: HashMap<Xid, NetworkKnowledge>,
+    networks: BTreeMap<Xid, NetworkKnowledge>,
     /// A network unheard for this long is considered gone.
     pub beacon_timeout: SimDuration,
 }
@@ -45,7 +45,7 @@ impl NetworkSensor {
     /// Creates a sensor that expires networks after `beacon_timeout`.
     pub fn new(beacon_timeout: SimDuration) -> Self {
         NetworkSensor {
-            networks: HashMap::new(),
+            networks: BTreeMap::new(),
             beacon_timeout,
         }
     }
@@ -145,13 +145,7 @@ mod tests {
     }
     struct Nop;
     impl simnet::Node<TestMsg> for Nop {
-        fn on_packet(
-            &mut self,
-            _: &mut simnet::Context<'_, TestMsg>,
-            _: LinkId,
-            _: TestMsg,
-        ) {
-        }
+        fn on_packet(&mut self, _: &mut simnet::Context<'_, TestMsg>, _: LinkId, _: TestMsg) {}
     }
 
     #[test]

@@ -98,7 +98,9 @@ impl ChunkResponseHeader {
         let principal = principal_from_code(buf[2]).ok_or(ProtoError::BadPrincipal)?;
         let mut id = [0u8; 20];
         id.copy_from_slice(&buf[3..23]);
-        let len = u64::from_be_bytes(buf[23..31].try_into().expect("8 bytes"));
+        let len = buf[23..31]
+            .iter()
+            .fold(0u64, |acc, &b| (acc << 8) | u64::from(b));
         Ok(ChunkResponseHeader {
             cid: Xid::new(principal, id),
             found,

@@ -10,7 +10,7 @@
 //! Both are pure state machines — the host stack moves bytes between them
 //! and the transport.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use util::bytes::Bytes;
 use xia_addr::Xid;
@@ -34,7 +34,7 @@ pub enum ServerAction {
 /// The serving side of the chunk protocol for one XCache.
 #[derive(Debug, Default)]
 pub struct ChunkServer {
-    inbox: HashMap<ConnId, Vec<u8>>,
+    inbox: BTreeMap<ConnId, Vec<u8>>,
     served: u64,
     not_found: u64,
     /// (CID, bytes) pairs served since the last [`ChunkServer::take_served`],
@@ -114,7 +114,10 @@ impl ChunkServer {
                     found: false,
                     len: 0,
                 };
-                vec![ServerAction::Send(conn, hdr.encode()), ServerAction::Close(conn)]
+                vec![
+                    ServerAction::Send(conn, hdr.encode()),
+                    ServerAction::Close(conn),
+                ]
             }
         }
     }
@@ -210,7 +213,12 @@ impl ChunkFetcher {
                 }
             }
         }
-        let hdr = self.header.expect("header parsed above");
+        let Some(hdr) = self.header.as_ref() else {
+            // The block above either stored a header or returned early; a
+            // missing header here means the stream state is unusable.
+            self.done = true;
+            return FetchProgress::Corrupt;
+        };
         if (self.buf.len() as u64) < hdr.len {
             return FetchProgress::InProgress;
         }

@@ -1,6 +1,6 @@
 //! The chunk content store with pluggable eviction.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use util::bytes::Bytes;
 use xia_addr::Xid;
@@ -64,7 +64,7 @@ pub struct StoreStats {
 pub struct ChunkStore {
     capacity_bytes: usize,
     policy: EvictionPolicy,
-    entries: HashMap<Xid, Entry>,
+    entries: BTreeMap<Xid, Entry>,
     used_bytes: usize,
     clock: u64,
     stats: StoreStats,
@@ -83,7 +83,7 @@ impl ChunkStore {
         ChunkStore {
             capacity_bytes,
             policy,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             used_bytes: 0,
             clock: 0,
             stats: StoreStats::default(),
@@ -192,19 +192,19 @@ impl ChunkStore {
     /// storage, while cached copies are volatile. Returns how many chunks
     /// were lost.
     pub fn wipe(&mut self) -> usize {
-        let mut victims: Vec<Xid> = self
+        // BTreeMap iterates in ascending CID order, so the evicted log
+        // (and hence a recorded trace) is identical across runs.
+        let victims: Vec<Xid> = self
             .entries
             .iter()
             .filter(|(_, e)| !e.pinned)
             .map(|(cid, _)| *cid)
             .collect();
-        // HashMap iteration order is nondeterministic; sort so the evicted
-        // log (and hence a recorded trace) is identical across runs.
-        victims.sort_unstable();
         for cid in &victims {
-            let e = self.entries.remove(cid).expect("victim present");
-            self.used_bytes -= e.data.len();
-            self.log_evicted(*cid);
+            if let Some(e) = self.entries.remove(cid) {
+                self.used_bytes -= e.data.len();
+                self.log_evicted(*cid);
+            }
         }
         victims.len()
     }
@@ -229,9 +229,8 @@ impl ChunkStore {
                 EvictionPolicy::Lfu => (e.hits, e.last_access),
             })
             .map(|(cid, _)| *cid);
-        match victim {
-            Some(cid) => {
-                let e = self.entries.remove(&cid).expect("victim present");
+        match victim.and_then(|cid| self.entries.remove(&cid).map(|e| (cid, e))) {
+            Some((cid, e)) => {
                 self.used_bytes -= e.data.len();
                 self.stats.evictions += 1;
                 self.log_evicted(cid);
@@ -254,7 +253,7 @@ impl ChunkStore {
         std::mem::take(&mut self.evicted_log)
     }
 
-    /// CIDs currently stored, in no particular order.
+    /// CIDs currently stored, in ascending CID order.
     pub fn iter(&self) -> impl Iterator<Item = &Xid> {
         self.entries.keys()
     }

@@ -56,9 +56,7 @@ fn store_capacity_and_accounting() {
             EvictionPolicy::Fifo,
             EvictionPolicy::Lfu,
         ]);
-        let ops = g.vec_of(1, 59, |g| {
-            (g.u64() as u8, g.usize_in(1, 199), g.bool())
-        });
+        let ops = g.vec_of(1, 59, |g| (g.u64() as u8, g.usize_in(1, 199), g.bool()));
         let mut store = ChunkStore::new(capacity, policy);
         let mut pinned_bytes = 0usize;
         for (tag, len, publish) in ops {

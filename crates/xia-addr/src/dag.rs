@@ -94,7 +94,10 @@ impl Dag {
         if nodes.is_empty() {
             return Err(DagError::Empty);
         }
-        for e in entry.iter().chain(nodes.iter().flat_map(|n| n.edges.iter())) {
+        for e in entry
+            .iter()
+            .chain(nodes.iter().flat_map(|n| n.edges.iter()))
+        {
             if *e >= nodes.len() {
                 return Err(DagError::EdgeOutOfRange);
             }
@@ -137,6 +140,20 @@ impl Dag {
         })
     }
 
+    /// Assembles one of the fixed-shape addresses below. The literal
+    /// shapes cannot trip the validator; if a future edit breaks one, the
+    /// address degrades to a direct intent-only DAG instead of panicking.
+    fn from_static(intent_xid: Xid, nodes: Vec<DagNode>, entry: Vec<usize>) -> Self {
+        Dag::from_parts(nodes, entry).unwrap_or(Dag {
+            nodes: vec![DagNode {
+                xid: intent_xid,
+                edges: vec![],
+            }],
+            entry: vec![0],
+            intent: 0,
+        })
+    }
+
     /// The paper's `CID | NID : HID` address: fetch content `cid` from
     /// anywhere, falling back to routing into network `nid`, host `hid`,
     /// which can serve the content.
@@ -156,7 +173,7 @@ impl Dag {
                 edges: vec![0],
             },
         ];
-        Dag::from_parts(nodes, vec![0, 1]).expect("static shape is valid")
+        Dag::from_static(cid, nodes, vec![0, 1])
     }
 
     /// A plain host address `NID : HID` (intent = HID).
@@ -171,7 +188,7 @@ impl Dag {
                 edges: vec![0],
             },
         ];
-        Dag::from_parts(nodes, vec![1]).expect("static shape is valid")
+        Dag::from_static(hid, nodes, vec![1])
     }
 
     /// A service address `SID | NID : HID` (intent = SID).
@@ -190,19 +207,12 @@ impl Dag {
                 edges: vec![0],
             },
         ];
-        Dag::from_parts(nodes, vec![0, 1]).expect("static shape is valid")
+        Dag::from_static(sid, nodes, vec![0, 1])
     }
 
     /// A bare single-XID address (intent only, no fallback).
     pub fn direct(xid: Xid) -> Self {
-        Dag::from_parts(
-            vec![DagNode {
-                xid,
-                edges: vec![],
-            }],
-            vec![0],
-        )
-        .expect("static shape is valid")
+        Dag::from_static(xid, vec![DagNode { xid, edges: vec![] }], vec![0])
     }
 
     /// The intent (final destination) node.
@@ -341,7 +351,12 @@ impl fmt::Debug for Dag {
                 self.nodes[2].xid.short()
             );
         }
-        write!(f, "Dag({} nodes, intent {})", self.nodes.len(), self.intent().short())
+        write!(
+            f,
+            "Dag({} nodes, intent {})",
+            self.nodes.len(),
+            self.intent().short()
+        )
     }
 }
 

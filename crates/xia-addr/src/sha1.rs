@@ -29,10 +29,11 @@ pub fn sha1(data: &[u8]) -> [u8; DIGEST_LEN] {
 
 /// Renders a digest as lowercase hex.
 pub fn to_hex(digest: &[u8; DIGEST_LEN]) -> String {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
     let mut s = String::with_capacity(DIGEST_LEN * 2);
     for b in digest {
-        s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble < 16"));
-        s.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble < 16"));
+        s.push(HEX[(b >> 4) as usize] as char);
+        s.push(HEX[(b & 0xf) as usize] as char);
     }
     s
 }
@@ -66,7 +67,13 @@ impl Sha1 {
     /// Creates a fresh hasher.
     pub fn new() -> Self {
         Sha1 {
-            state: [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0],
+            state: [
+                0x6745_2301,
+                0xEFCD_AB89,
+                0x98BA_DCFE,
+                0x1032_5476,
+                0xC3D2_E1F0,
+            ],
             buffer: [0u8; 64],
             buffer_len: 0,
             total_len: 0,

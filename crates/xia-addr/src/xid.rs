@@ -176,7 +176,9 @@ impl ToJson for Xid {
 
 impl FromJson for Xid {
     fn from_json(v: &Json) -> Result<Self, JsonError> {
-        let text = v.as_str().ok_or_else(|| JsonError::new("expected XID string"))?;
+        let text = v
+            .as_str()
+            .ok_or_else(|| JsonError::new("expected XID string"))?;
         Xid::from_text(text).map_err(|_| JsonError::new(format!("invalid XID `{text}`")))
     }
 }

@@ -2,8 +2,8 @@
 
 use std::any::Any;
 
-use util::bytes::Bytes;
 use simnet::{LinkId, NodeFault};
+use util::bytes::Bytes;
 use xia_addr::{Dag, Xid};
 use xia_transport::TransportEvent;
 use xia_wire::Beacon;

@@ -1,13 +1,13 @@
 //! The host context: the "OS API" applications program against.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
-use util::bytes::Bytes;
 use simnet::{Context as SimContext, LinkId, SimDuration, SimTime};
+use util::bytes::Bytes;
+use xcache::{ChunkFetcher, ChunkStore};
 use xia_addr::{Dag, Xid};
 use xia_transport::{TransportError, TransportEvent, TransportMux};
-use xia_wire::{ConnId, L4, XiaPacket};
-use xcache::{ChunkFetcher, ChunkStore};
+use xia_wire::{ConnId, XiaPacket, L4};
 
 /// Tag marking a host timer key as belonging to an application.
 pub const APP_TIMER_TAG: u64 = 0x4150 << 48;
@@ -88,8 +88,8 @@ pub struct HostCtx<'a, 'b> {
     pub(crate) mux: &'a mut TransportMux,
     pub(crate) store: &'a mut ChunkStore,
     pub(crate) meta: &'a mut HostMeta,
-    pub(crate) owners: &'a mut HashMap<ConnId, Owner>,
-    pub(crate) fetchers: &'a mut HashMap<ConnId, FetchState>,
+    pub(crate) owners: &'a mut BTreeMap<ConnId, Owner>,
+    pub(crate) fetchers: &'a mut BTreeMap<ConnId, FetchState>,
     pub(crate) pending: &'a mut VecDeque<TransportEvent>,
     pub(crate) outbox: &'a mut Vec<XiaPacket>,
     pub(crate) app_idx: usize,

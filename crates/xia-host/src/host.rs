@@ -1,13 +1,15 @@
 //! The host stack and its simulator node wrapper.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
-use util::bytes::Bytes;
 use simnet::{Context as SimContext, LinkId, Node, NodeFault, TimerKey};
+use util::bytes::Bytes;
+use xcache::{
+    chunk_content, ChunkServer, ChunkStore, EvictionPolicy, FetchProgress, Manifest, ServerAction,
+};
 use xia_addr::{Dag, Principal, Xid};
 use xia_transport::{TransportConfig, TransportEvent, TransportMux};
-use xia_wire::{ConnId, L4, XiaPacket};
-use xcache::{chunk_content, ChunkServer, ChunkStore, EvictionPolicy, FetchProgress, Manifest, ServerAction};
+use xia_wire::{ConnId, XiaPacket, L4};
 
 use crate::app::{App, FetchResult};
 use crate::ctx::{FetchState, HostCtx, HostEnv, HostMeta, Owner, APP_TIMER_TAG};
@@ -54,8 +56,8 @@ pub struct Host {
     store: ChunkStore,
     server: ChunkServer,
     apps: Vec<Option<Box<dyn App>>>,
-    owners: HashMap<ConnId, Owner>,
-    fetchers: HashMap<ConnId, FetchState>,
+    owners: BTreeMap<ConnId, Owner>,
+    fetchers: BTreeMap<ConnId, FetchState>,
     pending: VecDeque<TransportEvent>,
     outbox: Vec<XiaPacket>,
     /// Crashed and not yet restarted: the stack drops all traffic, timers
@@ -80,8 +82,8 @@ impl Host {
             store: ChunkStore::new(config.cache_capacity, config.cache_policy),
             server: ChunkServer::new(),
             apps: Vec::new(),
-            owners: HashMap::new(),
-            fetchers: HashMap::new(),
+            owners: BTreeMap::new(),
+            fetchers: BTreeMap::new(),
             pending: VecDeque::new(),
             outbox: Vec::new(),
             down: false,
@@ -487,21 +489,13 @@ impl Host {
             TransportEvent::PeerClosed { conn } => match self.owners.get(conn) {
                 Some(Owner::Fetch(i)) => {
                     let (i, conn) = (*i, *conn);
-                    let unfinished = self
-                        .fetchers
-                        .get_mut(&conn)
-                        .map(|st| {
-                            let was = !st.done;
-                            st.done = true;
-                            was
-                        })
-                        .unwrap_or(false);
-                    if unfinished {
+                    let unfinished = self.fetchers.get_mut(&conn).and_then(|st| {
+                        let was = !st.done;
+                        st.done = true;
+                        was.then(|| (st.handle, st.fetcher.cid()))
+                    });
+                    if let Some((handle, cid)) = unfinished {
                         // Truncated response: the responder closed early.
-                        let (handle, cid) = {
-                            let st = self.fetchers.get(&conn).expect("present");
-                            (st.handle, st.fetcher.cid())
-                        };
                         let mut env = HostEnv {
                             sim: ctx,
                             outbox: &mut self.outbox,

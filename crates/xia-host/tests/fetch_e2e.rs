@@ -1,11 +1,11 @@
 //! End-to-end chunk fetches between two host stacks over simulated links.
 
-use util::bytes::Bytes;
 use simnet::{LinkConfig, SimDuration, SimTime, Simulator};
+use util::bytes::Bytes;
+use xcache::Manifest;
 use xia_addr::{Dag, Principal, Xid};
 use xia_host::{App, EndHost, FetchResult, Host, HostConfig, HostCtx};
 use xia_wire::XiaPacket;
-use xcache::Manifest;
 
 /// Fetches a list of chunk DAGs sequentially, recording results.
 struct SeqFetcher {
@@ -65,7 +65,11 @@ fn build_world(content_len: usize, chunk_size: usize, link: LinkConfig) -> World
     let nid = Xid::new_random(Principal::Nid, 9);
 
     let mut server_host = Host::new(HostConfig::new(server_hid));
-    let content = Bytes::from((0..content_len).map(|i| (i % 249) as u8).collect::<Vec<u8>>());
+    let content = Bytes::from(
+        (0..content_len)
+            .map(|i| (i % 249) as u8)
+            .collect::<Vec<u8>>(),
+    );
     let manifest = server_host.publish_content(&content, chunk_size);
 
     let dags: Vec<Dag> = manifest
@@ -98,7 +102,10 @@ fn build_world(content_len: usize, chunk_size: usize, link: LinkConfig) -> World
     }
 }
 
-fn completions(world: &Simulator<XiaPacket>, node: simnet::NodeId) -> &[(Xid, FetchResult, SimTime)] {
+fn completions(
+    world: &Simulator<XiaPacket>,
+    node: simnet::NodeId,
+) -> &[(Xid, FetchResult, SimTime)] {
     &world
         .node::<EndHost>(node)
         .unwrap()
@@ -133,7 +140,11 @@ fn fetches_all_chunks_and_reassembles() {
     // All connections torn down.
     assert_eq!(server.active_connections(), 0);
     assert_eq!(
-        w.sim.node::<EndHost>(w.client).unwrap().host().active_connections(),
+        w.sim
+            .node::<EndHost>(w.client)
+            .unwrap()
+            .host()
+            .active_connections(),
         0
     );
 }

@@ -23,20 +23,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use simnet::{Context as SimContext, LinkId, Node, NodeFault, TimerKey};
 use xia_addr::{dag::SOURCE, Principal, Xid};
 use xia_host::Host;
-use xia_wire::{L4, XiaPacket};
+use xia_wire::{XiaPacket, L4};
 
 /// Per-principal routing tables of one router.
 #[derive(Debug, Default)]
 pub struct RoutingTables {
-    nid: HashMap<Xid, LinkId>,
-    hid: HashMap<Xid, LinkId>,
-    cid: HashMap<Xid, LinkId>,
-    sid: HashMap<Xid, LinkId>,
+    nid: BTreeMap<Xid, LinkId>,
+    hid: BTreeMap<Xid, LinkId>,
+    cid: BTreeMap<Xid, LinkId>,
+    sid: BTreeMap<Xid, LinkId>,
     /// Where to send packets with no matching route (towards the core).
     default: Option<LinkId>,
 }
@@ -73,7 +73,7 @@ impl RoutingTables {
         })
     }
 
-    fn table(&self, p: Principal) -> &HashMap<Xid, LinkId> {
+    fn table(&self, p: Principal) -> &BTreeMap<Xid, LinkId> {
         match p {
             Principal::Nid => &self.nid,
             Principal::Hid => &self.hid,
@@ -82,7 +82,7 @@ impl RoutingTables {
         }
     }
 
-    fn table_mut(&mut self, p: Principal) -> &mut HashMap<Xid, LinkId> {
+    fn table_mut(&mut self, p: Principal) -> &mut BTreeMap<Xid, LinkId> {
         match p {
             Principal::Nid => &mut self.nid,
             Principal::Hid => &mut self.hid,
@@ -280,12 +280,7 @@ impl RouterNode {
 
     /// Hands a packet to the local stack, then routes whatever the stack
     /// emitted in response.
-    fn deliver_local(
-        &mut self,
-        ctx: &mut SimContext<'_, XiaPacket>,
-        link: LinkId,
-        pkt: XiaPacket,
-    ) {
+    fn deliver_local(&mut self, ctx: &mut SimContext<'_, XiaPacket>, link: LinkId, pkt: XiaPacket) {
         self.host.handle_packet(ctx, link, pkt);
         self.flush(ctx);
     }

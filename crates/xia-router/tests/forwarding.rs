@@ -1,7 +1,7 @@
 //! Multi-hop forwarding and CID interception through real routers.
 
-use util::bytes::Bytes;
 use simnet::{LinkConfig, SimDuration, SimTime, Simulator};
+use util::bytes::Bytes;
 use xia_addr::{Dag, Principal, Xid};
 use xia_host::{App, EndHost, FetchResult, Host, HostConfig, HostCtx};
 use xia_router::RouterNode;
@@ -71,7 +71,11 @@ fn build() -> World {
     let nid_server = Xid::new_random(Principal::Nid, 12);
 
     let mut server_host = Host::new(HostConfig::new(hid_server));
-    let content = Bytes::from((0..500_000usize).map(|i| (i % 241) as u8).collect::<Vec<u8>>());
+    let content = Bytes::from(
+        (0..500_000usize)
+            .map(|i| (i % 241) as u8)
+            .collect::<Vec<u8>>(),
+    );
     let manifest = server_host.publish_content(&content, 100_000);
 
     let mut client_host = Host::new(HostConfig::new(hid_client));
@@ -121,13 +125,19 @@ fn build() -> World {
     {
         let edge_router = sim.node_mut::<RouterNode>(edge).unwrap();
         edge_router.routes_mut().set_default(l_edge_core);
-        edge_router.host_mut().set_attachment(Some(nid_edge), Some(l_edge_core));
+        edge_router
+            .host_mut()
+            .set_attachment(Some(nid_edge), Some(l_edge_core));
     }
     {
         let core_router = sim.node_mut::<RouterNode>(core).unwrap();
         core_router.routes_mut().add_route(nid_edge, l_edge_core);
-        core_router.routes_mut().add_route(nid_server, l_core_server);
-        core_router.routes_mut().add_route(hid_server, l_core_server);
+        core_router
+            .routes_mut()
+            .add_route(nid_server, l_core_server);
+        core_router
+            .routes_mut()
+            .add_route(hid_server, l_core_server);
         core_router
             .host_mut()
             .set_attachment(Some(nid_core), Some(l_edge_core));
@@ -207,16 +217,14 @@ fn staged_chunk_is_intercepted_at_edge() {
             .collect();
         let _ = staged;
         let client = w.sim.node_mut::<EndHost>(w.client).unwrap();
-        client
-            .host_mut()
-            .app_mut::<SeqFetcher>(0)
-            .unwrap()
-            .dags = new_dags;
+        client.host_mut().app_mut::<SeqFetcher>(0).unwrap().dags = new_dags;
     }
     w.sim.run();
     let done = completions(&w.sim, w.client);
     assert_eq!(done.len(), 5);
-    assert!(done.iter().all(|(_, r, _)| matches!(r, FetchResult::Complete(_))));
+    assert!(done
+        .iter()
+        .all(|(_, r, _)| matches!(r, FetchResult::Complete(_))));
     // First two chunks were served by the edge cache, not the origin.
     let edge = w.sim.node::<RouterNode>(w.edge).unwrap();
     assert_eq!(edge.stats().cid_intercepts, 2);

@@ -11,7 +11,7 @@ use util::bytes::Bytes;
 /// in-range window (for (re)transmission) without copying when the window
 /// lies inside one appended block.
 #[derive(Debug, Default)]
-pub struct SendBuffer {
+pub(crate) struct SendBuffer {
     blocks: VecDeque<Bytes>,
     /// Sequence number of the first byte of `blocks[0]`.
     start: u64,
@@ -21,7 +21,7 @@ pub struct SendBuffer {
 
 impl SendBuffer {
     /// Creates an empty buffer starting at sequence `start`.
-    pub fn new(start: u64) -> Self {
+    pub(crate) fn new(start: u64) -> Self {
         SendBuffer {
             blocks: VecDeque::new(),
             start,
@@ -30,29 +30,29 @@ impl SendBuffer {
     }
 
     /// First unreleased sequence number.
-    pub fn start(&self) -> u64 {
+    pub(crate) fn start(&self) -> u64 {
         self.start
     }
 
     /// One past the last appended sequence number.
-    pub fn end(&self) -> u64 {
+    pub(crate) fn end(&self) -> u64 {
         self.end
     }
 
     /// Number of buffered bytes.
     #[allow(dead_code)] // exercised by unit tests
-    pub fn len(&self) -> u64 {
+    pub(crate) fn len(&self) -> u64 {
         self.end - self.start
     }
 
     /// Whether the buffer holds no bytes.
     #[allow(dead_code)] // exercised by unit tests
-    pub fn is_empty(&self) -> bool {
+    pub(crate) fn is_empty(&self) -> bool {
         self.start == self.end
     }
 
     /// Appends `data` at the end of the sequence space.
-    pub fn append(&mut self, data: Bytes) {
+    pub(crate) fn append(&mut self, data: Bytes) {
         if data.is_empty() {
             return;
         }
@@ -65,10 +65,14 @@ impl SendBuffer {
     /// # Panics
     ///
     /// Panics if `upto` exceeds the appended end.
-    pub fn release(&mut self, upto: u64) {
+    pub(crate) fn release(&mut self, upto: u64) {
         assert!(upto <= self.end, "release beyond buffered data");
         while self.start < upto {
-            let front = self.blocks.front_mut().expect("accounting mismatch");
+            let Some(front) = self.blocks.front_mut() else {
+                // `start < upto <= end` implies buffered bytes remain; an
+                // empty deque means corrupt accounting — stop, don't spin.
+                break;
+            };
             let take = ((upto - self.start) as usize).min(front.len());
             if take == front.len() {
                 self.start += take as u64;
@@ -89,7 +93,7 @@ impl SendBuffer {
     /// # Panics
     ///
     /// Panics if `seq` precedes the unreleased start.
-    pub fn slice(&self, seq: u64, len: usize) -> Bytes {
+    pub(crate) fn slice(&self, seq: u64, len: usize) -> Bytes {
         assert!(seq >= self.start, "slice of released data");
         if seq >= self.end {
             return Bytes::new();
@@ -106,7 +110,11 @@ impl SendBuffer {
             }
             block_start += b.len() as u64;
         }
-        let (block, offset) = first.expect("seq inside buffered range");
+        let Some((block, offset)) = first else {
+            // `start <= seq < end` guarantees a containing block; treat a
+            // bookkeeping miss as no data rather than aborting the sim.
+            return Bytes::new();
+        };
         if offset + want <= block.len() {
             return block.slice(offset..offset + want);
         }

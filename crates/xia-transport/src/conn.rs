@@ -7,13 +7,13 @@
 
 use std::collections::BTreeMap;
 
-use util::bytes::Bytes;
 use simnet::{SimDuration, SimTime};
+use util::bytes::Bytes;
 use xia_addr::Dag;
-use xia_wire::{ConnId, L4, SegFlags, Segment, XiaPacket};
+use xia_wire::{ConnId, SegFlags, Segment, XiaPacket, L4};
 
-use crate::config::TransportConfig;
 use crate::buffer::SendBuffer;
+use crate::config::TransportConfig;
 use crate::rtt::RttEstimator;
 
 /// Where a connection is in its lifecycle.
@@ -183,21 +183,11 @@ pub(crate) struct Connection {
 }
 
 impl Connection {
-    pub(crate) fn new_initiator(
-        id: ConnId,
-        dst: Dag,
-        src: Dag,
-        config: TransportConfig,
-    ) -> Self {
+    pub(crate) fn new_initiator(id: ConnId, dst: Dag, src: Dag, config: TransportConfig) -> Self {
         Connection::new(id, dst, src, config, true, ConnState::SynSent)
     }
 
-    pub(crate) fn new_responder(
-        id: ConnId,
-        peer: Dag,
-        src: Dag,
-        config: TransportConfig,
-    ) -> Self {
+    pub(crate) fn new_responder(id: ConnId, peer: Dag, src: Dag, config: TransportConfig) -> Self {
         Connection::new(id, peer, src, config, false, ConnState::SynReceived)
     }
 
@@ -384,8 +374,7 @@ impl Connection {
             if self.flight() > 0 && !matches!(self.state, ConnState::Migrating) {
                 // The whole old-path flight is gone with the old locator.
                 self.rto_backoff = 0;
-                self.cwnd = u64::from(self.config.initial_cwnd_segments)
-                    * self.config.mss as u64;
+                self.cwnd = u64::from(self.config.initial_cwnd_segments) * self.config.mss as u64;
                 self.fast_recovery = None;
                 self.go_back_n(env, key);
                 self.arm_rto(env, key);
@@ -411,7 +400,12 @@ impl Connection {
 
         // --- ACK processing ---
         if seg.flags.ack {
-            self.process_ack(env, key, seg.ack, seg.payload.is_empty() && !seg.flags.syn && !seg.flags.fin);
+            self.process_ack(
+                env,
+                key,
+                seg.ack,
+                seg.payload.is_empty() && !seg.flags.syn && !seg.flags.fin,
+            );
         }
 
         // --- payload ---
@@ -438,13 +432,7 @@ impl Connection {
         }
     }
 
-    fn process_ack(
-        &mut self,
-        env: &mut dyn TransportEnv,
-        key: &KeyFn,
-        ack: u64,
-        pure_ack: bool,
-    ) {
+    fn process_ack(&mut self, env: &mut dyn TransportEnv, key: &KeyFn, ack: u64, pure_ack: bool) {
         if ack > self.snd_nxt {
             if ack <= self.karn_until {
                 // Data from a pre-pull-back flight was delivered after all.
@@ -493,10 +481,7 @@ impl Connection {
                     // snd_una; retransmit it immediately and deflate.
                     self.stats.fast_retransmits += 1;
                     self.retransmit_head(env);
-                    self.cwnd = self
-                        .cwnd
-                        .saturating_sub(newly)
-                        .max(self.config.mss as u64)
+                    self.cwnd = self.cwnd.saturating_sub(newly).max(self.config.mss as u64)
                         + self.config.mss as u64;
                 }
                 Some(_) => {
@@ -561,11 +546,13 @@ impl Connection {
                 data: fresh,
             });
             // Drain contiguous out-of-order segments.
-            while let Some((&s, _)) = self.out_of_order.iter().next() {
+            while let Some((&s, _)) = self.out_of_order.first_key_value() {
                 if s > self.rcv_nxt {
                     break;
                 }
-                let (_, buf) = self.out_of_order.pop_first().expect("checked nonempty");
+                let Some((_, buf)) = self.out_of_order.pop_first() else {
+                    break;
+                };
                 let buf_end = s + buf.len() as u64;
                 if buf_end <= self.rcv_nxt {
                     continue;
@@ -605,8 +592,9 @@ impl Connection {
         let had_flight = self.flight() > 0;
         loop {
             let data_end = self.send_buf.end();
-            let fin_pending =
-                self.fin_seq.is_some_and(|f| self.snd_nxt == f && self.snd_nxt == data_end);
+            let fin_pending = self
+                .fin_seq
+                .is_some_and(|f| self.snd_nxt == f && self.snd_nxt == data_end);
             let has_data = self.snd_nxt < data_end && self.snd_nxt >= 1;
             if !has_data && !fin_pending {
                 break;
@@ -751,11 +739,10 @@ impl Connection {
     }
 
     fn arm_rto(&mut self, env: &mut dyn TransportEnv, key: &KeyFn) {
-        let base = self
-            .rtt
-            .rto(self.config.initial_rto)
-            .as_micros()
-            .clamp(self.config.min_rto.as_micros(), self.config.max_rto.as_micros());
+        let base = self.rtt.rto(self.config.initial_rto).as_micros().clamp(
+            self.config.min_rto.as_micros(),
+            self.config.max_rto.as_micros(),
+        );
         let backed_off = (base << self.rto_backoff.min(16)).min(self.config.max_rto.as_micros());
         self.timer_gen = self.timer_gen.wrapping_add(1);
         self.rto_gen = Some(self.timer_gen);

@@ -1,15 +1,15 @@
 //! Connection multiplexer: demultiplexes segments, owns timer keys, and
 //! provides the host-facing transport API.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
-use util::bytes::Bytes;
 use simnet::SimDuration;
+use util::bytes::Bytes;
 use xia_addr::{Dag, Xid};
-use xia_wire::{ConnId, L4, SegFlags, Segment, XiaPacket};
+use xia_wire::{ConnId, SegFlags, Segment, XiaPacket, L4};
 
 use crate::config::TransportConfig;
-use crate::conn::{ConnState, Connection, ConnStats, TimerKind, TransportEnv};
+use crate::conn::{ConnState, ConnStats, Connection, TimerKind, TransportEnv};
 
 /// Tag in the upper 16 bits marking a host timer key as belonging to the
 /// transport. Hosts route any timer whose key carries this tag to
@@ -27,7 +27,10 @@ fn pack_key(uid: u64, kind: TimerKind, gen: u32) -> u64 {
         TimerKind::Pace => 1,
         TimerKind::Migrate => 2,
     };
-    TIMER_TAG | (kind_bits << KIND_SHIFT) | ((u64::from(gen) & GEN_MASK) << GEN_SHIFT) | (uid & UID_MASK)
+    TIMER_TAG
+        | (kind_bits << KIND_SHIFT)
+        | ((u64::from(gen) & GEN_MASK) << GEN_SHIFT)
+        | (uid & UID_MASK)
 }
 
 /// Errors returned by the mux's host-facing API.
@@ -61,8 +64,8 @@ pub struct TransportMux {
     local_hid: Xid,
     next_port: u64,
     next_uid: u64,
-    conns: HashMap<u64, Connection>,
-    by_id: HashMap<ConnId, u64>,
+    conns: BTreeMap<u64, Connection>,
+    by_id: BTreeMap<ConnId, u64>,
     /// TIME_WAIT-style memory of recently closed connections so a lost
     /// final ACK does not strand the peer: maps the connection to the final
     /// ack value and the local source address for the replayed ACK.
@@ -80,8 +83,8 @@ impl TransportMux {
             local_hid,
             next_port: 1,
             next_uid: 1,
-            conns: HashMap::new(),
-            by_id: HashMap::new(),
+            conns: BTreeMap::new(),
+            by_id: BTreeMap::new(),
             time_wait: VecDeque::new(),
         }
     }
@@ -145,8 +148,14 @@ impl TransportMux {
         conn: ConnId,
         data: Bytes,
     ) -> Result<(), TransportError> {
-        let uid = *self.by_id.get(&conn).ok_or(TransportError::UnknownConnection)?;
-        let c = self.conns.get_mut(&uid).ok_or(TransportError::UnknownConnection)?;
+        let uid = *self
+            .by_id
+            .get(&conn)
+            .ok_or(TransportError::UnknownConnection)?;
+        let c = self
+            .conns
+            .get_mut(&uid)
+            .ok_or(TransportError::UnknownConnection)?;
         if matches!(c.state, ConnState::Closed | ConnState::Failed) {
             return Err(TransportError::InvalidState);
         }
@@ -160,9 +169,19 @@ impl TransportMux {
     /// # Errors
     ///
     /// Fails if the connection is unknown.
-    pub fn close(&mut self, env: &mut dyn TransportEnv, conn: ConnId) -> Result<(), TransportError> {
-        let uid = *self.by_id.get(&conn).ok_or(TransportError::UnknownConnection)?;
-        let c = self.conns.get_mut(&uid).ok_or(TransportError::UnknownConnection)?;
+    pub fn close(
+        &mut self,
+        env: &mut dyn TransportEnv,
+        conn: ConnId,
+    ) -> Result<(), TransportError> {
+        let uid = *self
+            .by_id
+            .get(&conn)
+            .ok_or(TransportError::UnknownConnection)?;
+        let c = self
+            .conns
+            .get_mut(&uid)
+            .ok_or(TransportError::UnknownConnection)?;
         let key = move |kind, gen| pack_key(uid, kind, gen);
         c.close(env, &key);
         self.reap(uid);
@@ -251,8 +270,12 @@ impl TransportMux {
             // New inbound connection.
             let uid = self.next_uid;
             self.next_uid += 1;
-            let mut conn =
-                Connection::new_responder(seg.conn, pkt.src.clone(), local_src, self.config.clone());
+            let mut conn = Connection::new_responder(
+                seg.conn,
+                pkt.src.clone(),
+                local_src,
+                self.config.clone(),
+            );
             let key = move |kind, gen| pack_key(uid, kind, gen);
             conn.on_syn(env, &key);
             self.by_id.insert(seg.conn, uid);
@@ -303,13 +326,12 @@ impl TransportMux {
 
     /// Removes `uid` if its connection has finished.
     fn reap(&mut self, uid: u64) {
-        let Some(c) = self.conns.get(&uid) else {
-            return;
-        };
-        if !c.finished {
+        if !self.conns.get(&uid).is_some_and(|c| c.finished) {
             return;
         }
-        let c = self.conns.remove(&uid).expect("present above");
+        let Some(c) = self.conns.remove(&uid) else {
+            return;
+        };
         self.by_id.remove(&c.id);
         if c.state == ConnState::Closed {
             if self.time_wait.len() >= Self::TIME_WAIT_CAP {

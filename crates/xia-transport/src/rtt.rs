@@ -72,10 +72,7 @@ mod tests {
     #[test]
     fn fallback_used_before_samples() {
         let e = RttEstimator::new();
-        assert_eq!(
-            e.rto(SimDuration::from_secs(1)),
-            SimDuration::from_secs(1)
-        );
+        assert_eq!(e.rto(SimDuration::from_secs(1)), SimDuration::from_secs(1));
     }
 
     #[test]

@@ -10,12 +10,10 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::rc::Rc;
 
-use util::bytes::Bytes;
 use simnet::{SimDuration, SimTime};
+use util::bytes::Bytes;
 use xia_addr::{Dag, Principal, Xid};
-use xia_transport::{
-    CloseReason, TransportConfig, TransportEnv, TransportEvent, TransportMux,
-};
+use xia_transport::{CloseReason, TransportConfig, TransportEnv, TransportEvent, TransportMux};
 use xia_wire::XiaPacket;
 
 const A: usize = 0;
@@ -70,10 +68,7 @@ impl TransportEnv for SideEnv {
         let mut w = self.world.borrow_mut();
         let at = w.now + delay;
         let slot = w.items.len();
-        w.items.push(Some(Item::Timer {
-            on: self.side,
-            key,
-        }));
+        w.items.push(Some(Item::Timer { on: self.side, key }));
         let seq = w.seq;
         w.seq += 1;
         w.queue.push(Reverse((at, seq, slot)));
@@ -164,7 +159,11 @@ impl World {
     }
 
     fn events(&self) -> Vec<(usize, TransportEvent)> {
-        self.events.borrow().iter().map(|(_, s, e)| (*s, e.clone())).collect()
+        self.events
+            .borrow()
+            .iter()
+            .map(|(_, s, e)| (*s, e.clone()))
+            .collect()
     }
 
     fn take_events(&self) -> Vec<(usize, TransportEvent)> {
@@ -202,8 +201,9 @@ fn handshake_data_and_clean_close() {
     w.run(far());
     // B saw the incoming connection.
     let events = w.take_events();
-    assert!(events.iter().any(|(s, e)| *s == B
-        && matches!(e, TransportEvent::Incoming { conn: c, .. } if *c == conn)));
+    assert!(events.iter().any(
+        |(s, e)| *s == B && matches!(e, TransportEvent::Incoming { conn: c, .. } if *c == conn)
+    ));
     // A is connected to B's address.
     assert!(events.iter().any(|(s, e)| *s == A
         && matches!(e, TransportEvent::Connected { conn: c, peer } if *c == conn && *peer == w.addrs[B])));
@@ -211,26 +211,34 @@ fn handshake_data_and_clean_close() {
     // Send a request A -> B and a reply B -> A, then close both ways.
     {
         let mut env = w.env(A);
-        w.muxes[A].send(&mut env, conn, Bytes::from_static(b"GET")).unwrap();
+        w.muxes[A]
+            .send(&mut env, conn, Bytes::from_static(b"GET"))
+            .unwrap();
         w.muxes[A].close(&mut env, conn).unwrap();
     }
     w.run(far());
     let events = w.take_events();
-    assert!(events.iter().any(|(s, e)| *s == B
-        && matches!(e, TransportEvent::Data { data, .. } if &data[..] == b"GET")));
+    assert!(events
+        .iter()
+        .any(|(s, e)| *s == B
+            && matches!(e, TransportEvent::Data { data, .. } if &data[..] == b"GET")));
     assert!(events
         .iter()
         .any(|(s, e)| *s == B && matches!(e, TransportEvent::PeerClosed { .. })));
 
     {
         let mut env = w.env(B);
-        w.muxes[B].send(&mut env, conn, Bytes::from_static(b"OK")).unwrap();
+        w.muxes[B]
+            .send(&mut env, conn, Bytes::from_static(b"OK"))
+            .unwrap();
         w.muxes[B].close(&mut env, conn).unwrap();
     }
     w.run(far());
     let events = w.take_events();
-    assert!(events.iter().any(|(s, e)| *s == A
-        && matches!(e, TransportEvent::Data { data, .. } if &data[..] == b"OK")));
+    assert!(events
+        .iter()
+        .any(|(s, e)| *s == A
+            && matches!(e, TransportEvent::Data { data, .. } if &data[..] == b"OK")));
     // Both sides fully closed and reaped.
     assert!(events
         .iter()
@@ -292,7 +300,9 @@ fn lossy_path_recovers() {
     // Deterministic pseudo-random drops.
     let mut state = 0x12345678u64;
     let drop = move |_side: usize, _idx: u64, _pkt: &XiaPacket| {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 33) % 10 == 0
     };
     let mut w = World::with_drops(
@@ -317,13 +327,14 @@ fn lossy_path_recovers() {
     }
     w.run(far());
     let received = collect_received(&w.events(), B);
-    assert_eq!(received.len(), data.len(), "all bytes delivered despite loss");
+    assert_eq!(
+        received.len(),
+        data.len(),
+        "all bytes delivered despite loss"
+    );
     assert_eq!(xia_addr::sha1::sha1(&received), xia_addr::sha1::sha1(&data));
     // Loss must have caused retransmissions.
-    let retx: u64 = w
-        .events()
-        .iter()
-        .count() as u64; // events exist
+    let retx: u64 = w.events().iter().count() as u64; // events exist
     assert!(retx > 0);
 }
 
@@ -371,8 +382,11 @@ fn syn_loss_retries() {
         w.muxes[A].connect(&mut env, dst, src)
     };
     w.run(far());
-    assert!(w.events().iter().any(|(s, e)| *s == A
-        && matches!(e, TransportEvent::Connected { conn: c, .. } if *c == conn)));
+    assert!(w
+        .events()
+        .iter()
+        .any(|(s, e)| *s == A
+            && matches!(e, TransportEvent::Connected { conn: c, .. } if *c == conn)));
 }
 
 /// A segment to a mux with no matching connection draws an RST and the
@@ -385,7 +399,9 @@ fn unknown_connection_resets() {
         let dst = w.addrs[B].clone();
         let src = w.addrs[A].clone();
         let c = w.muxes[A].connect(&mut env, dst, src);
-        w.muxes[A].send(&mut env, c, Bytes::from_static(b"hello")).unwrap();
+        w.muxes[A]
+            .send(&mut env, c, Bytes::from_static(b"hello"))
+            .unwrap();
         c
     };
     w.run(far());
@@ -442,7 +458,11 @@ fn migration_resumes_transfer() {
     }
     w.run(far());
     let received = collect_received(&w.events(), A);
-    assert_eq!(received.len(), data.len(), "transfer completes after migration");
+    assert_eq!(
+        received.len(),
+        data.len(),
+        "transfer completes after migration"
+    );
     // B now addresses A at its new location.
     assert_eq!(w.muxes[A].migrating_connections(), 0);
 }

@@ -63,10 +63,7 @@ impl TransportEnv for SideEnv {
         let mut w = self.world.borrow_mut();
         let at = w.now + delay;
         let slot = w.items.len();
-        w.items.push(Some(Item::Timer {
-            on: self.side,
-            key,
-        }));
+        w.items.push(Some(Item::Timer { on: self.side, key }));
         let seq = w.seq;
         w.seq += 1;
         w.queue.push(Reverse((at, seq, slot)));
@@ -132,7 +129,11 @@ fn transfer(payload: &[u8], loss_mask: Vec<bool>) -> Vec<u8> {
         match next {
             Some(Item::Packet { to, pkt }) => {
                 let mut e = env(to);
-                let local = if to == 0 { addr_a.clone() } else { addr_b.clone() };
+                let local = if to == 0 {
+                    addr_a.clone()
+                } else {
+                    addr_b.clone()
+                };
                 muxes[to].on_packet(&mut e, pkt, local);
             }
             Some(Item::Timer { on, key }) => {

@@ -31,7 +31,7 @@
 use util::bytes::{Bytes, BytesMut};
 use xia_addr::{dag::SOURCE, Dag, DagNode, Principal, Xid};
 
-use crate::{Beacon, ConnId, L4, SegFlags, Segment, XiaPacket};
+use crate::{Beacon, ConnId, SegFlags, Segment, XiaPacket, L4};
 
 /// Wire format version emitted by [`encode`].
 pub const WIRE_VERSION: u8 = 0x01;
@@ -210,11 +210,11 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4")))
+        Ok(be_fold(self.take(4)?) as u32)
     }
 
     fn u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8")))
+        Ok(be_fold(self.take(8)?))
     }
 
     fn xid(&mut self) -> Result<Xid, CodecError> {
@@ -245,6 +245,12 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Folds up to 8 big-endian bytes into a `u64` without a fallible slice
+/// conversion.
+fn be_fold(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(0u64, |acc, &b| (acc << 8) | u64::from(b))
+}
+
 /// Decodes a packet previously produced by [`encode`].
 ///
 /// The trailing checksum is verified before any structural parsing, so a
@@ -259,7 +265,7 @@ pub fn decode(wire: &[u8]) -> Result<XiaPacket, CodecError> {
         return Err(CodecError::Truncated);
     }
     let (body, tail) = wire.split_at(wire.len() - 4);
-    let expected = u32::from_be_bytes(tail.try_into().expect("4"));
+    let expected = be_fold(tail) as u32;
     if checksum(body) != expected {
         return Err(CodecError::BadChecksum);
     }

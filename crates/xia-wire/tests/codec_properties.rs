@@ -5,7 +5,7 @@ use util::bytes::Bytes;
 use util::check::{check, Gen};
 use xia_addr::{Dag, Principal, Xid};
 use xia_wire::codec::{decode, encode, CodecError};
-use xia_wire::{Beacon, ConnId, L4, SegFlags, Segment, XiaPacket};
+use xia_wire::{Beacon, ConnId, SegFlags, Segment, XiaPacket, L4};
 
 fn gen_xid(g: &mut Gen, principal: Principal) -> Xid {
     let bytes = g.bytes(20);

@@ -5,12 +5,12 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use util::bytes::Bytes;
 use simnet::{LinkConfig, SimDuration, Simulator};
 use softstage_suite::apps::{build_origin, SeqFetcher};
 use softstage_suite::xia_addr::{sha1, Principal, Xid};
 use softstage_suite::xia_host::{EndHost, Host, HostConfig};
 use softstage_suite::xia_wire::XiaPacket;
+use util::bytes::Bytes;
 
 fn main() {
     // 1. Identities: XIDs are self-certifying 160-bit names.

@@ -48,7 +48,11 @@ fn main() {
             .map_or("DNF".to_string(), |t| format!("{:.2} s", t.as_secs_f64())),
         result.from_staged,
         result.from_origin,
-        if result.content_ok { "verified" } else { "FAILED" },
+        if result.content_ok {
+            "verified"
+        } else {
+            "FAILED"
+        },
     );
     println!(
         "trace: {} records ({} dropped by the ring)",

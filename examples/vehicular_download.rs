@@ -39,6 +39,9 @@ fn main() {
         "xftp        {b:>8.1} s   {:>6}  {:>6}  {:>8}  {:>10}",
         base.from_staged, base.from_origin, base.handoffs, base.migrations
     );
-    println!("\ngain: {:.2}x (paper reports 1.77x at these defaults)", b / s);
+    println!(
+        "\ngain: {:.2}x (paper reports 1.77x at these defaults)",
+        b / s
+    );
     assert!(soft.content_ok && base.content_ok, "integrity verified");
 }

@@ -28,15 +28,21 @@ fn main() {
         chunk_duration: SimDuration::from_secs(2),
     };
 
-    println!("streaming a {}-chunk 720p clip over the vehicular testbed\n", params.chunk_count());
+    println!(
+        "streaming a {}-chunk 720p clip over the vehicular testbed\n",
+        params.chunk_count()
+    );
     for (name, config) in [
         ("softstage", SoftStageConfig::default()),
         ("xftp", SoftStageConfig::baseline()),
     ] {
         let result = build(&params, &schedule, config).run(deadline);
         assert!(result.content_ok, "{name} must finish and verify");
-        let completions: Vec<SimTime> =
-            result.chunk_completions.iter().map(|(t, _, _)| *t).collect();
+        let completions: Vec<SimTime> = result
+            .chunk_completions
+            .iter()
+            .map(|(t, _, _)| *t)
+            .collect();
         let report = model.analyze(&completions);
         println!(
             "{name:>10}: start {:>6.2} s, {} stalls, {:>6.2} s stalled, ends {:>7.2} s",

@@ -5,8 +5,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== formatting =="
+cargo fmt --check
+
 echo "== tier-1: release build =="
 cargo build --release --offline
+
+echo "== sslint (determinism & hygiene audit) =="
+cargo run -q -p sslint --release --offline
 
 echo "== tier-1: workspace tests =="
 cargo test -q --offline

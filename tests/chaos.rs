@@ -11,10 +11,10 @@
 
 mod common;
 
+use softstage_suite::experiments::{build, ExperimentParams, RunResult, Testbed};
 use softstage_suite::simnet::fault::FaultPlan;
 use softstage_suite::simnet::{SimDuration, SimTime};
 use softstage_suite::softstage::{SoftStageConfig, StagingMode};
-use softstage_suite::experiments::{build, ExperimentParams, RunResult, Testbed};
 
 use common::{deadline, small, testbed, TRACE_CAPACITY};
 

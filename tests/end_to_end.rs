@@ -45,7 +45,10 @@ fn identical_seeds_are_bit_for_bit_reproducible() {
 #[test]
 fn different_seeds_differ_but_both_succeed() {
     let p1 = params();
-    let p2 = ExperimentParams { seed: 1234, ..params() };
+    let p2 = ExperimentParams {
+        seed: 1234,
+        ..params()
+    };
     let s1 = p1.alternating_schedule(SimDuration::from_secs(600));
     let s2 = p2.alternating_schedule(SimDuration::from_secs(600));
     let one = build(&p1, &s1, SoftStageConfig::default()).run(deadline());

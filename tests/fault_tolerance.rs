@@ -5,8 +5,8 @@
 
 mod common;
 
-use softstage_suite::simnet::SimDuration;
 use softstage_suite::experiments::{build, ExperimentParams, MBPS};
+use softstage_suite::simnet::SimDuration;
 use softstage_suite::softstage::SoftStageConfig;
 
 use common::{deadline, TRACE_CAPACITY};

@@ -48,7 +48,10 @@ fn handoff_run(seed: u64) -> Testbed {
     tb.enable_trace(TRACE_CAPACITY);
     let result = tb.run(deadline());
     assert!(result.content_ok, "handoff run must complete: {result:?}");
-    assert!(result.handoffs > 0, "overlap must produce handoffs: {result:?}");
+    assert!(
+        result.handoffs > 0,
+        "overlap must produce handoffs: {result:?}"
+    );
     tb
 }
 
@@ -207,4 +210,3 @@ fn corrupted_golden_trace_is_rejected_with_specific_invariants() {
         "edge fetch without staging must be flagged: {violations:#?}"
     );
 }
-
