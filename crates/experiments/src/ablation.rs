@@ -13,6 +13,7 @@
 use simnet::{SimDuration, SimTime};
 use softstage::{CoordinatorConfig, HandoffPolicy, SoftStageConfig};
 
+use crate::exec::{execute_one, Cell, ExecConfig, TableSpec};
 use crate::params::ExperimentParams;
 use crate::report::Table;
 use crate::testbed;
@@ -24,9 +25,7 @@ fn deadline() -> SimTime {
 /// Runs the 64 MB alternating (hard-handoff) scenario; returns seconds.
 fn run_with(params: &ExperimentParams, config: SoftStageConfig) -> f64 {
     let schedule = params.alternating_schedule(SimDuration::from_secs(4_000));
-    let result = testbed::build(params, &schedule, config).run(deadline());
-    assert!(result.content_ok, "ablation run must finish: {result:?}");
-    result.completion.expect("checked").as_secs_f64()
+    testbed::download_secs(params, &schedule, config, deadline())
 }
 
 /// Runs the 64 MB overlapping-coverage scenario (soft handoffs every 9 s).
@@ -37,87 +36,100 @@ fn run_overlap(params: &ExperimentParams, config: SoftStageConfig) -> f64 {
         2,
         SimDuration::from_secs(4_000),
     );
-    let result = testbed::build(params, &schedule, config).run(deadline());
-    assert!(result.content_ok, "ablation run must finish: {result:?}");
-    result.completion.expect("checked").as_secs_f64()
+    testbed::download_secs(params, &schedule, config, deadline())
 }
 
-/// The full ablation table. Each mechanism is ablated in a scenario that
-/// actually exercises it: the gap-aware staging depth under a slow
-/// Internet with hard handoffs, and the handoff mechanisms under
-/// overlapping coverage.
-pub fn run(seed: u64) -> Table {
-    let mut t = Table::new("ablation", "Design ablations: 64 MB download time", "s");
-
-    // --- staging depth, under a 15 Mbps Internet with 8 s gaps ---
-    let slow_internet = ExperimentParams {
-        seed,
-        internet_bw_bps: 15 * crate::params::MBPS,
-        ..ExperimentParams::default()
-    };
-    t.push(
-        "15Mbps: full softstage",
-        None,
-        run_with(&slow_internet, SoftStageConfig::default()),
-    );
-    let shallow = SoftStageConfig {
+/// The depth-capped coordinator (gap-aware term ablated).
+fn shallow() -> SoftStageConfig {
+    SoftStageConfig {
         coordinator: CoordinatorConfig {
             initial_depth: 2,
             max_depth: 3,
             alpha: 0.3,
         },
         ..SoftStageConfig::default()
+    }
+}
+
+/// The full ablation table as cells. Each mechanism is ablated in a
+/// scenario that actually exercises it: the gap-aware staging depth
+/// under a slow Internet with hard handoffs, and the handoff mechanisms
+/// under overlapping coverage. Cells within a scenario share a seed key,
+/// so every replicate compares variants on the same world.
+pub fn spec() -> TableSpec {
+    let mut spec = TableSpec::new("ablation", "Design ablations: 64 MB download time", "s");
+
+    // --- staging depth, under a 15 Mbps Internet with 8 s gaps ---
+    let slow_cell = |id: &str, label: &str, config_for: fn() -> SoftStageConfig| {
+        Cell::new(id, label, None, move |seed| {
+            let params = ExperimentParams {
+                internet_bw_bps: 15 * crate::params::MBPS,
+                ..ExperimentParams::default()
+            }
+            .with_seed(seed);
+            run_with(&params, config_for())
+        })
+        .with_seed_key("ablation/15mbps")
     };
-    t.push(
-        "15Mbps: no gap-aware depth (<=3)",
-        None,
-        run_with(&slow_internet, shallow),
-    );
-    t.push(
-        "15Mbps: no staging (xftp)",
-        None,
-        run_with(&slow_internet, SoftStageConfig::baseline()),
-    );
+    spec = spec
+        .cell(slow_cell(
+            "slow-full",
+            "15Mbps: full softstage",
+            SoftStageConfig::default,
+        ))
+        .cell(slow_cell(
+            "slow-shallow",
+            "15Mbps: no gap-aware depth (<=3)",
+            shallow,
+        ))
+        .cell(slow_cell(
+            "slow-xftp",
+            "15Mbps: no staging (xftp)",
+            SoftStageConfig::baseline,
+        ));
 
     // --- handoff mechanisms, under 3 s coverage overlap ---
-    let params = ExperimentParams {
-        seed,
-        ..ExperimentParams::default()
+    let overlap_cell = |id: &str, label: &str, config_for: fn() -> SoftStageConfig| {
+        Cell::new(id, label, None, move |seed| {
+            let params = ExperimentParams::default().with_seed(seed);
+            run_overlap(&params, config_for())
+        })
+        .with_seed_key("ablation/overlap")
     };
-    t.push(
-        "overlap: full softstage",
-        None,
-        run_overlap(&params, SoftStageConfig::default()),
-    );
-    t.push(
-        "overlap: no handoff pre-staging",
-        None,
-        run_overlap(
-            &params,
-            SoftStageConfig {
+    spec = spec
+        .cell(overlap_cell(
+            "overlap-full",
+            "overlap: full softstage",
+            SoftStageConfig::default,
+        ))
+        .cell(overlap_cell(
+            "overlap-no-prestage",
+            "overlap: no handoff pre-staging",
+            || SoftStageConfig {
                 prestage_depth: 0,
                 ..SoftStageConfig::default()
             },
-        ),
-    );
-    t.push(
-        "overlap: legacy handoff policy",
-        None,
-        run_overlap(
-            &params,
-            SoftStageConfig {
+        ))
+        .cell(overlap_cell(
+            "overlap-legacy-policy",
+            "overlap: legacy handoff policy",
+            || SoftStageConfig {
                 policy: HandoffPolicy::Default,
                 ..SoftStageConfig::default()
             },
-        ),
-    );
-    t.push(
-        "overlap: no staging (xftp)",
-        None,
-        run_overlap(&params, SoftStageConfig::baseline()),
-    );
+        ))
+        .cell(overlap_cell(
+            "overlap-xftp",
+            "overlap: no staging (xftp)",
+            SoftStageConfig::baseline,
+        ));
 
-    t
+    spec
+}
+
+/// The full ablation table, serially at one seed.
+pub fn run(seed: u64) -> Table {
+    execute_one(spec(), &ExecConfig::serial(seed))
 }
 
 #[cfg(test)]

@@ -1,0 +1,392 @@
+//! The shared fan-out engine behind every reproduction table.
+//!
+//! Each figure module declares its table as a [`TableSpec`]: a list of
+//! independent [`Cell`]s (one simulation apiece) plus [`DerivedRow`]s
+//! computed from the cell values. [`execute`] evaluates every
+//! `(cell, replicate)` pair across a scoped worker pool and merges the
+//! results back **in declared order**, so the output is byte-identical
+//! regardless of worker count:
+//!
+//! - work assignment never influences results — each pair's seed is a
+//!   pure function of `(base seed, seed key, replicate)` via
+//!   [`util::seed::derive`],
+//! - replicate 0 runs at the base seed itself (the canonical run), so
+//!   `--seeds 1` reproduces the historical single-seed tables exactly,
+//! - paired comparisons (e.g. SoftStage vs Xftp on one wardriving
+//!   trace) share a [`Cell::seed_key`], guaranteeing both sides of a
+//!   ratio simulate the same world at every replicate.
+//!
+//! Threads are confined to this layer: simulation crates stay free of
+//! `std::thread` (audited by sslint), and a panicking cell —
+//! figure drivers assert on invalid runs — propagates out of
+//! [`std::thread::scope`] and aborts the reproduction, exactly like the
+//! old serial loop.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use crate::report::{Spread, Table};
+
+/// How a cell measures one value from one seed.
+pub type CellFn = Box<dyn Fn(u64) -> f64 + Send + Sync>;
+
+/// How a derived row folds one replicate's cell values into one value.
+pub type DeriveFn = Box<dyn Fn(&[f64]) -> f64 + Send + Sync>;
+
+/// One independently evaluable cell of an experiment table.
+pub struct Cell {
+    /// Identifier, unique within its table, e.g. `chunk-0.25`.
+    pub id: String,
+    /// Row label in the rendered table.
+    pub label: String,
+    /// What the paper reports for this cell, if stated.
+    pub paper: Option<f64>,
+    /// Overrides the seed-derivation key (default `<table>/<cell>`).
+    /// Cells that must simulate the *same world* per replicate — the two
+    /// sides of a ratio — share a key.
+    pub seed_key: Option<String>,
+    /// Evaluates the cell at a derived seed.
+    pub eval: CellFn,
+}
+
+impl Cell {
+    /// A cell with the default per-cell seed key.
+    pub fn new(
+        id: impl Into<String>,
+        label: impl Into<String>,
+        paper: Option<f64>,
+        eval: impl Fn(u64) -> f64 + Send + Sync + 'static,
+    ) -> Self {
+        Cell {
+            id: id.into(),
+            label: label.into(),
+            paper,
+            seed_key: None,
+            eval: Box::new(eval),
+        }
+    }
+
+    /// Shares seed derivation with every other cell using `key` (builder
+    /// style), pairing their worlds replicate by replicate.
+    pub fn with_seed_key(mut self, key: impl Into<String>) -> Self {
+        self.seed_key = Some(key.into());
+        self
+    }
+}
+
+/// A row computed from the (per-replicate) cell values instead of its
+/// own simulation — ratios, reductions, totals.
+pub struct DerivedRow {
+    /// Row label.
+    pub label: String,
+    /// Paper value, if stated.
+    pub paper: Option<f64>,
+    /// Folds one replicate's cell values (in declared cell order).
+    pub derive: DeriveFn,
+}
+
+impl DerivedRow {
+    /// A derived row.
+    pub fn new(
+        label: impl Into<String>,
+        paper: Option<f64>,
+        derive: impl Fn(&[f64]) -> f64 + Send + Sync + 'static,
+    ) -> Self {
+        DerivedRow {
+            label: label.into(),
+            paper,
+            derive: Box::new(derive),
+        }
+    }
+}
+
+/// A declared reproduction table: independent cells plus derived rows.
+pub struct TableSpec {
+    /// Table identifier, e.g. `fig6a`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Unit of the value column(s).
+    pub unit: String,
+    /// The independent cells, in row order.
+    pub cells: Vec<Cell>,
+    /// Rows appended after the cells, computed from their values.
+    pub derived: Vec<DerivedRow>,
+}
+
+impl TableSpec {
+    /// A spec with no rows yet.
+    pub fn new(id: &str, title: &str, unit: &str) -> Self {
+        TableSpec {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            unit: unit.to_owned(),
+            cells: Vec::new(),
+            derived: Vec::new(),
+        }
+    }
+
+    /// Appends a cell (builder style).
+    pub fn cell(mut self, cell: Cell) -> Self {
+        self.cells.push(cell);
+        self
+    }
+
+    /// Appends a derived row (builder style).
+    pub fn derived(mut self, row: DerivedRow) -> Self {
+        self.derived.push(row);
+        self
+    }
+}
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfig {
+    /// Worker threads; clamped to at least 1. Never affects results.
+    pub jobs: usize,
+    /// Replicates per cell; clamped to at least 1. Replicate 0 runs at
+    /// `base_seed`, further replicates at derived seeds.
+    pub seeds: u32,
+    /// The user-facing base seed.
+    pub base_seed: u64,
+}
+
+impl ExecConfig {
+    /// Serial single-seed execution — the historical behavior.
+    pub fn serial(base_seed: u64) -> Self {
+        ExecConfig {
+            jobs: 1,
+            seeds: 1,
+            base_seed,
+        }
+    }
+}
+
+/// The seed-derivation key for `cell` of table `spec`.
+fn seed_key(spec: &TableSpec, cell: &Cell) -> String {
+    cell.seed_key
+        .clone()
+        .unwrap_or_else(|| format!("{}/{}", spec.id, cell.id))
+}
+
+/// Evaluates every `(cell, replicate)` pair of `specs` on a pool of
+/// `config.jobs` scoped threads and merges the values into [`Table`]s in
+/// declared order. Output is a pure function of `(specs, seeds,
+/// base_seed)` — worker count only changes wall-clock.
+pub fn execute(specs: &[TableSpec], config: &ExecConfig) -> Vec<Table> {
+    let reps = config.seeds.max(1);
+    // Flattened work list: (spec, cell, replicate) → result slot.
+    let mut items: Vec<(usize, usize, u32)> = Vec::new();
+    for (si, spec) in specs.iter().enumerate() {
+        for ci in 0..spec.cells.len() {
+            for r in 0..reps {
+                items.push((si, ci, r));
+            }
+        }
+    }
+    let results: Mutex<Vec<Option<f64>>> = Mutex::new(vec![None; items.len()]);
+    let next = AtomicUsize::new(0);
+    let workers = config.jobs.clamp(1, items.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(si, ci, r)) = items.get(i) else {
+                    break;
+                };
+                let (spec, cell) = (&specs[si], &specs[si].cells[ci]);
+                let seed = util::seed::derive(config.base_seed, &seed_key(spec, cell), r);
+                let value = (cell.eval)(seed);
+                let mut slots = results.lock().unwrap_or_else(PoisonError::into_inner);
+                slots[i] = Some(value);
+            });
+        }
+    });
+    let results = results.into_inner().unwrap_or_else(PoisonError::into_inner);
+
+    // Merge back in declared order. Every slot is filled: a panicking
+    // cell unwinds out of the scope above before we get here.
+    let mut base = 0usize;
+    let mut tables = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let mut table = Table::new(&spec.id, &spec.title, &spec.unit);
+        // Per-replicate cell values, for the derived rows.
+        let mut per_rep: Vec<Vec<f64>> = vec![Vec::with_capacity(spec.cells.len()); reps as usize];
+        for (ci, cell) in spec.cells.iter().enumerate() {
+            let values: Vec<f64> = (0..reps)
+                .map(|r| {
+                    let idx = base + ci * reps as usize + r as usize;
+                    results[idx].unwrap_or(f64::NAN)
+                })
+                .collect();
+            for (r, &v) in values.iter().enumerate() {
+                per_rep[r].push(v);
+            }
+            push_summary(&mut table, &cell.label, cell.paper, &values);
+        }
+        base += spec.cells.len() * reps as usize;
+        for row in &spec.derived {
+            let values: Vec<f64> = per_rep.iter().map(|vals| (row.derive)(vals)).collect();
+            push_summary(&mut table, &row.label, row.paper, &values);
+        }
+        tables.push(table);
+    }
+    tables
+}
+
+/// Evaluates a single spec — the convenience behind each figure
+/// module's `run(seed)` wrapper.
+pub fn execute_one(spec: TableSpec, config: &ExecConfig) -> Table {
+    execute(std::slice::from_ref(&spec), config).swap_remove(0)
+}
+
+/// Pushes `values` as one row: plain when there is a single replicate,
+/// mean/min/max otherwise.
+fn push_summary(table: &mut Table, label: &str, paper: Option<f64>, values: &[f64]) {
+    if let [single] = values {
+        table.push(label, paper, *single);
+        return;
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    table.push_replicated(
+        label,
+        paper,
+        mean,
+        Spread {
+            min,
+            max,
+            seeds: values.len() as u32,
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use util::json::ToJson;
+
+    /// A cheap deterministic "experiment": a few splitmix rounds mapped
+    /// into (0, 1).
+    fn synth(tag: u64) -> impl Fn(u64) -> f64 + Send + Sync {
+        move |seed| {
+            let v = util::seed::splitmix64(seed ^ (tag << 17));
+            (v >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    fn spec() -> TableSpec {
+        TableSpec::new("synthetic", "Synthetic grid", "u")
+            .cell(Cell::new("a", "cell a", Some(0.5), synth(1)))
+            .cell(Cell::new("b", "cell b", None, synth(2)))
+            .cell(Cell::new("c", "cell c", None, synth(3)).with_seed_key("pair"))
+            .cell(Cell::new("d", "cell d", None, synth(4)).with_seed_key("pair"))
+            .derived(DerivedRow::new("c/d ratio", Some(1.0), |v| v[2] / v[3]))
+    }
+
+    fn json(tables: &[Table]) -> String {
+        tables.to_vec().to_json().to_string_pretty()
+    }
+
+    #[test]
+    fn output_is_independent_of_worker_count() {
+        for seeds in [1, 3] {
+            let mk = |jobs| {
+                execute(
+                    &[spec()],
+                    &ExecConfig {
+                        jobs,
+                        seeds,
+                        base_seed: 42,
+                    },
+                )
+            };
+            let reference = json(&mk(1));
+            for jobs in [2, 4, 16] {
+                assert_eq!(
+                    json(&mk(jobs)),
+                    reference,
+                    "jobs={jobs} seeds={seeds} must be byte-identical to jobs=1"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replicate_zero_is_the_canonical_run() {
+        let serial = execute(&[spec()], &ExecConfig::serial(7));
+        assert_eq!(serial[0].rows[0].measured, synth(1)(7));
+        // The replicated mean moves, but the envelope brackets the
+        // canonical value.
+        let rep = execute(
+            &[spec()],
+            &ExecConfig {
+                jobs: 4,
+                seeds: 5,
+                base_seed: 7,
+            },
+        );
+        let row = &rep[0].rows[0];
+        let s = row.spread.expect("replicated row has a spread");
+        assert_eq!(s.seeds, 5);
+        assert!(s.min <= synth(1)(7) && synth(1)(7) <= s.max);
+        assert!(s.min <= row.measured && row.measured <= s.max);
+    }
+
+    #[test]
+    fn paired_cells_share_their_world_every_replicate() {
+        // Cells c and d share a seed key: at every replicate both see the
+        // same seed, so equal eval functions would agree exactly. Here we
+        // check via the derived ratio of *identical* synth functions.
+        let paired = TableSpec::new("p", "Paired", "u")
+            .cell(Cell::new("x", "x", None, synth(9)).with_seed_key("w"))
+            .cell(Cell::new("y", "y", None, synth(9)).with_seed_key("w"))
+            .derived(DerivedRow::new("x/y", None, |v| v[0] / v[1]));
+        let tables = execute(
+            &[paired],
+            &ExecConfig {
+                jobs: 3,
+                seeds: 4,
+                base_seed: 42,
+            },
+        );
+        let ratio = &tables[0].rows[2];
+        assert_eq!(ratio.measured, 1.0, "paired worlds must match");
+        let s = ratio.spread.expect("replicated");
+        assert_eq!((s.min, s.max), (1.0, 1.0));
+    }
+
+    #[test]
+    fn derived_rows_fold_per_replicate_not_on_means() {
+        // f(v) = v[0]^2 is nonlinear: folding per replicate then averaging
+        // differs from folding the mean. Pin the per-replicate semantics.
+        let spec = TableSpec::new("n", "Nonlinear", "u")
+            .cell(Cell::new("v", "v", None, synth(5)))
+            .derived(DerivedRow::new("v squared", None, |v| v[0] * v[0]));
+        let tables = execute(
+            &[spec],
+            &ExecConfig {
+                jobs: 2,
+                seeds: 3,
+                base_seed: 1,
+            },
+        );
+        let v_row = &tables[0].rows[0];
+        let sq_row = &tables[0].rows[1];
+        assert!(
+            (sq_row.measured - v_row.measured * v_row.measured).abs() > 1e-12,
+            "per-replicate fold must not collapse to mean-of-means"
+        );
+    }
+
+    #[test]
+    fn empty_specs_yield_empty_tables() {
+        let tables = execute(
+            &[TableSpec::new("e", "Empty", "u")],
+            &ExecConfig::serial(42),
+        );
+        assert_eq!(tables.len(), 1);
+        assert!(tables[0].rows.is_empty());
+    }
+}

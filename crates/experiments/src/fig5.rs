@@ -20,6 +20,7 @@ use xia_host::{EndHost, Host, HostConfig};
 use xia_transport::TransportConfig;
 use xia_wire::XiaPacket;
 
+use crate::exec::{execute_one, Cell, ExecConfig, TableSpec};
 use crate::params::{MB, MBPS};
 use crate::report::Table;
 use crate::testbed::generate_content;
@@ -121,17 +122,25 @@ fn paper_value(proto: Proto, segment: Segment) -> f64 {
     }
 }
 
-/// Reproduces the whole figure.
-pub fn run(seed: u64) -> Table {
-    let mut table = Table::new("fig5", "XIA benchmark: 10 MB transfer throughput", "Mbps");
+/// The figure as one cell per (protocol, segment) pair.
+pub fn spec() -> TableSpec {
+    let mut spec = TableSpec::new("fig5", "XIA benchmark: 10 MB transfer throughput", "Mbps");
     for segment in [Segment::Wired, Segment::Wireless] {
         for proto in [Proto::LinuxTcp, Proto::Xstream, Proto::XChunkP] {
-            let label = format!("{proto:?}/{segment:?}");
-            let measured = throughput(proto, segment, seed);
-            table.push(label, Some(paper_value(proto, segment)), measured);
+            spec = spec.cell(Cell::new(
+                format!("{proto:?}-{segment:?}").to_lowercase(),
+                format!("{proto:?}/{segment:?}"),
+                Some(paper_value(proto, segment)),
+                move |seed| throughput(proto, segment, seed),
+            ));
         }
     }
-    table
+    spec
+}
+
+/// Reproduces the whole figure, serially at one seed.
+pub fn run(seed: u64) -> Table {
+    execute_one(spec(), &ExecConfig::serial(seed))
 }
 
 #[cfg(test)]

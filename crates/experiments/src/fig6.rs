@@ -3,10 +3,16 @@
 //! Every panel downloads a 64 MB file while the client alternates between
 //! two edge networks (encounter / disconnection pattern) and reports the
 //! *gain*: Xftp download time divided by SoftStage download time.
+//!
+//! Each sweep point is one independent [`Cell`]: both clients run inside
+//! a single cell (paired on the same world seed), so the gain ratio is
+//! meaningful at every replicate and the cells can fan out across the
+//! executor's worker pool.
 
 use simnet::{SimDuration, SimTime};
 use softstage::SoftStageConfig;
 
+use crate::exec::{execute_one, Cell, ExecConfig, TableSpec};
 use crate::params::{ExperimentParams, MB, MBPS};
 use crate::report::Table;
 use crate::testbed;
@@ -36,23 +42,30 @@ fn deadline() -> SimTime {
 pub fn compare(params: &ExperimentParams) -> Gain {
     let horizon = SimDuration::from_secs(4_000);
     let schedule = params.alternating_schedule(horizon);
-    let soft = testbed::build(params, &schedule, SoftStageConfig::default()).run(deadline());
-    let base = testbed::build(params, &schedule, SoftStageConfig::baseline()).run(deadline());
-    assert!(
-        soft.content_ok && base.content_ok,
-        "both downloads must finish and verify (soft {:?}, base {:?})",
-        soft.completion,
-        base.completion
-    );
+    let soft = testbed::download_secs(params, &schedule, SoftStageConfig::default(), deadline());
+    let base = testbed::download_secs(params, &schedule, SoftStageConfig::baseline(), deadline());
     Gain {
-        xftp_s: base.completion.expect("checked").as_secs_f64(),
-        softstage_s: soft.completion.expect("checked").as_secs_f64(),
+        xftp_s: base,
+        softstage_s: soft,
     }
 }
 
+/// One sweep-point cell: perturbs the Table III defaults via
+/// `params_for`, then measures the paired gain at the cell's seed.
+fn gain_cell(
+    id: impl Into<String>,
+    label: impl Into<String>,
+    paper: Option<f64>,
+    params_for: impl Fn() -> ExperimentParams + Send + Sync + 'static,
+) -> Cell {
+    Cell::new(id, label, paper, move |seed| {
+        compare(&params_for().with_seed(seed)).factor()
+    })
+}
+
 /// Fig. 6(a): chunk size sweep.
-pub fn chunk_size(seed: u64) -> Table {
-    let mut t = Table::new("fig6a", "Gain vs chunk size (64 MB file)", "x");
+pub fn chunk_size_spec() -> TableSpec {
+    let mut spec = TableSpec::new("fig6a", "Gain vs chunk size (64 MB file)", "x");
     // Paper: 1.59x..1.96x rising with chunk size.
     let cases: [(usize, Option<f64>); 6] = [
         (MB / 4, Some(1.59)),
@@ -63,84 +76,91 @@ pub fn chunk_size(seed: u64) -> Table {
         (10 * MB, Some(1.96)),
     ];
     for (size, paper) in cases {
-        let params = ExperimentParams {
-            chunk_size: size,
-            seed,
-            ..ExperimentParams::default()
-        };
-        let gain = compare(&params);
-        t.push(
-            format!("chunk {:.3} MB", size as f64 / MB as f64),
+        let mbs = size as f64 / MB as f64;
+        spec = spec.cell(gain_cell(
+            format!("chunk-{mbs:.3}"),
+            format!("chunk {mbs:.3} MB"),
             paper,
-            gain.factor(),
-        );
+            move || ExperimentParams {
+                chunk_size: size,
+                ..ExperimentParams::default()
+            },
+        ));
     }
-    t
+    spec
 }
 
 /// Fig. 6(b): encounter time sweep.
-pub fn encounter(seed: u64) -> Table {
-    let mut t = Table::new("fig6b", "Gain vs encounter time", "x");
+pub fn encounter_spec() -> TableSpec {
+    let mut spec = TableSpec::new("fig6b", "Gain vs encounter time", "x");
     for (secs, paper) in [(3u64, Some(1.55)), (4, None), (12, Some(1.77))] {
-        let params = ExperimentParams {
-            encounter: SimDuration::from_secs(secs),
-            seed,
-            ..ExperimentParams::default()
-        };
-        let gain = compare(&params);
-        t.push(format!("encounter {secs} s"), paper, gain.factor());
+        spec = spec.cell(gain_cell(
+            format!("encounter-{secs}"),
+            format!("encounter {secs} s"),
+            paper,
+            move || ExperimentParams {
+                encounter: SimDuration::from_secs(secs),
+                ..ExperimentParams::default()
+            },
+        ));
     }
-    t
+    spec
 }
 
 /// Fig. 6(c): disconnection time sweep.
-pub fn disconnection(seed: u64) -> Table {
-    let mut t = Table::new("fig6c", "Gain vs disconnection time", "x");
+pub fn disconnection_spec() -> TableSpec {
+    let mut spec = TableSpec::new("fig6c", "Gain vs disconnection time", "x");
     for (secs, paper) in [(8u64, Some(1.7)), (32, Some(1.7)), (100, Some(1.7))] {
-        let params = ExperimentParams {
-            disconnection: SimDuration::from_secs(secs),
-            seed,
-            ..ExperimentParams::default()
-        };
-        let gain = compare(&params);
-        t.push(format!("disconnection {secs} s"), paper, gain.factor());
+        spec = spec.cell(gain_cell(
+            format!("disconnection-{secs}"),
+            format!("disconnection {secs} s"),
+            paper,
+            move || ExperimentParams {
+                disconnection: SimDuration::from_secs(secs),
+                ..ExperimentParams::default()
+            },
+        ));
     }
-    t
+    spec
 }
 
 /// Fig. 6(d): wireless packet loss sweep.
-pub fn loss(seed: u64) -> Table {
-    let mut t = Table::new("fig6d", "Gain vs wireless packet loss", "x");
+pub fn loss_spec() -> TableSpec {
+    let mut spec = TableSpec::new("fig6d", "Gain vs wireless packet loss", "x");
     for (pct, paper) in [(22u32, Some(1.37)), (27, Some(1.7)), (37, Some(1.77))] {
-        let params = ExperimentParams {
-            wireless_loss: pct as f64 / 100.0,
-            seed,
-            ..ExperimentParams::default()
-        };
-        let gain = compare(&params);
-        t.push(format!("loss {pct} %"), paper, gain.factor());
+        spec = spec.cell(gain_cell(
+            format!("loss-{pct}"),
+            format!("loss {pct} %"),
+            paper,
+            move || ExperimentParams {
+                wireless_loss: f64::from(pct) / 100.0,
+                ..ExperimentParams::default()
+            },
+        ));
     }
-    t
+    spec
 }
 
 /// Fig. 6(e): Internet bottleneck bandwidth sweep.
-pub fn bandwidth(seed: u64) -> Table {
-    let mut t = Table::new("fig6e", "Gain vs Internet bottleneck bandwidth", "x");
+pub fn bandwidth_spec() -> TableSpec {
+    let mut spec = TableSpec::new("fig6e", "Gain vs Internet bottleneck bandwidth", "x");
     for (mbps, paper) in [(60u64, Some(1.77)), (30, None), (15, Some(9.94))] {
-        let params = ExperimentParams {
-            internet_bw_bps: mbps * MBPS,
-            seed,
-            ..ExperimentParams::default()
-        };
-        let gain = compare(&params);
-        t.push(format!("internet {mbps} Mbps"), paper, gain.factor());
+        spec = spec.cell(gain_cell(
+            format!("internet-{mbps}"),
+            format!("internet {mbps} Mbps"),
+            paper,
+            move || ExperimentParams {
+                internet_bw_bps: mbps * MBPS,
+                ..ExperimentParams::default()
+            },
+        ));
     }
-    t
+    spec
 }
 
 /// Fig. 6(f): Internet latency sweep.
-pub fn latency(seed: u64) -> Table {
-    let mut t = Table::new("fig6f", "Gain vs Internet RTT", "x");
+pub fn latency_spec() -> TableSpec {
+    let mut spec = TableSpec::new("fig6f", "Gain vs Internet RTT", "x");
     for (ms, paper) in [
         (5u64, Some(1.38)),
         (10, None),
@@ -148,25 +168,62 @@ pub fn latency(seed: u64) -> Table {
         (50, None),
         (100, Some(2.3)),
     ] {
-        let params = ExperimentParams {
-            internet_rtt: SimDuration::from_millis(ms),
-            seed,
-            ..ExperimentParams::default()
-        };
-        let gain = compare(&params);
-        t.push(format!("rtt {ms} ms"), paper, gain.factor());
+        spec = spec.cell(gain_cell(
+            format!("rtt-{ms}"),
+            format!("rtt {ms} ms"),
+            paper,
+            move || ExperimentParams {
+                internet_rtt: SimDuration::from_millis(ms),
+                ..ExperimentParams::default()
+            },
+        ));
     }
-    t
+    spec
 }
 
-/// All six panels.
-pub fn run_all(seed: u64) -> Vec<Table> {
+/// All six panels as cell specs, in figure order.
+pub fn specs() -> Vec<TableSpec> {
     vec![
-        chunk_size(seed),
-        encounter(seed),
-        disconnection(seed),
-        loss(seed),
-        bandwidth(seed),
-        latency(seed),
+        chunk_size_spec(),
+        encounter_spec(),
+        disconnection_spec(),
+        loss_spec(),
+        bandwidth_spec(),
+        latency_spec(),
     ]
+}
+
+/// Fig. 6(a), serially at one seed.
+pub fn chunk_size(seed: u64) -> Table {
+    execute_one(chunk_size_spec(), &ExecConfig::serial(seed))
+}
+
+/// Fig. 6(b), serially at one seed.
+pub fn encounter(seed: u64) -> Table {
+    execute_one(encounter_spec(), &ExecConfig::serial(seed))
+}
+
+/// Fig. 6(c), serially at one seed.
+pub fn disconnection(seed: u64) -> Table {
+    execute_one(disconnection_spec(), &ExecConfig::serial(seed))
+}
+
+/// Fig. 6(d), serially at one seed.
+pub fn loss(seed: u64) -> Table {
+    execute_one(loss_spec(), &ExecConfig::serial(seed))
+}
+
+/// Fig. 6(e), serially at one seed.
+pub fn bandwidth(seed: u64) -> Table {
+    execute_one(bandwidth_spec(), &ExecConfig::serial(seed))
+}
+
+/// Fig. 6(f), serially at one seed.
+pub fn latency(seed: u64) -> Table {
+    execute_one(latency_spec(), &ExecConfig::serial(seed))
+}
+
+/// All six panels, serially at one seed.
+pub fn run_all(seed: u64) -> Vec<Table> {
+    crate::exec::execute(&specs(), &ExecConfig::serial(seed))
 }

@@ -5,11 +5,16 @@
 //! and counts how many content objects each client downloads in the same
 //! trace window. The paper reports SoftStage downloading "almost twice the
 //! content objects".
+//!
+//! Each (trace, client) pair is one executor cell; the two clients of a
+//! trace share a seed key so every replicate replays the *same*
+//! synthesized trace with both stacks before deriving the factor row.
 
 use simnet::{SimDuration, SimTime};
 use softstage::SoftStageConfig;
 use vehicular::{synthesize_wardriving, ConnectivityTrace, WardrivingParams};
 
+use crate::exec::{Cell, DerivedRow, ExecConfig, TableSpec};
 use crate::params::{ExperimentParams, MB};
 use crate::report::Table;
 use crate::testbed;
@@ -32,73 +37,108 @@ impl TraceResult {
     }
 }
 
-/// Replays `trace`, downloading a large object stream for its duration.
-pub fn replay(trace: &ConnectivityTrace, seed: u64) -> TraceResult {
-    let duration = trace.duration();
-    // Enough 2 MB objects that neither client can ever finish early.
-    let params = ExperimentParams {
+/// The large-object-stream parameters every Fig. 7 replay uses: enough
+/// 2 MB objects that neither client can ever finish early.
+fn replay_params(seed: u64) -> ExperimentParams {
+    ExperimentParams {
         file_size: 400 * MB,
         chunk_size: 2 * MB,
         seed,
         ..ExperimentParams::default()
-    };
+    }
+}
+
+/// Replays `trace` with one client configuration; returns chunks
+/// completed within the trace window.
+pub fn replay_one(trace: &ConnectivityTrace, seed: u64, config: SoftStageConfig) -> usize {
+    let params = replay_params(seed);
     let schedule = trace.to_schedule(params.edge_networks);
-    let deadline = SimTime::ZERO + duration;
-    let soft = testbed::build(&params, &schedule, SoftStageConfig::default()).run(deadline);
-    let base = testbed::build(&params, &schedule, SoftStageConfig::baseline()).run(deadline);
+    let deadline = SimTime::ZERO + trace.duration();
+    testbed::build(&params, &schedule, config)
+        .run(deadline)
+        .chunks_fetched
+}
+
+/// Replays `trace`, downloading a large object stream for its duration
+/// with both clients.
+pub fn replay(trace: &ConnectivityTrace, seed: u64) -> TraceResult {
     TraceResult {
-        xftp_chunks: base.chunks_fetched,
-        softstage_chunks: soft.chunks_fetched,
+        xftp_chunks: replay_one(trace, seed, SoftStageConfig::baseline()),
+        softstage_chunks: replay_one(trace, seed, SoftStageConfig::default()),
         coverage: trace.coverage_fraction(),
     }
 }
 
-/// The two Beijing-like traces used by the reproduction.
-pub fn traces(seed: u64) -> [ConnectivityTrace; 2] {
+/// The wardriving parameter sets of the two Beijing-like traces.
+fn trace_params() -> [(&'static str, WardrivingParams, u64); 2] {
     [
-        synthesize_wardriving(
+        (
             "beijing-like-trace-1",
             WardrivingParams {
                 coverage: 0.85,
                 mean_burst_s: 40.0,
                 total_s: 120.0,
             },
-            seed,
+            0,
         ),
-        synthesize_wardriving(
+        (
             "beijing-like-trace-2",
             WardrivingParams {
                 coverage: 0.82,
                 mean_burst_s: 15.0,
                 total_s: 120.0,
             },
-            seed.wrapping_add(1),
+            1,
         ),
     ]
 }
 
-/// Reproduces Fig. 7(b): objects downloaded per trace.
-pub fn run(seed: u64) -> Table {
-    let mut t = Table::new(
+/// The two Beijing-like traces used by the reproduction.
+pub fn traces(seed: u64) -> [ConnectivityTrace; 2] {
+    let [(n1, p1, o1), (n2, p2, o2)] = trace_params();
+    [
+        synthesize_wardriving(n1, p1, seed.wrapping_add(o1)),
+        synthesize_wardriving(n2, p2, seed.wrapping_add(o2)),
+    ]
+}
+
+/// Fig. 7(b) as cells: per trace, one cell per client (paired on the
+/// trace's world seed) plus the derived factor row.
+pub fn spec() -> TableSpec {
+    let mut spec = TableSpec::new(
         "fig7",
         "Trace-driven replay: chunks downloaded in the trace window",
         "chunks / x",
     );
-    for trace in traces(seed) {
-        let result = replay(&trace, seed);
-        t.push(
-            format!("{} xftp", trace.name),
-            None,
-            result.xftp_chunks as f64,
-        );
-        t.push(
-            format!("{} softstage", trace.name),
-            None,
-            result.softstage_chunks as f64,
-        );
-        t.push(format!("{} factor", trace.name), Some(2.0), result.factor());
+    for (i, (name, wp, offset)) in trace_params().into_iter().enumerate() {
+        let client_cell = |suffix: &str, config_for: fn() -> SoftStageConfig| {
+            Cell::new(
+                format!("trace{}-{suffix}", i + 1),
+                format!("{name} {suffix}"),
+                None,
+                move |seed| {
+                    let trace = synthesize_wardriving(name, wp, seed.wrapping_add(offset));
+                    replay_one(&trace, seed, config_for()) as f64
+                },
+            )
+            .with_seed_key(format!("fig7/{name}"))
+        };
+        spec = spec
+            .cell(client_cell("xftp", SoftStageConfig::baseline))
+            .cell(client_cell("softstage", SoftStageConfig::default));
+        let (xi, si) = (2 * i, 2 * i + 1);
+        spec = spec.derived(DerivedRow::new(
+            format!("{name} factor"),
+            Some(2.0),
+            move |v| v[si] / v[xi].max(1.0),
+        ));
     }
-    t
+    spec
+}
+
+/// Reproduces Fig. 7(b), serially at one seed.
+pub fn run(seed: u64) -> Table {
+    crate::exec::execute_one(spec(), &ExecConfig::serial(seed))
 }
 
 /// A short deterministic smoke variant used by tests: 120 s trace.

@@ -5,11 +5,16 @@
 //! timing of the switch matters. The paper reports the content-aware
 //! policy cutting download time by 21.7 % versus the default (blind
 //! RSS-driven) policy.
+//!
+//! The two policies are independent cells that share a seed key — both
+//! simulate the same world at every replicate, so the derived reduction
+//! row is a paired comparison throughout.
 
 use simnet::{SimDuration, SimTime};
 use softstage::{HandoffPolicy, SoftStageConfig};
 use vehicular::CoverageSchedule;
 
+use crate::exec::{execute_one, Cell, DerivedRow, ExecConfig, TableSpec};
 use crate::params::ExperimentParams;
 use crate::report::Table;
 use crate::testbed;
@@ -30,8 +35,8 @@ impl HandoffResult {
     }
 }
 
-/// Runs both policies over the overlapping-coverage drive.
-pub fn compare(params: &ExperimentParams) -> HandoffResult {
+/// Download time over the overlapping-coverage drive under `policy`.
+fn run_policy(params: &ExperimentParams, policy: HandoffPolicy) -> f64 {
     let horizon = SimDuration::from_secs(4_000);
     let schedule = CoverageSchedule::overlapping(
         params.encounter,
@@ -39,39 +44,51 @@ pub fn compare(params: &ExperimentParams) -> HandoffResult {
         params.edge_networks.max(2),
         horizon,
     );
-    let deadline = SimTime::ZERO + horizon;
-    let run = |policy| {
-        let config = SoftStageConfig {
-            policy,
-            ..SoftStageConfig::default()
-        };
-        let result = testbed::build(params, &schedule, config).run(deadline);
-        assert!(
-            result.content_ok,
-            "download must finish and verify under {policy:?}"
-        );
-        result.completion.expect("checked").as_secs_f64()
+    let config = SoftStageConfig {
+        policy,
+        ..SoftStageConfig::default()
     };
+    testbed::download_secs(params, &schedule, config, SimTime::ZERO + horizon)
+}
+
+/// Runs both policies over the overlapping-coverage drive.
+pub fn compare(params: &ExperimentParams) -> HandoffResult {
     HandoffResult {
-        default_s: run(HandoffPolicy::Default),
-        chunk_aware_s: run(HandoffPolicy::ChunkAware),
+        default_s: run_policy(params, HandoffPolicy::Default),
+        chunk_aware_s: run_policy(params, HandoffPolicy::ChunkAware),
     }
 }
 
-/// Reproduces the §IV-D result.
-pub fn run(seed: u64) -> Table {
-    let params = ExperimentParams {
-        seed,
-        ..ExperimentParams::default()
+/// The §IV-D table: one cell per policy (paired worlds), reduction
+/// derived per replicate.
+pub fn spec() -> TableSpec {
+    let policy_cell = |id: &str, label: &str, policy| {
+        Cell::new(id, label, None, move |seed| {
+            run_policy(&ExperimentParams::default().with_seed(seed), policy)
+        })
+        .with_seed_key("handoff/world")
     };
-    let result = compare(&params);
-    let mut t = Table::new(
+    TableSpec::new(
         "handoff",
         "Handoff policy: download time with 3 s coverage overlap",
         "s / %",
-    );
-    t.push("default policy (s)", None, result.default_s);
-    t.push("chunk-aware policy (s)", None, result.chunk_aware_s);
-    t.push("reduction (%)", Some(21.7), result.reduction_pct());
-    t
+    )
+    .cell(policy_cell(
+        "default",
+        "default policy (s)",
+        HandoffPolicy::Default,
+    ))
+    .cell(policy_cell(
+        "chunk-aware",
+        "chunk-aware policy (s)",
+        HandoffPolicy::ChunkAware,
+    ))
+    .derived(DerivedRow::new("reduction (%)", Some(21.7), |v| {
+        (1.0 - v[1] / v[0]) * 100.0
+    }))
+}
+
+/// Reproduces the §IV-D result, serially at one seed.
+pub fn run(seed: u64) -> Table {
+    execute_one(spec(), &ExecConfig::serial(seed))
 }

@@ -10,20 +10,27 @@
 //! | (extra) | [`ablation`] | Design-choice ablations (DESIGN.md §5) |
 //!
 //! [`testbed`] builds the paper's Fig. 4 topology; [`params`] holds the
-//! Table III parameter set. The `reproduce` binary prints each artifact's
-//! paper-vs-measured table.
+//! Table III parameter set. Every module declares its table as a list of
+//! independent cells ([`exec::TableSpec`]); the shared fan-out engine
+//! ([`exec::execute`]) evaluates them across a worker pool with per-cell
+//! derived seeds and merges results in declared order, so output is
+//! byte-identical for any `--jobs` count. The `reproduce` binary prints
+//! each artifact's paper-vs-measured table.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod exec;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod handoff;
 pub mod params;
 pub mod report;
+pub mod smoke;
 pub mod testbed;
 
+pub use exec::{execute, Cell, DerivedRow, ExecConfig, TableSpec};
 pub use params::{ExperimentParams, MB, MBPS};
 pub use testbed::{build, generate_content, RunResult, Testbed};

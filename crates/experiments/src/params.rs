@@ -59,6 +59,13 @@ impl Default for ExperimentParams {
 }
 
 impl ExperimentParams {
+    /// This parameter set re-seeded (builder style) — how executor cells
+    /// inject their per-replicate derived seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
     /// The wired-segment loss rate that throttles a Reno flow to the
     /// requested Internet bandwidth — the paper's emulation method ("we
     /// can change the packet loss rate to emulate different bandwidth on

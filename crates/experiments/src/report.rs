@@ -4,6 +4,20 @@ use std::fmt::Write as _;
 
 use util::json::{Json, ToJson};
 
+/// Multi-seed replication summary for one row.
+///
+/// Present only when a row was measured at more than one seed; the row's
+/// `measured` value is then the mean over replicates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Spread {
+    /// Smallest replicate value.
+    pub min: f64,
+    /// Largest replicate value.
+    pub max: f64,
+    /// Number of replicates behind the mean.
+    pub seeds: u32,
+}
+
 /// One row of a reproduction table.
 #[derive(Debug, Clone)]
 pub struct Row {
@@ -11,8 +25,11 @@ pub struct Row {
     pub label: String,
     /// What the paper reports for this cell, if stated.
     pub paper: Option<f64>,
-    /// What this reproduction measured.
+    /// What this reproduction measured (mean over replicates when
+    /// `spread` is present).
     pub measured: f64,
+    /// Min/max over replicates, when measured at more than one seed.
+    pub spread: Option<Spread>,
 }
 
 /// A reproduction table for one figure/experiment.
@@ -39,31 +56,75 @@ impl Table {
         }
     }
 
-    /// Appends a row.
+    /// Appends a single-seed row.
     pub fn push(&mut self, label: impl Into<String>, paper: Option<f64>, measured: f64) {
         self.rows.push(Row {
             label: label.into(),
             paper,
             measured,
+            spread: None,
         });
     }
 
-    /// Renders the table as aligned text.
+    /// Appends a replicated row: `measured` is the mean, `spread` the
+    /// min/max envelope over the replicates.
+    pub fn push_replicated(
+        &mut self,
+        label: impl Into<String>,
+        paper: Option<f64>,
+        measured: f64,
+        spread: Spread,
+    ) {
+        self.rows.push(Row {
+            label: label.into(),
+            paper,
+            measured,
+            spread: Some(spread),
+        });
+    }
+
+    /// Renders the table as aligned text. When any row carries a
+    /// replication spread the table grows min/max columns.
     pub fn render(&self) -> String {
+        let replicated = self.rows.iter().any(|r| r.spread.is_some());
         let mut out = String::new();
         let _ = writeln!(out, "== {} [{}] ==", self.title, self.id);
-        let _ = writeln!(
-            out,
-            "{:<28} {:>14} {:>14}",
-            "case",
-            format!("paper ({})", self.unit),
-            format!("ours ({})", self.unit)
-        );
+        if replicated {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>14} {:>14} {:>12} {:>12}",
+                "case",
+                format!("paper ({})", self.unit),
+                format!("mean ({})", self.unit),
+                "min",
+                "max"
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>14} {:>14}",
+                "case",
+                format!("paper ({})", self.unit),
+                format!("ours ({})", self.unit)
+            );
+        }
         for r in &self.rows {
             let paper = r
                 .paper
                 .map_or_else(|| "-".to_owned(), |p| format!("{p:.2}"));
-            let _ = writeln!(out, "{:<28} {:>14} {:>14.2}", r.label, paper, r.measured);
+            if replicated {
+                let (min, max) = r.spread.map_or_else(
+                    || ("-".to_owned(), "-".to_owned()),
+                    |s| (format!("{:.2}", s.min), format!("{:.2}", s.max)),
+                );
+                let _ = writeln!(
+                    out,
+                    "{:<28} {:>14} {:>14.2} {:>12} {:>12}",
+                    r.label, paper, r.measured, min, max
+                );
+            } else {
+                let _ = writeln!(out, "{:<28} {:>14} {:>14.2}", r.label, paper, r.measured);
+            }
         }
         out
     }
@@ -71,11 +132,17 @@ impl Table {
 
 impl ToJson for Row {
     fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("label".into(), self.label.to_json()),
             ("paper".into(), self.paper.to_json()),
             ("measured".into(), self.measured.to_json()),
-        ])
+        ];
+        if let Some(s) = self.spread {
+            fields.push(("min".into(), s.min.to_json()));
+            fields.push(("max".into(), s.max.to_json()));
+            fields.push(("seeds".into(), Json::Int(i64::from(s.seeds))));
+        }
+        Json::Obj(fields)
     }
 }
 
@@ -104,6 +171,7 @@ mod tests {
         assert!(s.contains("95.00"));
         assert!(s.contains("89.70"));
         assert!(s.contains('-'));
+        assert!(!s.contains("min"), "no spread columns without replicates");
     }
 
     #[test]
@@ -112,5 +180,29 @@ mod tests {
         t.push("a", Some(1.0), 2.0);
         let json = t.to_json().to_string_compact();
         assert!(json.contains("\"measured\":2.0"));
+        assert!(!json.contains("\"min\""), "spread keys only when present");
+    }
+
+    #[test]
+    fn replicated_rows_grow_columns() {
+        let mut t = Table::new("x", "Example", "x");
+        t.push_replicated(
+            "a",
+            None,
+            1.5,
+            Spread {
+                min: 1.2,
+                max: 1.8,
+                seeds: 5,
+            },
+        );
+        let s = t.render();
+        assert!(s.contains("mean"));
+        assert!(s.contains("1.20"));
+        assert!(s.contains("1.80"));
+        let json = t.to_json().to_string_compact();
+        assert!(json.contains("\"min\":1.2"));
+        assert!(json.contains("\"max\":1.8"));
+        assert!(json.contains("\"seeds\":5"));
     }
 }

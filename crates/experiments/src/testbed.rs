@@ -224,6 +224,30 @@ pub fn build(
     }
 }
 
+/// Builds the testbed, runs one complete download and returns its
+/// completion time in seconds — the kernel of every Fig. 6 / handoff /
+/// ablation cell.
+///
+/// # Panics
+///
+/// Panics when the download does not finish and verify before
+/// `deadline`: figure drivers abort on invalid runs rather than report
+/// numbers from bad data.
+pub fn download_secs(
+    params: &ExperimentParams,
+    schedule: &CoverageSchedule,
+    config: SoftStageConfig,
+    deadline: SimTime,
+) -> f64 {
+    let result = build(params, schedule, config).run(deadline);
+    assert!(
+        result.content_ok,
+        "download must finish and verify (completion {:?}, chunks {})",
+        result.completion, result.chunks_fetched
+    );
+    result.completion.expect("checked").as_secs_f64()
+}
+
 impl Testbed {
     /// Attaches the simulator's flight recorder with room for `capacity`
     /// records. Call before [`Testbed::run`].

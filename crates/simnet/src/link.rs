@@ -273,13 +273,15 @@ impl Link {
             &mut self.dir_ba
         };
         let tx_start = dir.busy_until.max(now);
-        // Tail drop if the backlog (expressed as waiting time) exceeds what
-        // the queue can hold.
+        let one_tx = SimDuration::transmission(wire_bytes, config.bandwidth_bps);
+        // Tail drop if the backlog (expressed as waiting time) *including
+        // the arriving packet's own serialization* exceeds what the queue
+        // can hold — without the `one_tx` term the queue admits up to one
+        // full packet beyond `queue_bytes`.
         let max_wait = SimDuration::transmission(config.queue_bytes, config.bandwidth_bps);
-        if tx_start - now > max_wait {
+        if tx_start - now + one_tx > max_wait {
             return TxOutcome::DropQueue;
         }
-        let one_tx = SimDuration::transmission(wire_bytes, config.bandwidth_bps);
         let max_attempts = 1 + config.arq.map_or(0, |a| a.max_retries);
         let per_retry = config.arq.map_or(SimDuration::ZERO, |a| a.per_retry);
         let mut attempts = 0;
@@ -377,20 +379,44 @@ mod tests {
     #[test]
     fn queue_overflow_tail_drops() {
         let mut l = mk(LinkConfig::wired(8_000, SimDuration::ZERO).with_queue_bytes(1000));
-        // Each 1000 B packet takes 1 s to serialize; queue holds 1 s worth.
+        // Each 1000 B packet takes 1 s to serialize; queue holds 1 s worth,
+        // and the first packet's own serialization fills it exactly.
         assert!(matches!(
             l.transmit(NodeId(0), 1000, SimTime::ZERO, || 0.9),
             TxOutcome::Deliver { .. }
         ));
-        assert!(matches!(
-            l.transmit(NodeId(0), 1000, SimTime::ZERO, || 0.9),
-            TxOutcome::Deliver { .. }
-        ));
-        // Third packet would wait 2 s > 1 s of queue: dropped.
+        // Second packet's backlog would be 1 s of residual + its own 1 s of
+        // serialization > 1 s of queue: dropped.
         assert_eq!(
             l.transmit(NodeId(0), 1000, SimTime::ZERO, || 0.9),
             TxOutcome::DropQueue
         );
+    }
+
+    #[test]
+    fn queue_admits_exactly_its_capacity() {
+        // Regression for the tail-drop accounting: the check must include
+        // the arriving packet's own serialization time. A 2000 B queue at
+        // 8 kbps holds exactly two 1000 B packets — the buggy check
+        // (`backlog > queue` *excluding* the packet itself) admitted a
+        // third, one full packet beyond capacity.
+        let mut l = mk(LinkConfig::wired(8_000, SimDuration::ZERO).with_queue_bytes(2000));
+        for _ in 0..2 {
+            assert!(matches!(
+                l.transmit(NodeId(0), 1000, SimTime::ZERO, || 0.9),
+                TxOutcome::Deliver { .. }
+            ));
+        }
+        assert_eq!(
+            l.transmit(NodeId(0), 1000, SimTime::ZERO, || 0.9),
+            TxOutcome::DropQueue
+        );
+        // Draining restores admission: at t = 1 s one packet's worth has
+        // serialized, so one more fits.
+        assert!(matches!(
+            l.transmit(NodeId(0), 1000, SimTime::from_micros(1_000_000), || 0.9),
+            TxOutcome::Deliver { .. }
+        ));
     }
 
     #[test]

@@ -523,6 +523,11 @@ impl<M: Message> Simulator<M> {
 
     /// Runs while `predicate` returns false, up to `deadline`. Returns true
     /// if the predicate became true.
+    ///
+    /// Like [`Simulator::run_until`], a run that exhausts its budget
+    /// leaves the clock *at* `deadline`: when the predicate never becomes
+    /// true, `now()` afterwards reads `deadline`, not the time of the
+    /// last processed event.
     pub fn run_while(
         &mut self,
         deadline: SimTime,
@@ -537,9 +542,16 @@ impl<M: Message> Simulator<M> {
                 Some(Reverse(e)) if e.at <= deadline => {
                     self.step();
                 }
-                _ => return predicate(self),
+                _ => break,
             }
         }
+        if predicate(self) {
+            return true;
+        }
+        if self.time < deadline {
+            self.time = deadline;
+        }
+        false
     }
 }
 
@@ -664,6 +676,56 @@ mod tests {
         assert_eq!(sim.now(), SimTime::from_micros(11_000));
         sim.run();
         assert_eq!(sim.node::<Echo>(b).unwrap().log.len(), 3);
+    }
+
+    #[test]
+    fn run_while_exhaustion_advances_to_deadline() {
+        // Predicate never becomes true: like run_until, the full budget is
+        // consumed and now() reads the deadline, not the last event time.
+        let (mut sim, _, _, _) = build();
+        let deadline = SimTime::from_micros(1_000_000);
+        let done = sim.run_while(deadline, |_| false);
+        assert!(!done);
+        assert_eq!(sim.now(), deadline, "clock must land on the deadline");
+        // And the early-return path still stops at the triggering event.
+        let (mut sim, _, b, _) = build();
+        let done = sim.run_while(deadline, |s| !s.node::<Echo>(b).unwrap().log.is_empty());
+        assert!(done);
+        assert_eq!(sim.now(), SimTime::from_micros(11_000));
+    }
+
+    #[test]
+    fn queue_drop_counted_at_exact_capacity() {
+        // A 2000 B queue at 8 kbps drains in 2 s; each 1000 B packet
+        // serializes in 1 s. A burst of four admits exactly two (backlog
+        // including the packet's own serialization must fit) and
+        // tail-drops the other two.
+        struct Burst {
+            link: Option<LinkId>,
+        }
+        impl Node<Num> for Burst {
+            fn on_start(&mut self, ctx: &mut Context<'_, Num>) {
+                if let Some(l) = self.link {
+                    for i in 0..4 {
+                        ctx.send(l, Num(i));
+                    }
+                }
+            }
+            fn on_packet(&mut self, _: &mut Context<'_, Num>, _: LinkId, _: Num) {}
+        }
+        let mut sim: Simulator<Num> = Simulator::new(0);
+        let a = sim.add_node(Box::new(Burst { link: None }));
+        let b = sim.add_node(Box::new(Burst { link: None }));
+        let l = sim.add_link(
+            a,
+            b,
+            LinkConfig::wired(8_000, SimDuration::ZERO).with_queue_bytes(2000),
+        );
+        sim.node_mut::<Burst>(a).unwrap().link = Some(l);
+        sim.run();
+        let stats = &sim.stats().links[l.index()];
+        assert_eq!(stats.dropped_queue, 2, "two of four tail-dropped");
+        assert_eq!(stats.delivered, 2, "exactly the queue's worth admitted");
     }
 
     #[test]

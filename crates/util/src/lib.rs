@@ -14,7 +14,9 @@
 //! - [`check`]: a seeded property-test harness with shrink-on-fail,
 //!   replacing `proptest` in the workspace's property tests,
 //! - [`bench`]: a wall-clock micro-benchmark harness, replacing
-//!   `criterion` for the reproduction's figure benches.
+//!   `criterion` for the reproduction's figure benches,
+//! - [`seed`]: splitmix64-based seed derivation for replicated
+//!   experiment grids (one base seed, per-cell/per-replicate streams).
 //!
 //! Everything here is deterministic where it matters: the property harness
 //! derives its cases from a fixed per-property seed, so CI failures
@@ -27,6 +29,7 @@ pub mod bench;
 pub mod bytes;
 pub mod check;
 pub mod json;
+pub mod seed;
 
 /// Whether trace emitters are compiled into this build.
 ///

@@ -26,4 +26,10 @@ cargo test -q --offline --release -p softstage-suite --test golden_trace
 echo "== benches compile (feature-gated, not run) =="
 cargo check -q --offline -p softstage-bench --features bench --benches
 
+echo "== reproduce: parallel determinism diff + wall-clock record =="
+# Paired --jobs 1 vs --jobs 2 on the small smoke target: fails unless
+# byte-identical, refreshes the smoke entry in BENCH_reproduce.json.
+# For the full trajectory point, run: scripts/bench_reproduce.sh all 4
+scripts/bench_reproduce.sh smoke 2 2
+
 echo "verify: OK"
