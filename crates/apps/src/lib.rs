@@ -2,9 +2,10 @@
 //!
 //! - [`SeqFetcher`]: a minimal sequential chunk downloader (the *XChunkP*
 //!   pattern) for stationary hosts and benchmarks,
-//! - [`xftp_client`]: the paper's Xftp baseline — a roaming FTP-style
-//!   client with the legacy handoff policy and **no** staging,
-//! - [`softstage_client`]: the same client with SoftStage enabled,
+//! - the roaming clients themselves live in `softstage`: build a
+//!   [`softstage::SoftStageClient`] with [`softstage::SoftStageConfig::baseline`]
+//!   for the paper's Xftp baseline (no staging, legacy handoff) or
+//!   `::default()` for SoftStage proper,
 //! - [`PlaybackModel`]: video-on-demand analysis over chunk completion
 //!   times (startup delay, rebuffering), supporting the paper's §V
 //!   extension discussion,
@@ -21,20 +22,3 @@ pub mod server;
 pub use playback::{PlaybackModel, PlaybackReport};
 pub use seq::SeqFetcher;
 pub use server::build_origin;
-
-use softstage::{SoftStageClient, SoftStageConfig};
-use xia_addr::{Dag, Xid};
-
-/// The paper's Xftp baseline: an FTP-style client that fetches `chunks`
-/// sequentially from their origin DAGs while roaming — identical stack and
-/// mobility handling to SoftStage, but no staging and the legacy
-/// (immediate, RSS-driven) handoff policy.
-pub fn xftp_client(chunks: Vec<(Xid, Dag)>) -> SoftStageClient {
-    SoftStageClient::new(chunks, SoftStageConfig::baseline())
-}
-
-/// A SoftStage-enabled FTP-style client with the paper's default
-/// configuration (reactive staging, chunk-aware handoff).
-pub fn softstage_client(chunks: Vec<(Xid, Dag)>) -> SoftStageClient {
-    SoftStageClient::new(chunks, SoftStageConfig::default())
-}

@@ -55,10 +55,12 @@ impl SeqFetcher {
     }
 
     fn fetch_next(&mut self, ctx: &mut HostCtx<'_, '_>) {
-        if self.in_flight.is_some() || self.next >= self.dags.len() {
+        if self.in_flight.is_some() {
             return;
         }
-        let dag = self.dags[self.next].clone();
+        let Some(dag) = self.dags.get(self.next).cloned() else {
+            return;
+        };
         let handle = ctx.xfetch_chunk(dag);
         self.in_flight = Some((handle, ctx.now()));
     }

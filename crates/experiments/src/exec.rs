@@ -68,7 +68,7 @@ impl Cell {
 
     /// Shares seed derivation with every other cell using `key` (builder
     /// style), pairing their worlds replicate by replicate.
-    pub fn with_seed_key(mut self, key: impl Into<String>) -> Self {
+    pub(crate) fn with_seed_key(mut self, key: impl Into<String>) -> Self {
         self.seed_key = Some(key.into());
         self
     }
@@ -133,7 +133,7 @@ impl TableSpec {
     }
 
     /// Appends a derived row (builder style).
-    pub fn derived(mut self, row: DerivedRow) -> Self {
+    pub(crate) fn derived(mut self, row: DerivedRow) -> Self {
         self.derived.push(row);
         self
     }
@@ -236,7 +236,7 @@ pub fn execute(specs: &[TableSpec], config: &ExecConfig) -> Vec<Table> {
 
 /// Evaluates a single spec — the convenience behind each figure
 /// module's `run(seed)` wrapper.
-pub fn execute_one(spec: TableSpec, config: &ExecConfig) -> Table {
+pub(crate) fn execute_one(spec: TableSpec, config: &ExecConfig) -> Table {
     execute(std::slice::from_ref(&spec), config).swap_remove(0)
 }
 

@@ -39,7 +39,7 @@ fn deadline() -> SimTime {
 }
 
 /// Runs both clients on identical worlds and returns the gain.
-pub fn compare(params: &ExperimentParams) -> Gain {
+pub(crate) fn compare(params: &ExperimentParams) -> Gain {
     let horizon = SimDuration::from_secs(4_000);
     let schedule = params.alternating_schedule(horizon);
     let soft = testbed::download_secs(params, &schedule, SoftStageConfig::default(), deadline());

@@ -50,7 +50,7 @@ fn replay_params(seed: u64) -> ExperimentParams {
 
 /// Replays `trace` with one client configuration; returns chunks
 /// completed within the trace window.
-pub fn replay_one(trace: &ConnectivityTrace, seed: u64, config: SoftStageConfig) -> usize {
+pub(crate) fn replay_one(trace: &ConnectivityTrace, seed: u64, config: SoftStageConfig) -> usize {
     let params = replay_params(seed);
     let schedule = trace.to_schedule(params.edge_networks);
     let deadline = SimTime::ZERO + trace.duration();
@@ -90,15 +90,6 @@ fn trace_params() -> [(&'static str, WardrivingParams, u64); 2] {
             },
             1,
         ),
-    ]
-}
-
-/// The two Beijing-like traces used by the reproduction.
-pub fn traces(seed: u64) -> [ConnectivityTrace; 2] {
-    let [(n1, p1, o1), (n2, p2, o2)] = trace_params();
-    [
-        synthesize_wardriving(n1, p1, seed.wrapping_add(o1)),
-        synthesize_wardriving(n2, p2, seed.wrapping_add(o2)),
     ]
 }
 

@@ -19,22 +19,6 @@ use crate::params::ExperimentParams;
 use crate::report::Table;
 use crate::testbed;
 
-/// Outcome of the policy comparison.
-#[derive(Debug, Clone, Copy)]
-pub struct HandoffResult {
-    /// Download time under the default policy, seconds.
-    pub default_s: f64,
-    /// Download time under the chunk-aware policy, seconds.
-    pub chunk_aware_s: f64,
-}
-
-impl HandoffResult {
-    /// Relative reduction in download time (paper: 21.7 %).
-    pub fn reduction_pct(&self) -> f64 {
-        (1.0 - self.chunk_aware_s / self.default_s) * 100.0
-    }
-}
-
 /// Download time over the overlapping-coverage drive under `policy`.
 fn run_policy(params: &ExperimentParams, policy: HandoffPolicy) -> f64 {
     let horizon = SimDuration::from_secs(4_000);
@@ -49,14 +33,6 @@ fn run_policy(params: &ExperimentParams, policy: HandoffPolicy) -> f64 {
         ..SoftStageConfig::default()
     };
     testbed::download_secs(params, &schedule, config, SimTime::ZERO + horizon)
-}
-
-/// Runs both policies over the overlapping-coverage drive.
-pub fn compare(params: &ExperimentParams) -> HandoffResult {
-    HandoffResult {
-        default_s: run_policy(params, HandoffPolicy::Default),
-        chunk_aware_s: run_policy(params, HandoffPolicy::ChunkAware),
-    }
 }
 
 /// The §IV-D table: one cell per policy (paired worlds), reduction

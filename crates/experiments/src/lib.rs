@@ -33,4 +33,4 @@ pub mod testbed;
 
 pub use exec::{execute, Cell, DerivedRow, ExecConfig, TableSpec};
 pub use params::{ExperimentParams, MB, MBPS};
-pub use testbed::{build, generate_content, RunResult, Testbed};
+pub use testbed::{build, RunResult, Testbed};

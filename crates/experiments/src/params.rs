@@ -61,7 +61,7 @@ impl Default for ExperimentParams {
 impl ExperimentParams {
     /// This parameter set re-seeded (builder style) — how executor cells
     /// inject their per-replicate derived seed.
-    pub fn with_seed(mut self, seed: u64) -> Self {
+    pub(crate) fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
     }
@@ -75,7 +75,7 @@ impl ExperimentParams {
     /// `BW = (MSS/RTT) · 1.22/√p` at the reference 20 ms RTT, so varying
     /// the latency parameter alone degrades throughput exactly as it did
     /// in the paper's testbed.
-    pub fn internet_loss(&self) -> f64 {
+    pub(crate) fn internet_loss(&self) -> f64 {
         let mss_bits = (xia_wire::MSS * 8) as f64;
         let reference_rtt_s = 0.020;
         let bw = self.internet_bw_bps as f64;

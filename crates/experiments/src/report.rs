@@ -68,7 +68,7 @@ impl Table {
 
     /// Appends a replicated row: `measured` is the mean, `spread` the
     /// min/max envelope over the replicates.
-    pub fn push_replicated(
+    pub(crate) fn push_replicated(
         &mut self,
         label: impl Into<String>,
         paper: Option<f64>,

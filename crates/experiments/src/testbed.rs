@@ -75,7 +75,7 @@ pub struct RunResult {
 }
 
 /// Deterministic pseudo-random content of `len` bytes.
-pub fn generate_content(len: usize, seed: u64) -> Bytes {
+pub(crate) fn generate_content(len: usize, seed: u64) -> Bytes {
     let mut rng = simnet::Rng::seed_from_u64(seed ^ 0xC0FFEE);
     let mut data = vec![0u8; len];
     rng.fill_bytes(&mut data);
@@ -233,7 +233,7 @@ pub fn build(
 /// Panics when the download does not finish and verify before
 /// `deadline`: figure drivers abort on invalid runs rather than report
 /// numbers from bad data.
-pub fn download_secs(
+pub(crate) fn download_secs(
     params: &ExperimentParams,
     schedule: &CoverageSchedule,
     config: SoftStageConfig,

@@ -28,7 +28,7 @@ pub struct LinkId(pub(crate) usize);
 
 impl LinkId {
     /// The raw index of this link.
-    pub fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         self.0
     }
 
@@ -120,7 +120,8 @@ impl LinkConfig {
     }
 
     /// Sets the queue capacity in bytes (builder style).
-    pub fn with_queue_bytes(mut self, bytes: usize) -> Self {
+    #[cfg(test)]
+    pub(crate) fn with_queue_bytes(mut self, bytes: usize) -> Self {
         self.queue_bytes = bytes;
         self
     }
@@ -197,7 +198,7 @@ impl Link {
     }
 
     /// The two endpoints of the link.
-    pub fn endpoints(&self) -> (NodeId, NodeId) {
+    pub(crate) fn endpoints(&self) -> (NodeId, NodeId) {
         (self.a, self.b)
     }
 
@@ -206,20 +207,15 @@ impl Link {
         &self.config
     }
 
-    /// Whether the link is currently up.
-    pub fn is_up(&self) -> bool {
-        self.up
-    }
-
     /// The loss probability currently in effect (config value unless a
     /// fault override is active).
-    pub fn current_loss(&self) -> f64 {
+    pub(crate) fn current_loss(&self) -> f64 {
         self.loss
     }
 
     /// The corruption probability currently in effect (zero unless a fault
     /// override is active).
-    pub fn current_corruption(&self) -> f64 {
+    pub(crate) fn current_corruption(&self) -> f64 {
         self.corrupt
     }
 
@@ -241,13 +237,13 @@ impl Link {
     /// # Panics
     ///
     /// Panics if `node` is not an endpoint.
-    pub fn peer_of(&self, node: NodeId) -> NodeId {
+    pub(crate) fn peer_of(&self, node: NodeId) -> NodeId {
         if node == self.a {
             self.b
         } else if node == self.b {
             self.a
         } else {
-            // sslint: allow(panic) — documented contract: callers must pass an endpoint; wrong topology wiring cannot be recovered here
+            // sslint: allow(panic, panic-reach) — documented contract: callers must pass an endpoint; wrong topology wiring cannot be recovered here
             panic!("{node} is not an endpoint of this link");
         }
     }

@@ -14,7 +14,7 @@ pub struct NodeId(pub(crate) usize);
 
 impl NodeId {
     /// The raw index of this node.
-    pub fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         self.0
     }
 
@@ -92,7 +92,6 @@ pub enum NodeFault {
 pub(crate) enum Action<M> {
     Send { link: LinkId, msg: M },
     Timer { delay: SimDuration, key: TimerKey },
-    SetLinkState { link: LinkId, up: bool },
 }
 
 /// The window through which a [`Node`] observes and affects the simulation.
@@ -111,11 +110,6 @@ impl<'a, M: Message> Context<'a, M> {
         self.now
     }
 
-    /// The identifier of the node receiving this callback.
-    pub fn node_id(&self) -> NodeId {
-        self.node
-    }
-
     /// Sends `msg` out on `link`. Delivery (or loss) is decided by the link
     /// model; sending on a downed link silently drops the packet, exactly
     /// like transmitting into a coverage gap.
@@ -131,16 +125,10 @@ impl<'a, M: Message> Context<'a, M> {
         self.actions.push(Action::Timer { delay, key });
     }
 
-    /// Brings a link administratively up or down (used by mobility drivers
-    /// to emulate coverage). Both endpoints receive
-    /// [`Node::on_link_event`].
-    pub fn set_link_state(&mut self, link: LinkId, up: bool) {
-        self.actions.push(Action::SetLinkState { link, up });
-    }
-
-    /// Whether `link` is currently up.
+    /// Whether `link` is currently up; `false` for ids this simulation
+    /// never minted.
     pub fn link_up(&self, link: LinkId) -> bool {
-        self.links[link.index()].up
+        self.links.get(link.index()).is_some_and(|l| l.up)
     }
 
     /// The node at the far end of `link` from this node.
@@ -149,17 +137,8 @@ impl<'a, M: Message> Context<'a, M> {
     ///
     /// Panics if this node is not an endpoint of `link`.
     pub fn peer(&self, link: LinkId) -> NodeId {
+        // sslint: allow(panic-reach) — documented contract: the panic is the point
         self.links[link.index()].peer_of(self.node)
-    }
-
-    /// Links attached to this node, in creation order.
-    pub fn attached_links(&self) -> Vec<LinkId> {
-        self.links
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| l.a == self.node || l.b == self.node)
-            .map(|(i, _)| LinkId(i))
-            .collect()
     }
 
     /// Whether a flight-recorder sink is attached. Check before building
@@ -184,7 +163,8 @@ impl<'a, M: Message> Context<'a, M> {
 
     /// Draws a uniform random `u64` from the simulation's deterministic
     /// generator.
-    pub fn random_u64(&mut self) -> u64 {
+    #[cfg(test)]
+    pub(crate) fn random_u64(&mut self) -> u64 {
         self.rng.next_u64()
     }
 }

@@ -59,7 +59,7 @@ impl Rng {
     }
 
     /// The next 64 uniform random bits (xoshiro256++).
-    pub fn next_u64(&mut self) -> u64 {
+    pub(crate) fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
         let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
@@ -73,12 +73,13 @@ impl Rng {
     }
 
     /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
-    pub fn next_f64(&mut self) -> f64 {
+    pub(crate) fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A Bernoulli draw: `true` with probability `p`.
-    pub fn gen_bool(&mut self, p: f64) -> bool {
+    #[cfg(test)]
+    pub(crate) fn gen_bool(&mut self, p: f64) -> bool {
         self.next_f64() < p
     }
 
@@ -88,7 +89,7 @@ impl Rng {
     }
 
     /// A uniform integer in `lo..hi` (empty ranges panic).
-    pub fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+    pub(crate) fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "gen_range_u64: empty range {lo}..{hi}");
         let span = hi - lo;
         // Multiply-shift rejection-free mapping is fine for simulation use.

@@ -112,14 +112,6 @@ impl<M: Message> Simulator<M> {
         }
     }
 
-    /// Creates a simulator with an attached flight recorder holding at
-    /// most `capacity` records (see [`crate::trace::TraceSink`]).
-    pub fn with_trace(seed: u64, capacity: usize) -> Self {
-        let mut sim = Self::new(seed);
-        sim.enable_trace(capacity);
-        sim
-    }
-
     /// Attaches (or replaces) a flight recorder holding at most
     /// `capacity` records.
     pub fn enable_trace(&mut self, capacity: usize) {
@@ -129,11 +121,6 @@ impl<M: Message> Simulator<M> {
     /// Read access to the flight record, if tracing is enabled.
     pub fn trace(&self) -> Option<&TraceSink> {
         self.sink.as_ref()
-    }
-
-    /// Detaches and returns the flight record, disabling tracing.
-    pub fn take_trace(&mut self) -> Option<TraceSink> {
-        self.sink.take()
     }
 
     /// Caps the number of dispatched events; [`Simulator::run`] panics when
@@ -169,7 +156,12 @@ impl<M: Message> Simulator<M> {
     }
 
     /// Read access to a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by [`Simulator::add_link`].
     pub fn link(&self, id: LinkId) -> &Link {
+        // sslint: allow(panic-reach) — documented contract: LinkIds are minted by add_link
         &self.links[id.0]
     }
 
@@ -185,13 +177,13 @@ impl<M: Message> Simulator<M> {
 
     /// Downcasts node `id` to its concrete type.
     pub fn node<T: Node<M>>(&self, id: NodeId) -> Option<&T> {
-        let node = self.nodes[id.0].as_deref()?;
+        let node = self.nodes.get(id.0)?.as_deref()?;
         (node as &dyn std::any::Any).downcast_ref::<T>()
     }
 
     /// Mutable downcast of node `id` to its concrete type.
     pub fn node_mut<T: Node<M>>(&mut self, id: NodeId) -> Option<&mut T> {
-        let node = self.nodes[id.0].as_deref_mut()?;
+        let node = self.nodes.get_mut(id.0)?.as_deref_mut()?;
         (node as &mut dyn std::any::Any).downcast_mut::<T>()
     }
 
@@ -203,17 +195,12 @@ impl<M: Message> Simulator<M> {
         self.push(at, EventKind::LinkState { link, up });
     }
 
-    /// Schedules a timer for `node` at absolute time `at`.
-    pub fn schedule_timer(&mut self, at: SimTime, node: NodeId, key: TimerKey) {
-        self.push(at, EventKind::Timer { node, key });
-    }
-
     /// Schedules a link-quality override at absolute time `at`: `loss`
     /// and/or `corrupt` replace the link's current probabilities (`None`
     /// leaves a parameter unchanged). Schedule a second event with the
     /// original values to close a burst window — [`crate::fault::FaultPlan`]
     /// does both ends for you.
-    pub fn schedule_link_quality(
+    pub(crate) fn schedule_link_quality(
         &mut self,
         at: SimTime,
         link: LinkId,
@@ -232,7 +219,7 @@ impl<M: Message> Simulator<M> {
 
     /// Schedules a node fault at absolute time `at`. The node's
     /// [`Node::on_fault`] decides what state is lost.
-    pub fn schedule_node_fault(&mut self, at: SimTime, node: NodeId, fault: NodeFault) {
+    pub(crate) fn schedule_node_fault(&mut self, at: SimTime, node: NodeId, fault: NodeFault) {
         self.push(at, EventKind::NodeFault { node, fault });
     }
 
@@ -255,10 +242,14 @@ impl<M: Message> Simulator<M> {
 
     /// Runs `f` on a node with a fresh context, then applies its actions.
     fn with_node(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Node<M>, &mut Context<'_, M>)) {
-        let mut node = self.nodes[id.0].take().unwrap_or_else(|| {
-            // sslint: allow(panic) — reentrant dispatch is a scheduler bug; continuing would corrupt the event order the traces attest to
-            panic!("reentrant dispatch on node {id}");
-        });
+        let mut node = self
+            .nodes
+            .get_mut(id.0)
+            .and_then(Option::take)
+            .unwrap_or_else(|| {
+                // sslint: allow(panic, panic-reach) — reentrant dispatch is a scheduler bug; continuing would corrupt the event order the traces attest to
+                panic!("reentrant dispatch on node {id}");
+            });
         let mut ctx = Context {
             now: self.time,
             node: id,
@@ -269,7 +260,9 @@ impl<M: Message> Simulator<M> {
         };
         f(node.as_mut(), &mut ctx);
         let actions = ctx.actions;
-        self.nodes[id.0] = Some(node);
+        if let Some(slot) = self.nodes.get_mut(id.0) {
+            *slot = Some(node);
+        }
         for action in actions {
             self.apply(id, action);
         }
@@ -282,7 +275,6 @@ impl<M: Message> Simulator<M> {
                 let at = self.time + delay;
                 self.push(at, EventKind::Timer { node: from, key });
             }
-            Action::SetLinkState { link, up } => self.apply_link_state(link, up),
         }
     }
 
@@ -290,8 +282,10 @@ impl<M: Message> Simulator<M> {
         let wire = msg.wire_size();
         let bytes = wire32(wire);
         let now = self.time;
+        // sslint: allow(panic-reach) — LinkIds are minted by add_link; a node sending on a foreign id is a wiring bug that must stop the run
         let stats = &mut self.stats.links[link_id.0];
         stats.offered += 1;
+        // sslint: allow(panic-reach) — same add_link invariant as the stats index above
         let link = &mut self.links[link_id.0];
         let to = link.peer_of(from);
         let rng = &mut self.rng;
@@ -397,7 +391,9 @@ impl<M: Message> Simulator<M> {
     }
 
     fn apply_link_state(&mut self, link_id: LinkId, up: bool) {
-        let link = &mut self.links[link_id.0];
+        let Some(link) = self.links.get_mut(link_id.0) else {
+            return;
+        };
         if !link.set_up(up) {
             return;
         }
@@ -415,7 +411,7 @@ impl<M: Message> Simulator<M> {
 
     /// Dispatches the next event, if any. Returns `false` when the queue is
     /// empty.
-    pub fn step(&mut self) -> bool {
+    pub(crate) fn step(&mut self) -> bool {
         self.ensure_started();
         let Some(Reverse(event)) = self.queue.pop() else {
             return false;
@@ -436,9 +432,15 @@ impl<M: Message> Simulator<M> {
                 msg,
             } => {
                 let bytes = wire32(msg.wire_size());
-                if self.links[link.0].epoch != epoch || !self.links[link.0].up {
+                let alive = self
+                    .links
+                    .get(link.0)
+                    .is_some_and(|l| l.epoch == epoch && l.up);
+                if !alive {
                     // Lost to a down transition while in flight.
-                    self.stats.links[link.0].dropped_in_flight += 1;
+                    if let Some(ls) = self.stats.links.get_mut(link.0) {
+                        ls.dropped_in_flight += 1;
+                    }
                     emit(
                         &mut self.sink,
                         self.time,
@@ -470,20 +472,23 @@ impl<M: Message> Simulator<M> {
                 loss,
                 corrupt,
             } => {
-                let l = &mut self.links[link.0];
-                l.set_quality(loss, corrupt);
-                let (a, _) = l.endpoints();
-                // At-baseline quality means the fault window closed.
-                let ev = if l.current_loss() == l.config().loss && l.current_corruption() == 0.0 {
-                    TraceEvent::FaultClear { link }
-                } else {
-                    TraceEvent::FaultOnset {
-                        link,
-                        loss: l.current_loss(),
-                        corrupt: l.current_corruption(),
-                    }
-                };
-                emit(&mut self.sink, self.time, a, ev);
+                if let Some(l) = self.links.get_mut(link.0) {
+                    l.set_quality(loss, corrupt);
+                    let (a, _) = l.endpoints();
+                    // At-baseline quality means the fault window closed.
+                    let at_baseline =
+                        l.current_loss() == l.config().loss && l.current_corruption() == 0.0;
+                    let ev = if at_baseline {
+                        TraceEvent::FaultClear { link }
+                    } else {
+                        TraceEvent::FaultOnset {
+                            link,
+                            loss: l.current_loss(),
+                            corrupt: l.current_corruption(),
+                        }
+                    };
+                    emit(&mut self.sink, self.time, a, ev);
+                }
             }
             EventKind::NodeFault { node, fault } => {
                 self.stats.faults += 1;

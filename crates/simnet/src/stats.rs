@@ -26,7 +26,8 @@ pub struct LinkStats {
 
 impl LinkStats {
     /// Fraction of offered packets that were delivered.
-    pub fn delivery_ratio(&self) -> f64 {
+    #[cfg(test)]
+    pub(crate) fn delivery_ratio(&self) -> f64 {
         if self.offered == 0 {
             return 0.0;
         }
@@ -51,12 +52,14 @@ pub struct SimStats {
 
 impl SimStats {
     /// Sum of delivered bytes over all links.
-    pub fn total_bytes_delivered(&self) -> u64 {
+    #[cfg(test)]
+    pub(crate) fn total_bytes_delivered(&self) -> u64 {
         self.links.iter().map(|l| l.bytes_delivered).sum()
     }
 
     /// Sum of lost packets over all links.
-    pub fn total_lost(&self) -> u64 {
+    #[cfg(test)]
+    pub(crate) fn total_lost(&self) -> u64 {
         self.links
             .iter()
             .map(|l| l.lost + l.dropped_queue + l.dropped_down + l.dropped_in_flight + l.corrupted)

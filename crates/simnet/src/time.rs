@@ -42,12 +42,13 @@ impl SimTime {
     }
 
     /// The duration elapsed since `earlier`, saturating to zero.
-    pub fn since(self, earlier: SimTime) -> SimDuration {
+    pub(crate) fn since(self, earlier: SimTime) -> SimDuration {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
 
     /// Checked subtraction of a duration.
-    pub fn checked_sub(self, d: SimDuration) -> Option<SimTime> {
+    #[cfg(test)]
+    pub(crate) fn checked_sub(self, d: SimDuration) -> Option<SimTime> {
         self.0.checked_sub(d.0).map(SimTime)
     }
 }
@@ -94,7 +95,7 @@ impl SimDuration {
     }
 
     /// Duration in fractional milliseconds.
-    pub fn as_millis_f64(self) -> f64 {
+    pub(crate) fn as_millis_f64(self) -> f64 {
         self.0 as f64 / 1e3
     }
 
@@ -108,7 +109,7 @@ impl SimDuration {
     /// # Panics
     ///
     /// Panics if `bits_per_sec` is zero.
-    pub fn transmission(bytes: usize, bits_per_sec: u64) -> SimDuration {
+    pub(crate) fn transmission(bytes: usize, bits_per_sec: u64) -> SimDuration {
         assert!(bits_per_sec > 0, "link bandwidth must be positive");
         let bits = bytes as u128 * 8;
         SimDuration(((bits * 1_000_000) / bits_per_sec as u128) as u64)

@@ -649,7 +649,8 @@ impl TraceSink {
     }
 
     /// Total records ever written (equals the next sequence number).
-    pub fn total_recorded(&self) -> u64 {
+    #[cfg(test)]
+    pub(crate) fn total_recorded(&self) -> u64 {
         self.next_seq
     }
 

@@ -39,7 +39,7 @@ impl Ewma {
     }
 
     /// Absorbs a sample.
-    pub fn observe(&mut self, sample: SimDuration) {
+    pub(crate) fn observe(&mut self, sample: SimDuration) {
         let s = sample.as_micros() as f64;
         self.value_us = Some(match self.value_us {
             None => s,
@@ -103,17 +103,17 @@ impl StagingCoordinator {
     }
 
     /// Records a staged-chunk fetch latency (`L_EdgeNet→C`).
-    pub fn observe_fetch(&mut self, latency: SimDuration) {
+    pub(crate) fn observe_fetch(&mut self, latency: SimDuration) {
         self.fetch.observe(latency);
     }
 
     /// Records a staging latency reported by the VNF (`L_S→EdgeNet`).
-    pub fn observe_stage(&mut self, latency: SimDuration) {
+    pub(crate) fn observe_stage(&mut self, latency: SimDuration) {
         self.stage.observe(latency);
     }
 
     /// Records a signaling round trip (`RTT_C,EdgeNet`).
-    pub fn observe_rtt(&mut self, rtt: SimDuration) {
+    pub(crate) fn observe_rtt(&mut self, rtt: SimDuration) {
         self.rtt.observe(rtt);
     }
 
@@ -122,19 +122,8 @@ impl StagingCoordinator {
     /// client is disconnected" (§III-D) — so the coordinator keeps enough
     /// chunks requested to occupy the VNF across a typical gap, measured
     /// reactively from the drive itself (no mobility prediction).
-    pub fn observe_gap(&mut self, gap: SimDuration) {
+    pub(crate) fn observe_gap(&mut self, gap: SimDuration) {
         self.gap.observe(gap);
-    }
-
-    /// Current estimates `(fetch, stage, rtt)`, if measured.
-    pub fn estimates(
-        &self,
-    ) -> (
-        Option<SimDuration>,
-        Option<SimDuration>,
-        Option<SimDuration>,
-    ) {
-        (self.fetch.value(), self.stage.value(), self.rtt.value())
     }
 
     /// The target staged-ahead depth: the paper's threshold
@@ -163,7 +152,7 @@ impl StagingCoordinator {
 
     /// How many new staging requests to issue given the current
     /// staged-ahead count.
-    pub fn deficit(&self, staged_ahead: usize) -> usize {
+    pub(crate) fn deficit(&self, staged_ahead: usize) -> usize {
         self.target_depth().saturating_sub(staged_ahead)
     }
 }

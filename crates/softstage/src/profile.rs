@@ -63,7 +63,7 @@ impl ChunkRecord {
     /// The address the Chunk Manager should fetch this chunk from: the
     /// staged location if ready, otherwise the origin (fault-tolerance
     /// fallback).
-    pub fn best_dag(&self) -> &Dag {
+    pub(crate) fn best_dag(&self) -> &Dag {
         match (&self.new_dag, self.staging_state) {
             (Some(dag), StagingState::Ready) => dag,
             _ => &self.raw_dag,
@@ -71,7 +71,7 @@ impl ChunkRecord {
     }
 
     /// Whether the staged copy would be used by [`ChunkRecord::best_dag`].
-    pub fn uses_staged(&self) -> bool {
+    pub(crate) fn uses_staged(&self) -> bool {
         self.staging_state == StagingState::Ready && self.new_dag.is_some()
     }
 }
@@ -92,7 +92,7 @@ impl ChunkProfile {
 
     /// Registers a content object's chunk (in session order). Duplicate
     /// CIDs keep the first registration.
-    pub fn register(&mut self, cid: Xid, raw_dag: Dag) -> usize {
+    pub(crate) fn register(&mut self, cid: Xid, raw_dag: Dag) -> usize {
         if let Some(&idx) = self.by_cid.get(&cid) {
             return idx;
         }
@@ -134,19 +134,19 @@ impl ChunkProfile {
     }
 
     /// Looks up a record by CID.
-    pub fn by_cid(&self, cid: &Xid) -> Option<(usize, &ChunkRecord)> {
+    pub(crate) fn by_cid(&self, cid: &Xid) -> Option<(usize, &ChunkRecord)> {
         let idx = *self.by_cid.get(cid)?;
         Some((idx, &self.records[idx]))
     }
 
     /// Mutable lookup by CID.
-    pub fn by_cid_mut(&mut self, cid: &Xid) -> Option<(usize, &mut ChunkRecord)> {
+    pub(crate) fn by_cid_mut(&mut self, cid: &Xid) -> Option<(usize, &mut ChunkRecord)> {
         let idx = *self.by_cid.get(cid)?;
         Some((idx, &mut self.records[idx]))
     }
 
     /// Marks a staging request sent for the chunk.
-    pub fn mark_pending(&mut self, idx: usize, now: SimTime) {
+    pub(crate) fn mark_pending(&mut self, idx: usize, now: SimTime) {
         let r = &mut self.records[idx];
         r.staging_state = StagingState::Pending;
         r.pending_since = Some(now);
@@ -154,7 +154,7 @@ impl ChunkProfile {
     }
 
     /// Records a successful staging reply for `cid`.
-    pub fn mark_ready(
+    pub(crate) fn mark_ready(
         &mut self,
         cid: &Xid,
         nid: Xid,
@@ -171,14 +171,14 @@ impl ChunkProfile {
     }
 
     /// Marks a chunk as never-to-be-staged (no VNF, or staging failed).
-    pub fn mark_fallback(&mut self, idx: usize) {
+    pub(crate) fn mark_fallback(&mut self, idx: usize) {
         let r = &mut self.records[idx];
         r.staging_state = StagingState::Fallback;
         r.pending_since = None;
     }
 
     /// Records fetch completion.
-    pub fn mark_fetched(&mut self, idx: usize, latency: SimDuration) {
+    pub(crate) fn mark_fetched(&mut self, idx: usize, latency: SimDuration) {
         let r = &mut self.records[idx];
         r.fetch_state = FetchState::Done;
         r.fetch_latency = Some(latency);
@@ -187,7 +187,7 @@ impl ChunkProfile {
     /// Chunks at/after `from` whose staging is underway or complete but
     /// which have not been fetched — the paper's *N*, the staged-ahead
     /// depth the Staging Coordinator controls.
-    pub fn staged_ahead(&self, from: usize) -> usize {
+    pub(crate) fn staged_ahead(&self, from: usize) -> usize {
         self.records[from.min(self.records.len())..]
             .iter()
             .filter(|r| {
@@ -199,7 +199,7 @@ impl ChunkProfile {
 
     /// Indices of the next `take` unfetched, unstaged chunks at/after
     /// `from` — staging candidates.
-    pub fn staging_candidates(&self, from: usize, take: usize) -> Vec<usize> {
+    pub(crate) fn staging_candidates(&self, from: usize, take: usize) -> Vec<usize> {
         self.records
             .iter()
             .enumerate()
@@ -214,13 +214,14 @@ impl ChunkProfile {
 
     /// Indices whose staging request has been outstanding longer than
     /// `timeout` at `now` (control datagrams are best-effort; retry).
-    pub fn stale_pending(&self, now: SimTime, timeout: SimDuration) -> Vec<usize> {
+    #[cfg(test)]
+    pub(crate) fn stale_pending(&self, now: SimTime, timeout: SimDuration) -> Vec<usize> {
         self.stale_pending_with(now, |_| timeout)
     }
 
-    /// Like [`ChunkProfile::stale_pending`], but with a per-record timeout
+    /// Stale pending staging requests with a per-record timeout
     /// (used for the Staging Manager's per-chunk retry back-off).
-    pub fn stale_pending_with(
+    pub(crate) fn stale_pending_with(
         &self,
         now: SimTime,
         timeout_for: impl Fn(&ChunkRecord) -> SimDuration,

@@ -141,7 +141,7 @@ pub fn lex(src: &str) -> Lexed {
                         if b[i] == b'\\' {
                             i += 1;
                         }
-                        if b[i] == b'\n' {
+                        if b.get(i) == Some(&b'\n') {
                             line += 1;
                         }
                         i += 1;
@@ -276,7 +276,7 @@ fn skip_prefixed_literal(b: &[u8], mut i: usize, line: &mut u32) -> usize {
                     *line += 1;
                     i += 1;
                 }
-                b'\\' if !raw => i += 2,
+                b'\\' if !raw => i = (i + 2).min(b.len()),
                 b'"' => {
                     i += 1;
                     if !raw || hashes == 0 {
@@ -302,7 +302,9 @@ fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
     while i < b.len() {
         match b[i] {
             b'"' => return i + 1,
-            b'\\' => i += 2,
+            // Clamp so a backslash as the final byte can't push the
+            // cursor past the buffer (and past valid slice bounds).
+            b'\\' => i = (i + 2).min(b.len()),
             b'\n' => {
                 *line += 1;
                 i += 1;
@@ -398,6 +400,12 @@ pub fn test_mask(tokens: &[Tok]) -> Vec<bool> {
 
 /// Scans an attribute's bracketed body starting just past `#[`. Returns
 /// `(index past the closing bracket, whether the attribute gates tests)`.
+/// The token `n` positions before `i`, if it exists — the guarded
+/// backward cursor shared by the rule scans.
+pub(crate) fn back(toks: &[Tok], i: usize, n: usize) -> Option<&Tok> {
+    i.checked_sub(n).and_then(|k| toks.get(k))
+}
+
 fn scan_attr(tokens: &[Tok], mut i: usize) -> (usize, bool) {
     let mut depth = 1usize;
     let mut has_cfg_or_test = false;

@@ -6,8 +6,10 @@
 //! traces. That contract is easy to break silently — one `HashMap`
 //! iteration, one `Instant::now()`, one registry dependency — so this
 //! crate machine-checks it. A small hand-rolled Rust lexer
-//! ([`lex`]) and manifest reader ([`manifest`]) feed a token-pattern rule
-//! engine ([`rules`]) that audits every member crate:
+//! ([`lex`]) and manifest reader ([`manifest`]) feed two analysis passes:
+//! a token-pattern rule engine and, built on the [`graph`] item graph, a
+//! set of semantic rules that understand items and calls. Every member
+//! crate is audited:
 //!
 //! | group | rules |
 //! |-------|-------|
@@ -15,10 +17,12 @@
 //! | P — panic hygiene | `panic` |
 //! | H — hermeticity & layering | `dep-hermetic`, `layering`, `unsafe-forbid` |
 //! | T — trace conventions | `trace-kind` |
+//! | G — graph semantics | `panic-reach`, `rng-provenance`, `trace-coverage`, `dead-pub` |
 //!
 //! Violations can be justified two ways: inline with
-//! `// sslint: allow(<rule>) — <reason>` (covers that line and the next),
-//! or centrally in the checked-in `sslint.allow` file
+//! `// sslint: allow(<rule>) — <reason>` (covers its own line plus the
+//! statement that starts after it, however many lines that spans), or
+//! centrally in the checked-in `sslint.allow` file
 //! (`<rule> <path> <reason>` per line). Reasonless inline allows and
 //! stale allowlist entries are themselves findings (`allow-reason`,
 //! `allowlist-unused`) so the escape hatches cannot rot.
@@ -26,9 +30,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod graph;
 pub mod lex;
 pub mod manifest;
 pub mod rules;
+pub mod sarif;
 pub mod workspace;
 
 use std::collections::BTreeMap;
@@ -107,22 +113,68 @@ impl ToJson for Finding {
     }
 }
 
+/// Computes the inclusive last line an allow comment on `line` covers:
+/// the extent of the first statement or expression that starts after it.
+/// The scan walks tokens after `line` tracking bracket depth and stops at
+/// the first top-level `;` or `,` (statement/arm end), at a top-level `{`
+/// (a block header — the body is *not* covered), or when a closing
+/// bracket of an enclosing scope appears (tail expression). An allow on
+/// the last line of a file covers just that line.
+fn allow_extent(toks: &[lex::Tok], line: u32) -> u32 {
+    let Some(start) = toks.iter().position(|t| t.line > line) else {
+        return line;
+    };
+    let mut depth = 0i32;
+    let mut last_line = line;
+    for t in &toks[start..] {
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("{") {
+            if depth == 0 {
+                return t.line;
+            }
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            depth -= 1;
+            if depth < 0 {
+                return last_line;
+            }
+        } else if depth == 0 && (t.is_punct(";") || t.is_punct(",")) {
+            return t.line;
+        }
+        last_line = t.line;
+    }
+    last_line
+}
+
 /// Runs the full audit over the workspace rooted at `root`, applying the
 /// allowlist at `allowlist_path` (workspace-relative) if it exists.
 pub fn run(root: &Path, allowlist_path: &str) -> io::Result<Report> {
-    let ws = workspace::load(root)?;
+    run_jobs(root, allowlist_path, 1)
+}
+
+/// Like [`run`], lexing source files on `jobs` worker threads. The
+/// report is byte-identical for any worker count.
+pub fn run_jobs(root: &Path, allowlist_path: &str, jobs: usize) -> io::Result<Report> {
+    let ws = workspace::load_jobs(root, jobs)?;
     let raw = rules::run_all(&ws);
 
-    // Inline allow map: (file, line) → allowed rules. An allow comment
-    // covers its own line and the one after it, so a trailing comment and
-    // a comment-above both work.
-    let mut inline: BTreeMap<(&str, u32), &[String]> = BTreeMap::new();
+    // Inline allow map: file → (first, last, rules) coverage intervals.
+    // An allow comment covers its own line plus the statement that starts
+    // after it (however many lines it spans), so a trailing comment, a
+    // comment above a one-liner, and a comment above a multi-line
+    // expression all work.
+    let mut inline: BTreeMap<&str, Vec<(u32, u32, &[String])>> = BTreeMap::new();
     let mut files_audited = 0usize;
     for krate in &ws.crates {
         for file in &krate.files {
             files_audited += 1;
             for (line, allowed) in &file.lexed.allows {
-                inline.insert((file.rel.as_str(), *line), allowed);
+                let end = allow_extent(&file.lexed.tokens, *line);
+                inline
+                    .entry(file.rel.as_str())
+                    .or_default()
+                    .push((*line, end, allowed));
             }
         }
     }
@@ -139,10 +191,9 @@ pub fn run(root: &Path, allowlist_path: &str) -> io::Result<Report> {
     let mut suppressed_inline = 0usize;
     let mut suppressed_allowlist = 0usize;
     'next: for f in raw {
-        for back in 0..=1u32 {
-            let line = f.line.saturating_sub(back);
-            if let Some(allowed) = inline.get(&(f.file.as_str(), line)) {
-                if allowed.iter().any(|r| r == f.rule) {
+        if let Some(spans) = inline.get(f.file.as_str()) {
+            for (first, last, allowed) in spans {
+                if *first <= f.line && f.line <= *last && allowed.iter().any(|r| r == f.rule) {
                     suppressed_inline += 1;
                     continue 'next;
                 }
@@ -210,6 +261,65 @@ mod tests {
         assert_eq!(entries[0].path, "crates/util/src/check.rs");
         assert_eq!(entries[0].line, 2);
         assert_eq!(malformed, vec![4, 5]);
+    }
+
+    #[test]
+    fn allow_on_last_line_of_file_covers_itself() {
+        // Nothing follows the allow comment: the extent must still cover
+        // the comment's own line (regression: the scan used to look for a
+        // next token and cover nothing).
+        let src = "fn f() {}\n// sslint: allow(panic) — trailing note";
+        let lexed = lex::lex(src);
+        let (&line, _) = lexed.allows.iter().next().expect("allow parsed");
+        assert_eq!(allow_extent(&lexed.tokens, line), line);
+    }
+
+    #[test]
+    fn allow_covers_a_multi_line_expression() {
+        // The allow sits above a statement whose expression spans four
+        // lines; the extent must reach the statement's final line, not
+        // stop at the first (regression: off-by-one on the closing line).
+        let src = "fn f() {\n\
+                   // sslint: allow(panic) — spanning\n\
+                   let x = some_call(\n\
+                       1,\n\
+                       2,\n\
+                   );\n\
+                   x\n\
+                   }\n";
+        let lexed = lex::lex(src);
+        let (&line, _) = lexed.allows.iter().next().expect("allow parsed");
+        assert_eq!(line, 2);
+        assert_eq!(allow_extent(&lexed.tokens, line), 6);
+    }
+
+    #[test]
+    fn allow_stops_at_the_end_of_one_statement() {
+        // The statement after the allow ends on its own line; the next
+        // statement must NOT be covered.
+        let src = "fn f() {\n\
+                   // sslint: allow(panic) — one stmt only\n\
+                   a();\n\
+                   b();\n\
+                   }\n";
+        let lexed = lex::lex(src);
+        let (&line, _) = lexed.allows.iter().next().expect("allow parsed");
+        assert_eq!(allow_extent(&lexed.tokens, line), 3);
+    }
+
+    #[test]
+    fn allow_above_a_block_header_covers_only_the_header() {
+        // A `for`/`if` header opens a block: the allow covers the header
+        // line, not the whole body.
+        let src = "fn f() {\n\
+                   // sslint: allow(panic-reach) — header only\n\
+                   for i in 0..3 {\n\
+                       body(i);\n\
+                   }\n\
+                   }\n";
+        let lexed = lex::lex(src);
+        let (&line, _) = lexed.allows.iter().next().expect("allow parsed");
+        assert_eq!(allow_extent(&lexed.tokens, line), 3);
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! CLI entry point: `sslint [--root <dir>] [--format text|jsonl]
-//! [--allow <file>]`.
+//! CLI entry point: `sslint [--root <dir>] [--format text|jsonl|sarif]
+//! [--allow <file>] [--jobs <n>] [--list-rules]`.
 //!
 //! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
 
@@ -14,6 +14,7 @@ fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut format = Format::Text;
     let mut allow = sslint::ALLOWLIST_FILE.to_string();
+    let mut jobs = 1usize;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -29,8 +30,19 @@ fn main() -> ExitCode {
             "--format" => match args.next().as_deref() {
                 Some("text") => format = Format::Text,
                 Some("jsonl") => format = Format::Jsonl,
-                _ => return usage("--format must be `text` or `jsonl`"),
+                Some("sarif") => format = Format::Sarif,
+                _ => return usage("--format must be `text`, `jsonl` or `sarif`"),
             },
+            "--jobs" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => jobs = n,
+                _ => return usage("--jobs needs a worker count >= 1"),
+            },
+            "--list-rules" => {
+                for r in sslint::rules::RULES {
+                    println!("{:<18} {:<8} {}", r.id, r.group, r.desc);
+                }
+                return ExitCode::SUCCESS;
+            }
             "--help" | "-h" => {
                 println!("{HELP}");
                 return ExitCode::SUCCESS;
@@ -39,7 +51,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let report = match sslint::run(&root, &allow) {
+    let report = match sslint::run_jobs(&root, &allow, jobs) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("sslint: cannot audit {}: {e}", root.display());
@@ -52,6 +64,9 @@ fn main() -> ExitCode {
             for f in &report.findings {
                 println!("{}", f.to_json().to_string_compact());
             }
+        }
+        Format::Sarif => {
+            print!("{}", sslint::sarif::render(&report.findings));
         }
         Format::Text => {
             for f in &report.findings {
@@ -79,16 +94,22 @@ fn main() -> ExitCode {
 enum Format {
     Text,
     Jsonl,
+    Sarif,
 }
 
 const HELP: &str = "\
 sslint — in-tree determinism & hygiene auditor
 
-USAGE: sslint [--root <dir>] [--format text|jsonl] [--allow <file>]
+USAGE: sslint [--root <dir>] [--format text|jsonl|sarif] [--allow <file>]
+              [--jobs <n>] [--list-rules]
 
   --root <dir>     workspace root to audit (default: .)
-  --format <fmt>   `text` (default) or `jsonl` (one finding per line)
+  --format <fmt>   `text` (default), `jsonl` (one finding per line) or
+                   `sarif` (SARIF 2.1.0, for code-scanning upload)
   --allow <file>   allowlist path relative to the root (default: sslint.allow)
+  --jobs <n>       lexer worker threads (default: 1); output is
+                   byte-identical for any value
+  --list-rules     print the rule catalogue (id, group, description) and exit
 
 Exit codes: 0 clean, 1 findings, 2 usage or I/O error.";
 

@@ -1,15 +1,19 @@
 //! The rule engine: determinism (D), panic hygiene (P), hermeticity &
-//! layering (H) and trace conventions (T).
+//! layering (H), trace conventions (T) and graph-semantic analysis (G).
 //!
 //! Each rule is a pure function from the lexed workspace model to a list
-//! of [`Finding`]s. Rules are deliberately token-pattern based — no type
-//! information — so they over-approximate in principle; in practice the
-//! workspace idioms they target are syntactically regular, and the inline
-//! `// sslint: allow(<rule>) — <reason>` escape hatch covers the rest.
+//! of [`Finding`]s. The single-file rules are token-pattern based; the G
+//! rules (`panic-reach`, `rng-provenance`, `trace-coverage`, `dead-pub`)
+//! run over the [`crate::graph`] item graph, so they see *items and
+//! calls* and survive refactors that move code between functions and
+//! files. Both layers over-approximate in principle — no type
+//! information — and the inline `// sslint: allow(<rule>) — <reason>`
+//! escape hatch covers the rest.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
-use crate::lex::{Tok, TokKind};
+use crate::graph::{Graph, ItemKind, Vis};
+use crate::lex::{self, Tok, TokKind};
 use crate::workspace::{CrateInfo, SrcFile, Workspace};
 
 /// One rule violation.
@@ -46,6 +50,99 @@ pub const RULE_TRACE_KIND: &str = "trace-kind";
 pub const RULE_ALLOW_REASON: &str = "allow-reason";
 /// Allowlist-file entries that matched nothing are stale and must go.
 pub const RULE_ALLOWLIST_UNUSED: &str = "allowlist-unused";
+/// Rule G: a potential panic (unwrap/expect/panic macro/computed
+/// indexing) reachable from a non-test `pub` item of a library crate.
+pub const RULE_PANIC_REACH: &str = "panic-reach";
+/// Rule G: RNG constructions in sim crates must flow from a named seed
+/// (the `util::seed` chain or a parameter), never a literal or the clock.
+pub const RULE_RNG_PROVENANCE: &str = "rng-provenance";
+/// Rule G: every declared `TraceEvent` variant must have an emit site and
+/// an oracle/test reference.
+pub const RULE_TRACE_COVERAGE: &str = "trace-coverage";
+/// Rule G: pub items of internal crates with zero cross-crate references.
+pub const RULE_DEAD_PUB: &str = "dead-pub";
+
+/// One rule's catalogue entry, for `--list-rules`, SARIF metadata and the
+/// DESIGN.md §7 sync test.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable rule identifier.
+    pub id: &'static str,
+    /// Rule group: `D` determinism, `P` panic hygiene, `H` hermeticity &
+    /// layering, `T` trace conventions, `G` graph semantics, `hygiene`.
+    pub group: &'static str,
+    /// One-line description.
+    pub desc: &'static str,
+}
+
+/// The full rule catalogue, in display order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: RULE_WALL_CLOCK,
+        group: "D",
+        desc: "no SystemTime/Instant/std::thread/std::env in simulation crates",
+    },
+    RuleInfo {
+        id: RULE_HASH_ITER,
+        group: "D",
+        desc: "no iteration over hash-ordered collections in simulation crates",
+    },
+    RuleInfo {
+        id: RULE_PANIC,
+        group: "P",
+        desc: "no unwrap/expect(\"…\")/panic!/todo! in non-test library code",
+    },
+    RuleInfo {
+        id: RULE_DEP_HERMETIC,
+        group: "H",
+        desc: "every dependency resolves in-tree (path or workspace)",
+    },
+    RuleInfo {
+        id: RULE_LAYERING,
+        group: "H",
+        desc: "in-tree dependencies strictly descend the layering DAG",
+    },
+    RuleInfo {
+        id: RULE_UNSAFE_FORBID,
+        group: "H",
+        desc: "every library crate carries #![forbid(unsafe_code)]",
+    },
+    RuleInfo {
+        id: RULE_TRACE_KIND,
+        group: "T",
+        desc: "every TraceEvent kind used is declared in simnet::trace",
+    },
+    RuleInfo {
+        id: RULE_ALLOW_REASON,
+        group: "hygiene",
+        desc: "inline allow comments must carry a reason",
+    },
+    RuleInfo {
+        id: RULE_ALLOWLIST_UNUSED,
+        group: "hygiene",
+        desc: "allowlist entries that match no finding are stale",
+    },
+    RuleInfo {
+        id: RULE_PANIC_REACH,
+        group: "G",
+        desc: "no potential panic reachable from a non-test pub item (shortest call path reported)",
+    },
+    RuleInfo {
+        id: RULE_RNG_PROVENANCE,
+        group: "G",
+        desc: "sim-crate RNGs are seeded from the derived seed chain, never literals or the clock",
+    },
+    RuleInfo {
+        id: RULE_TRACE_COVERAGE,
+        group: "G",
+        desc: "every declared TraceEvent variant has an emit site and an oracle/test reference",
+    },
+    RuleInfo {
+        id: RULE_DEAD_PUB,
+        group: "G",
+        desc: "no pub item of an internal crate with zero cross-crate references",
+    },
+];
 
 /// Every rule id, for `--help` and allowlist validation.
 pub const ALL_RULES: &[&str] = &[
@@ -58,6 +155,10 @@ pub const ALL_RULES: &[&str] = &[
     RULE_TRACE_KIND,
     RULE_ALLOW_REASON,
     RULE_ALLOWLIST_UNUSED,
+    RULE_PANIC_REACH,
+    RULE_RNG_PROVENANCE,
+    RULE_TRACE_COVERAGE,
+    RULE_DEAD_PUB,
 ];
 
 /// The layering DAG: each crate's layer number; a crate may only depend
@@ -104,10 +205,12 @@ pub fn is_sim_crate(dir_name: &str) -> bool {
         || dir_name.starts_with("xia-")
 }
 
-/// Runs every rule over the workspace.
+/// Runs every rule over the workspace: the single-file token rules, then
+/// the graph-semantic rules over a freshly built [`Graph`].
 pub fn run_all(ws: &Workspace) -> Vec<Finding> {
     let mut findings = Vec::new();
-    let declared_kinds = declared_trace_kinds(ws);
+    let declared = declared_trace_variants(ws);
+    let declared_kinds = declared.as_ref().map(|d| d.names.clone());
     hermeticity(ws, &mut findings);
     for krate in &ws.crates {
         layering(krate, &mut findings);
@@ -118,6 +221,7 @@ pub fn run_all(ws: &Workspace) -> Vec<Finding> {
                 wall_clock(file, &mut findings);
                 let hash_names = collect_hash_names(file);
                 hash_iter(file, &hash_names, &mut findings);
+                rng_provenance(file, &mut findings);
             }
             if !file.is_bin {
                 panic_hygiene(file, &mut findings);
@@ -125,6 +229,10 @@ pub fn run_all(ws: &Workspace) -> Vec<Finding> {
             trace_kinds(file, &declared_kinds, &mut findings);
         }
     }
+    let graph = Graph::build(ws);
+    panic_reach(ws, &graph, &mut findings);
+    trace_coverage(ws, &graph, &declared, &mut findings);
+    dead_pub(ws, &graph, &mut findings);
     findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     findings
 }
@@ -226,21 +334,20 @@ fn collect_hash_names(file: &SrcFile) -> BTreeSet<String> {
         // Walk backwards over `std :: collections ::` path prefixes,
         // reference sigils and `mut` to find `name :` or `name =`.
         let mut j = i;
-        while j >= 2 && toks[j - 1].is_punct("::") && toks[j - 2].kind == TokKind::Ident {
+        while lex::back(toks, j, 1).is_some_and(|p| p.is_punct("::"))
+            && lex::back(toks, j, 2).is_some_and(|p| p.kind == TokKind::Ident)
+        {
             j -= 2;
         }
-        while j >= 1
-            && (toks[j - 1].is_punct("&")
-                || toks[j - 1].is_ident("mut")
-                || toks[j - 1].is_ident("dyn"))
+        while lex::back(toks, j, 1)
+            .is_some_and(|p| p.is_punct("&") || p.is_ident("mut") || p.is_ident("dyn"))
         {
             j -= 1;
         }
-        if j >= 2
-            && (toks[j - 1].is_punct(":") || toks[j - 1].is_punct("="))
-            && toks[j - 2].kind == TokKind::Ident
-        {
-            names.insert(toks[j - 2].text.clone());
+        if lex::back(toks, j, 1).is_some_and(|p| p.is_punct(":") || p.is_punct("=")) {
+            if let Some(name) = lex::back(toks, j, 2).filter(|p| p.kind == TokKind::Ident) {
+                names.insert(name.text.clone());
+            }
         }
     }
     names
@@ -261,7 +368,9 @@ fn hash_iter(file: &SrcFile, hash_names: &BTreeSet<String>, findings: &mut Vec<F
                 .is_some_and(|n| ITER_METHODS.contains(&n.text.as_str()))
             && toks.get(i + 3).is_some_and(|n| n.is_punct("("))
         {
-            let method = &toks[i + 2].text;
+            let Some(method) = toks.get(i + 2).map(|n| &n.text) else {
+                continue;
+            };
             findings.push(Finding {
                 rule: RULE_HASH_ITER,
                 file: file.rel.clone(),
@@ -324,7 +433,7 @@ fn panic_hygiene(file: &SrcFile, findings: &mut Vec<Finding>) {
         if file.mask[i] || t.kind != TokKind::Ident {
             continue;
         }
-        let prev_is_dot = i > 0 && toks[i - 1].is_punct(".");
+        let prev_is_dot = lex::back(toks, i, 1).is_some_and(|p| p.is_punct("."));
         if t.text == "unwrap" && prev_is_dot && toks.get(i + 1).is_some_and(|n| n.is_punct("(")) {
             findings.push(Finding {
                 rule: RULE_PANIC,
@@ -467,10 +576,23 @@ fn unsafe_forbid(krate: &CrateInfo, findings: &mut Vec<Finding>) {
 // Rule T — trace conventions
 // ---------------------------------------------------------------------------
 
-/// Parses the declared `TraceEvent` variant names out of
+/// The `TraceEvent` declaration as parsed out of `simnet`'s trace module:
+/// which file declares it, the variant names, and each variant's line
+/// (trace-coverage findings anchor at the declaration).
+struct TraceDecl {
+    /// Workspace-relative path of the declaring file.
+    file: String,
+    /// Declared variant names.
+    names: BTreeSet<String>,
+    /// Variant name → 1-based declaration line.
+    lines: BTreeMap<String, u32>,
+}
+
+/// Parses the declared `TraceEvent` variants out of
 /// `crates/simnet/src/trace.rs`. Returns `None` when the workspace has no
-/// trace module (rule T is then skipped — nothing to check against).
-fn declared_trace_kinds(ws: &Workspace) -> Option<BTreeSet<String>> {
+/// trace module (rules T and trace-coverage are then skipped — nothing to
+/// check against).
+fn declared_trace_variants(ws: &Workspace) -> Option<TraceDecl> {
     let simnet = ws.crates.iter().find(|c| c.dir_name == "simnet")?;
     let trace = simnet
         .files
@@ -481,7 +603,8 @@ fn declared_trace_kinds(ws: &Workspace) -> Option<BTreeSet<String>> {
         .windows(3)
         .position(|w| w[0].is_ident("enum") && w[1].is_ident("TraceEvent") && w[2].is_punct("{"))?
         + 3;
-    let mut kinds = BTreeSet::new();
+    let mut names = BTreeSet::new();
+    let mut lines = BTreeMap::new();
     let mut depth = 1usize;
     let mut i = start;
     let mut at_variant_start = true;
@@ -497,12 +620,17 @@ fn declared_trace_kinds(ws: &Workspace) -> Option<BTreeSet<String>> {
         } else if t.is_punct(",") && depth == 1 {
             at_variant_start = true;
         } else if depth == 1 && at_variant_start && t.kind == TokKind::Ident {
-            kinds.insert(t.text.clone());
+            names.insert(t.text.clone());
+            lines.insert(t.text.clone(), t.line);
             at_variant_start = false;
         }
         i += 1;
     }
-    Some(kinds)
+    Some(TraceDecl {
+        file: trace.rel.clone(),
+        names,
+        lines,
+    })
 }
 
 fn trace_kinds(file: &SrcFile, declared: &Option<BTreeSet<String>>, findings: &mut Vec<Finding>) {
@@ -518,18 +646,393 @@ fn trace_kinds(file: &SrcFile, declared: &Option<BTreeSet<String>>, findings: &m
             && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
             && toks.get(i + 2).is_some_and(|n| n.kind == TokKind::Ident)
         {
-            let kind = &toks[i + 2].text;
+            let Some(kind_tok) = toks.get(i + 2) else {
+                continue;
+            };
+            let kind = &kind_tok.text;
             if !declared.contains(kind) {
                 findings.push(Finding {
                     rule: RULE_TRACE_KIND,
                     file: file.rel.clone(),
-                    line: toks[i + 2].line,
+                    line: kind_tok.line,
                     msg: format!(
                         "trace kind `TraceEvent::{kind}` is not declared in \
                          simnet::trace — declare the variant before \
                          emitting it"
                     ),
                 });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule G — graph semantics
+// ---------------------------------------------------------------------------
+
+/// Rule G `panic-reach`: walks the call graph from every public-API entry
+/// (non-test `pub fn` or trait-impl method of a library crate) and flags
+/// every potential panic in a reachable fn body, with the shortest call
+/// path as the message. Sites already carry their own line, so inline
+/// allows and the allowlist suppress them exactly like token findings.
+fn panic_reach(ws: &Workspace, graph: &Graph, findings: &mut Vec<Finding>) {
+    let reach = graph.reach_from_entries();
+    for (id, f) in graph.fns.iter().enumerate() {
+        if reach[id].is_none() || f.panics.is_empty() {
+            continue;
+        }
+        let Some(file) = ws.crates.get(f.krate).and_then(|k| k.files.get(f.file)) else {
+            continue;
+        };
+        if file.is_bin {
+            // Bin-file fns are never entries; a same-name edge from lib
+            // code would be a resolution artifact, not a real call.
+            continue;
+        }
+        let path = graph.path_to(&reach, id);
+        for site in &f.panics {
+            findings.push(Finding {
+                rule: RULE_PANIC_REACH,
+                file: file.rel.clone(),
+                line: site.line,
+                msg: format!(
+                    "{} reachable from pub API via `{}` — guard the \
+                     input, return a Result, or justify with an sslint \
+                     allow comment",
+                    site.kind.label(),
+                    path
+                ),
+            });
+        }
+    }
+}
+
+/// Identifiers that smell like wall-clock entropy inside a seed
+/// expression.
+const TIME_SOURCE_IDENTS: &[&str] = &[
+    "now",
+    "SystemTime",
+    "Instant",
+    "elapsed",
+    "duration_since",
+    "UNIX_EPOCH",
+];
+
+/// Primitive-type and cast tokens that do *not* count as a named seed
+/// source inside `seed_from_u64(…)` arguments.
+const SEED_NON_SOURCE_IDENTS: &[&str] = &[
+    "u8",
+    "u16",
+    "u32",
+    "u64",
+    "u128",
+    "usize",
+    "i8",
+    "i16",
+    "i32",
+    "i64",
+    "i128",
+    "isize",
+    "as",
+    "const",
+    "wrapping_mul",
+    "wrapping_add",
+    "rotate_left",
+    "rotate_right",
+];
+
+/// Rule G `rng-provenance`: in sim crates every RNG construction must
+/// flow from a *named* seed — the `util::seed` derivation chain or a
+/// function parameter. `seed_from_u64(<literal arithmetic>)` is a
+/// literal-seeded RNG, a time-source ident in the argument is a
+/// time-seeded RNG, and `<T>Rng::default()` is a freshly-defaulted RNG;
+/// all three make replication seed-dependent in ways the experiment
+/// registry cannot replay.
+fn rng_provenance(file: &SrcFile, findings: &mut Vec<Finding>) {
+    let toks = &file.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if file.mask[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        // `<T>Rng::default()` — an RNG with no seed lineage at all.
+        if t.text.ends_with("Rng")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            && toks.get(i + 2).is_some_and(|n| n.is_ident("default"))
+            && toks.get(i + 3).is_some_and(|n| n.is_punct("("))
+        {
+            findings.push(Finding {
+                rule: RULE_RNG_PROVENANCE,
+                file: file.rel.clone(),
+                line: t.line,
+                msg: format!(
+                    "`{}::default()` constructs a freshly-defaulted RNG — \
+                     seed it through the util::seed derivation chain",
+                    t.text
+                ),
+            });
+            continue;
+        }
+        if t.text != "seed_from_u64" || !toks.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+            continue;
+        }
+        // Skip the definition site (`fn seed_from_u64(…)`).
+        if lex::back(toks, i, 1).is_some_and(|p| p.is_ident("fn")) {
+            continue;
+        }
+        // Classify the argument span between the balanced parens.
+        let mut j = i + 1;
+        let mut depth = 0usize;
+        let mut named_source = false;
+        let mut time_source: Option<&Tok> = None;
+        while j < toks.len() {
+            let a = &toks[j];
+            if a.is_punct("(") {
+                depth += 1;
+            } else if a.is_punct(")") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if a.kind == TokKind::Ident {
+                if TIME_SOURCE_IDENTS.contains(&a.text.as_str()) {
+                    time_source.get_or_insert(a);
+                } else if !SEED_NON_SOURCE_IDENTS.contains(&a.text.as_str()) {
+                    named_source = true;
+                }
+            }
+            j += 1;
+        }
+        if let Some(src) = time_source {
+            findings.push(Finding {
+                rule: RULE_RNG_PROVENANCE,
+                file: file.rel.clone(),
+                line: t.line,
+                msg: format!(
+                    "RNG seeded from the clock (`{}`) — derive the seed \
+                     via util::seed instead",
+                    src.text
+                ),
+            });
+        } else if !named_source {
+            findings.push(Finding {
+                rule: RULE_RNG_PROVENANCE,
+                file: file.rel.clone(),
+                line: t.line,
+                msg: "RNG seeded from a literal — thread a derived seed or \
+                      parameter through instead of hard-coding one"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Rule G `trace-coverage`: every declared `TraceEvent` variant needs at
+/// least one emit site (a `TraceEvent::X` use in non-test src outside the
+/// declaring file) and at least one check reference (a `TraceEvent::X`
+/// use in test code, in the reference corpus, or inside the oracle's own
+/// impl block). Unemitted variants are dead observability; unchecked ones
+/// are blind spots the oracle silently stopped covering.
+fn trace_coverage(
+    ws: &Workspace,
+    graph: &Graph,
+    declared: &Option<TraceDecl>,
+    findings: &mut Vec<Finding>,
+) {
+    let Some(decl) = declared else {
+        return;
+    };
+    let mut emitted: BTreeSet<String> = BTreeSet::new();
+    let mut checked: BTreeSet<String> = BTreeSet::new();
+    let record = |set: &mut BTreeSet<String>, name: &str| {
+        if decl.names.contains(name) {
+            set.insert(name.to_string());
+        }
+    };
+
+    for (ki, krate) in ws.crates.iter().enumerate() {
+        for (fi, file) in krate.files.iter().enumerate() {
+            let toks = &file.lexed.tokens;
+            // Token ranges of `impl TraceOracle` blocks in the declaring
+            // file: variant uses there are the oracle checking, not
+            // emitting.
+            let oracle_spans: Vec<(usize, usize)> = if file.rel == decl.file {
+                graph.files[ki][fi]
+                    .items
+                    .iter()
+                    .filter(|it| it.kind == ItemKind::Impl && it.name == "TraceOracle")
+                    .map(|it| it.span)
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            for (i, t) in toks.iter().enumerate() {
+                if !t.is_ident("TraceEvent")
+                    || !toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                    || !toks.get(i + 2).is_some_and(|n| n.kind == TokKind::Ident)
+                {
+                    continue;
+                }
+                let Some(name) = toks.get(i + 2).map(|n| n.text.as_str()) else {
+                    continue;
+                };
+                if file.mask[i] {
+                    record(&mut checked, name);
+                } else if oracle_spans.iter().any(|&(s, e)| s <= i && i < e) {
+                    record(&mut checked, name);
+                } else if file.rel != decl.file {
+                    record(&mut emitted, name);
+                }
+            }
+        }
+    }
+    for rf in &ws.ref_files {
+        let toks = &rf.lexed.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if t.is_ident("TraceEvent")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                && toks.get(i + 2).is_some_and(|n| n.kind == TokKind::Ident)
+            {
+                if let Some(n2) = toks.get(i + 2) {
+                    record(&mut checked, &n2.text);
+                }
+            }
+        }
+    }
+
+    for name in &decl.names {
+        let line = decl.lines.get(name).copied().unwrap_or(1);
+        if !emitted.contains(name) {
+            findings.push(Finding {
+                rule: RULE_TRACE_COVERAGE,
+                file: decl.file.clone(),
+                line,
+                msg: format!(
+                    "`TraceEvent::{name}` is declared but never emitted — \
+                     dead observability; emit it or remove the variant"
+                ),
+            });
+        }
+        if !checked.contains(name) {
+            findings.push(Finding {
+                rule: RULE_TRACE_COVERAGE,
+                file: decl.file.clone(),
+                line,
+                msg: format!(
+                    "`TraceEvent::{name}` has no oracle or test reference — \
+                     the trace invariant suite is blind to it"
+                ),
+            });
+        }
+    }
+}
+
+/// Item kinds `dead-pub` audits: callable/value items, which must be
+/// *named* at every use site. Type items (struct/enum/trait/alias) are
+/// skipped — they appear in inferred positions a lexer cannot see
+/// (method receivers, return types), and a pub fn returning a demoted
+/// type would no longer compile (E0446), so zero name-references is not
+/// decisive for them.
+fn dead_pub_audits(kind: ItemKind) -> bool {
+    matches!(kind, ItemKind::Fn | ItemKind::Const | ItemKind::Static)
+}
+
+/// Rule G `dead-pub`: a `pub` item of an *internal* crate (one some other
+/// member crate depends on) that no other crate — src, bins, tests,
+/// benches or root tests/examples — ever names. Leaf crates keep their
+/// pub API (it *is* the product surface); internal crates must shrink
+/// theirs to what is used, which is what rustc's per-crate
+/// `unreachable_pub` can never see.
+fn dead_pub(ws: &Workspace, graph: &Graph, findings: &mut Vec<Finding>) {
+    // Which crates are internal: named as a dependency (any section) by
+    // another member crate.
+    let mut internal: BTreeSet<usize> = BTreeSet::new();
+    for (ki, krate) in ws.crates.iter().enumerate() {
+        for dep in &krate.manifest.deps {
+            let dep_dir = canonical(&dep.name);
+            if let Some(di) = ws.crates.iter().position(|c| c.dir_name == dep_dir) {
+                if di != ki {
+                    internal.insert(di);
+                }
+            }
+        }
+    }
+
+    // All identifiers referenced outside each crate's own lib: for crate
+    // `k` that is every ident in other crates' src, in `k`'s own bin
+    // files (separate rustc crates), and in the whole reference corpus.
+    let mut idents_by_crate: Vec<BTreeSet<String>> = Vec::with_capacity(ws.crates.len());
+    for krate in &ws.crates {
+        let mut set = BTreeSet::new();
+        for file in &krate.files {
+            if !file.is_bin {
+                for t in &file.lexed.tokens {
+                    if t.kind == TokKind::Ident {
+                        set.insert(t.text.clone());
+                    }
+                }
+            }
+        }
+        idents_by_crate.push(set);
+    }
+    let mut bin_idents_by_crate: Vec<BTreeSet<String>> = Vec::with_capacity(ws.crates.len());
+    for krate in &ws.crates {
+        let mut set = BTreeSet::new();
+        for file in &krate.files {
+            if file.is_bin {
+                for t in &file.lexed.tokens {
+                    if t.kind == TokKind::Ident {
+                        set.insert(t.text.clone());
+                    }
+                }
+            }
+        }
+        bin_idents_by_crate.push(set);
+    }
+    let mut ref_idents: BTreeSet<String> = BTreeSet::new();
+    for rf in &ws.ref_files {
+        for t in &rf.lexed.tokens {
+            if t.kind == TokKind::Ident {
+                ref_idents.insert(t.text.clone());
+            }
+        }
+    }
+
+    for &ki in &internal {
+        let krate = &ws.crates[ki];
+        let externally_named = |name: &str| {
+            ref_idents.contains(name)
+                || bin_idents_by_crate[ki].contains(name)
+                || idents_by_crate
+                    .iter()
+                    .enumerate()
+                    .any(|(other, set)| other != ki && set.contains(name))
+        };
+        for (fi, file) in krate.files.iter().enumerate() {
+            if file.is_bin {
+                continue;
+            }
+            for item in &graph.files[ki][fi].items {
+                if item.vis != Vis::Pub
+                    || item.in_test
+                    || item.name.is_empty()
+                    || !dead_pub_audits(item.kind)
+                    || item.is_trait_impl_fn()
+                {
+                    continue;
+                }
+                if !externally_named(&item.name) {
+                    findings.push(Finding {
+                        rule: RULE_DEAD_PUB,
+                        file: file.rel.clone(),
+                        line: item.line,
+                        msg: format!(
+                            "pub item `{}` of internal crate `{}` has no \
+                             cross-crate reference — demote to pub(crate) \
+                             or remove",
+                            item.name, krate.dir_name
+                        ),
+                    });
+                }
             }
         }
     }

@@ -1,0 +1,112 @@
+//! SARIF 2.1.0 output for sslint findings.
+//!
+//! Hand-rolled over `util::json` (the workspace builds offline, so no
+//! serde): one run, one driver (`sslint`), the full rule catalogue as
+//! `tool.driver.rules` metadata, and one `result` per surviving finding.
+//! The subset emitted here is what GitHub code scanning's SARIF ingester
+//! consumes — `ruleId`, `level`, `message.text` and a single physical
+//! location with a 1-based `startLine`.
+//!
+//! Output is deterministic: `util::json` objects preserve insertion
+//! order and findings arrive pre-sorted by (file, line, rule), so the
+//! bytes depend only on the report, never on worker count or iteration
+//! order.
+
+use util::json::Json;
+
+use crate::rules::{Finding, RULES};
+
+/// The SARIF schema the output declares conformance to.
+pub const SARIF_SCHEMA: &str = "https://json.schemastore.org/sarif-2.1.0.json";
+
+/// SARIF version string.
+pub const SARIF_VERSION: &str = "2.1.0";
+
+fn obj(pairs: Vec<(&str, Json)>) -> Json {
+    Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn s(text: &str) -> Json {
+    Json::Str(text.to_string())
+}
+
+/// Builds the SARIF document for `findings` as a [`Json`] tree.
+pub fn to_sarif(findings: &[Finding]) -> Json {
+    let rules = RULES
+        .iter()
+        .map(|r| {
+            obj(vec![
+                ("id", s(r.id)),
+                ("shortDescription", obj(vec![("text", s(r.desc))])),
+                ("properties", obj(vec![("group", s(r.group))])),
+            ])
+        })
+        .collect();
+    let results = findings
+        .iter()
+        .map(|f| {
+            obj(vec![
+                ("ruleId", s(f.rule)),
+                ("level", s("error")),
+                ("message", obj(vec![("text", s(&f.msg))])),
+                (
+                    "locations",
+                    Json::Arr(vec![obj(vec![(
+                        "physicalLocation",
+                        obj(vec![
+                            ("artifactLocation", obj(vec![("uri", s(&f.file))])),
+                            ("region", obj(vec![("startLine", Json::Int(f.line as i64))])),
+                        ]),
+                    )])]),
+                ),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("$schema", s(SARIF_SCHEMA)),
+        ("version", s(SARIF_VERSION)),
+        (
+            "runs",
+            Json::Arr(vec![obj(vec![
+                (
+                    "tool",
+                    obj(vec![(
+                        "driver",
+                        obj(vec![("name", s("sslint")), ("rules", Json::Arr(rules))]),
+                    )]),
+                ),
+                ("results", Json::Arr(results)),
+            ])]),
+        ),
+    ])
+}
+
+/// Renders the SARIF document as pretty-printed JSON text.
+pub fn render(findings: &[Finding]) -> String {
+    to_sarif(findings).to_string_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sarif_shape_and_determinism() {
+        let findings = vec![Finding {
+            rule: crate::rules::RULE_PANIC,
+            file: "crates/demo/src/lib.rs".to_string(),
+            line: 7,
+            msg: "boom".to_string(),
+        }];
+        let a = render(&findings);
+        let b = render(&findings);
+        assert_eq!(a, b);
+        assert!(a.contains("\"version\": \"2.1.0\""), "{a}");
+        assert!(a.contains("\"ruleId\": \"panic\""), "{a}");
+        assert!(a.contains("\"startLine\": 7"), "{a}");
+        // Every catalogued rule appears in the driver metadata.
+        for r in RULES {
+            assert!(a.contains(&format!("\"id\": \"{}\"", r.id)), "{}", r.id);
+        }
+    }
+}

@@ -1,10 +1,20 @@
 //! Loads the workspace into the model the rules operate on: one
 //! [`CrateInfo`] per member crate, each holding its parsed manifest and the
-//! lexed, test-masked source files under `src/`.
+//! lexed, test-masked source files under `src/`, plus a reference corpus
+//! (crate `tests/`/`benches/` dirs and the root `tests/`/`examples/`
+//! dirs) that the cross-reference rules (`dead-pub`, `trace-coverage`)
+//! count identifier uses in without auditing it.
+//!
+//! File lexing is fanned out over a scoped worker pool (same
+//! work-stealing pattern as `experiments::exec`): paths are collected and
+//! sorted first, workers fill result slots by index, and the merged model
+//! is therefore byte-identical for any worker count.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
 
 use crate::lex::{self, Lexed};
 use crate::manifest::{self, Manifest};
@@ -14,13 +24,26 @@ pub struct SrcFile {
     /// Path relative to the workspace root, `/`-separated.
     pub rel: String,
     /// Whether the file lives under `src/bin/` or is `src/main.rs` — CLI
-    /// entry points, exempt from the library panic rule.
+    /// entry points, exempt from the library panic rules.
     pub is_bin: bool,
     /// The token stream plus allow-comment annotations.
     pub lexed: Lexed,
     /// `mask[i]` is true when token `i` sits inside `#[cfg(test)]` /
     /// `#[test]` gated code.
     pub mask: Vec<bool>,
+}
+
+/// One file of the reference corpus: lexed but not audited. Used only to
+/// count identifier references (is a pub item used cross-crate? is a
+/// trace variant checked by a test?).
+pub struct RefFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel: String,
+    /// Which crate's `tests/`/`benches/` dir the file came from, by
+    /// directory name (`None` for the root `tests/`/`examples/` dirs).
+    pub owner: Option<String>,
+    /// The token stream.
+    pub lexed: Lexed,
 }
 
 /// One workspace member crate.
@@ -41,18 +64,35 @@ pub struct Workspace {
     pub root_manifest: Option<Manifest>,
     /// Member crates, sorted by directory name.
     pub crates: Vec<CrateInfo>,
+    /// Reference corpus: crate `tests/`/`benches/` files plus root
+    /// `tests/`/`examples/` files, sorted by path.
+    pub ref_files: Vec<RefFile>,
 }
 
-/// Loads the workspace rooted at `root`. Only `crates/*/` directories that
-/// contain a `Cargo.toml` become members; everything is read eagerly so
-/// the rules run over a consistent snapshot.
+/// Which bucket a discovered `.rs` file lands in.
+enum Bucket {
+    /// `crates/<dir>/src/**` — audited source of crate `crate_idx`.
+    Src { crate_idx: usize },
+    /// Reference-only corpus file, owned by a crate dir or the root.
+    Reference { owner: Option<String> },
+}
+
+/// Loads the workspace rooted at `root` with one lexer worker.
 pub fn load(root: &Path) -> io::Result<Workspace> {
+    load_jobs(root, 1)
+}
+
+/// Loads the workspace rooted at `root`, lexing files on `jobs` scoped
+/// worker threads. Only `crates/*/` directories that contain a
+/// `Cargo.toml` become members; everything is read eagerly so the rules
+/// run over a consistent snapshot. The result is independent of `jobs`.
+pub fn load_jobs(root: &Path, jobs: usize) -> io::Result<Workspace> {
     let root_manifest = match fs::read_to_string(root.join("Cargo.toml")) {
         Ok(text) => Some(manifest::parse(&text)),
         Err(e) if e.kind() == io::ErrorKind::NotFound => None,
         Err(e) => return Err(e),
     };
-    let mut crates = Vec::new();
+
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = Vec::new();
     for entry in fs::read_dir(&crates_dir)? {
@@ -63,43 +103,132 @@ pub fn load(root: &Path) -> io::Result<Workspace> {
         }
     }
     crate_dirs.sort();
-    for dir in crate_dirs {
+
+    let mut crates = Vec::new();
+    // Work list: every file to lex, with its destination bucket. Sorted
+    // path order within each bucket keeps the merge deterministic.
+    let mut work: Vec<(PathBuf, Bucket)> = Vec::new();
+    for dir in &crate_dirs {
         let dir_name = dir
             .file_name()
             .map(|n| n.to_string_lossy().into_owned())
             .unwrap_or_default();
         let manifest_text = fs::read_to_string(dir.join("Cargo.toml"))?;
-        let mut files = Vec::new();
+        let crate_idx = crates.len();
         let src = dir.join("src");
         if src.is_dir() {
             let mut rs_files = Vec::new();
             collect_rs(&src, &mut rs_files)?;
             rs_files.sort();
             for path in rs_files {
-                let text = fs::read_to_string(&path)?;
-                let lexed = lex::lex(&text);
-                let mask = lex::test_mask(&lexed.tokens);
-                let rel = rel_to(root, &path);
-                let is_bin = rel.contains("/src/bin/") || rel.ends_with("/src/main.rs");
-                files.push(SrcFile {
-                    rel,
-                    is_bin,
-                    lexed,
-                    mask,
-                });
+                work.push((path, Bucket::Src { crate_idx }));
+            }
+        }
+        for sub in ["tests", "benches"] {
+            let d = dir.join(sub);
+            if d.is_dir() {
+                let mut rs_files = Vec::new();
+                collect_rs(&d, &mut rs_files)?;
+                rs_files.sort();
+                for path in rs_files {
+                    work.push((
+                        path,
+                        Bucket::Reference {
+                            owner: Some(dir_name.clone()),
+                        },
+                    ));
+                }
             }
         }
         crates.push(CrateInfo {
             manifest_rel: rel_to(root, &dir.join("Cargo.toml")),
             dir_name,
             manifest: manifest::parse(&manifest_text),
-            files,
+            files: Vec::new(),
         });
     }
+    for sub in ["tests", "examples"] {
+        let d = root.join(sub);
+        if d.is_dir() {
+            let mut rs_files = Vec::new();
+            collect_rs(&d, &mut rs_files)?;
+            rs_files.sort();
+            for path in rs_files {
+                work.push((path, Bucket::Reference { owner: None }));
+            }
+        }
+    }
+
+    // Read eagerly (I/O errors surface before any thread spawns), then
+    // lex on the pool.
+    let mut texts: Vec<String> = Vec::with_capacity(work.len());
+    for (path, _) in &work {
+        texts.push(fs::read_to_string(path)?);
+    }
+    let lexed = lex_pool(&texts, jobs);
+
+    let mut ref_files = Vec::new();
+    for ((path, bucket), (lexed, mask)) in work.into_iter().zip(lexed) {
+        let rel = rel_to(root, &path);
+        match bucket {
+            Bucket::Src { crate_idx } => {
+                let is_bin = rel.contains("/src/bin/") || rel.ends_with("/src/main.rs");
+                crates[crate_idx].files.push(SrcFile {
+                    rel,
+                    is_bin,
+                    lexed,
+                    mask,
+                });
+            }
+            Bucket::Reference { owner } => ref_files.push(RefFile { rel, owner, lexed }),
+        }
+    }
+
     Ok(Workspace {
         root_manifest,
         crates,
+        ref_files,
     })
+}
+
+/// Lexes `texts` on `jobs` scoped worker threads with atomic
+/// work-stealing; slot `i` always holds the result for `texts[i]`, so the
+/// output order never depends on scheduling.
+fn lex_pool(texts: &[String], jobs: usize) -> Vec<(Lexed, Vec<bool>)> {
+    let workers = jobs.clamp(1, texts.len().max(1));
+    if workers == 1 {
+        return texts
+            .iter()
+            .map(|text| {
+                let lexed = lex::lex(text);
+                let mask = lex::test_mask(&lexed.tokens);
+                (lexed, mask)
+            })
+            .collect();
+    }
+    let slots: Mutex<Vec<Option<(Lexed, Vec<bool>)>>> =
+        Mutex::new((0..texts.len()).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(text) = texts.get(i) else {
+                    break;
+                };
+                let lexed = lex::lex(text);
+                let mask = lex::test_mask(&lexed.tokens);
+                let mut slots = slots.lock().unwrap_or_else(PoisonError::into_inner);
+                slots[i] = Some((lexed, mask));
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+        .into_iter()
+        .map(|s| s.unwrap_or_default())
+        .collect()
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -118,4 +247,25 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 fn rel_to(root: &Path, path: &Path) -> String {
     let rel = path.strip_prefix(root).unwrap_or(path);
     rel.to_string_lossy().replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_pool_is_worker_count_independent() {
+        let texts: Vec<String> = (0..23)
+            .map(|i| format!("pub fn f{i}() {{ let x = {i}; call(x); }}"))
+            .collect();
+        let serial = lex_pool(&texts, 1);
+        for jobs in [2, 4, 9] {
+            let par = lex_pool(&texts, jobs);
+            assert_eq!(par.len(), serial.len());
+            for (a, b) in par.iter().zip(&serial) {
+                assert_eq!(a.0.tokens, b.0.tokens, "jobs={jobs}");
+                assert_eq!(a.1, b.1, "jobs={jobs}");
+            }
+        }
+    }
 }

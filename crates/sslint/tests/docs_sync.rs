@@ -1,0 +1,74 @@
+//! Keeps `--list-rules` and DESIGN.md §7 in lockstep: every rule the
+//! auditor knows must be documented in the catalogue table, and the
+//! table must not advertise rules the auditor no longer has.
+
+use std::path::Path;
+
+fn design_section_7() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../DESIGN.md");
+    let text = std::fs::read_to_string(&path).expect("read DESIGN.md");
+    let start = text
+        .find("## 7. Static analysis")
+        .expect("DESIGN.md has a section 7");
+    let rest = &text[start..];
+    let end = rest[3..].find("\n## ").map(|i| i + 3).unwrap_or(rest.len());
+    rest[..end].to_string()
+}
+
+#[test]
+fn every_rule_is_documented_in_design_section_7() {
+    let section = design_section_7();
+    for rule in sslint::rules::RULES {
+        assert!(
+            section.contains(&format!("`{}`", rule.id)),
+            "rule `{}` is missing from DESIGN.md §7's catalogue",
+            rule.id
+        );
+    }
+}
+
+#[test]
+fn design_section_7_documents_no_unknown_rules() {
+    let section = design_section_7();
+    // Catalogue rows are `| <group> | `<rule-id>` | …`; collect the
+    // second cell of each table row and check it against the registry.
+    for line in section.lines() {
+        let mut cells = line.split('|').map(str::trim);
+        let Some("") = cells.next() else { continue };
+        let Some(group) = cells.next() else { continue };
+        let Some(id_cell) = cells.next() else {
+            continue;
+        };
+        if !id_cell.starts_with('`') || group.starts_with("---") || group == "Group" {
+            continue;
+        }
+        let id = id_cell.trim_matches('`');
+        assert!(
+            sslint::rules::RULES.iter().any(|r| r.id == id),
+            "DESIGN.md §7 documents `{id}`, which the auditor does not implement"
+        );
+    }
+}
+
+#[test]
+fn list_rules_output_covers_the_catalogue() {
+    let bin = env!("CARGO_BIN_EXE_sslint");
+    let out = std::process::Command::new(bin)
+        .arg("--list-rules")
+        .output()
+        .expect("run sslint --list-rules");
+    assert!(out.status.success(), "--list-rules must exit 0");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
+    for rule in sslint::rules::RULES {
+        assert!(
+            stdout.lines().any(|l| l.starts_with(rule.id)),
+            "`--list-rules` does not print `{}`",
+            rule.id
+        );
+    }
+    assert_eq!(
+        stdout.lines().count(),
+        sslint::rules::RULES.len(),
+        "`--list-rules` prints exactly one line per rule"
+    );
+}

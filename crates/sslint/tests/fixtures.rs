@@ -78,6 +78,26 @@ fn allowlist_unused_fixture() {
     assert_exactly("allowlist-unused", "allowlist-unused");
 }
 
+#[test]
+fn panic_reach_fixture() {
+    assert_exactly("panic-reach", "panic-reach");
+}
+
+#[test]
+fn rng_provenance_fixture() {
+    assert_exactly("rng-provenance", "rng-provenance");
+}
+
+#[test]
+fn trace_coverage_fixture() {
+    assert_exactly("trace-coverage", "trace-coverage");
+}
+
+#[test]
+fn dead_pub_fixture() {
+    assert_exactly("dead-pub", "dead-pub");
+}
+
 /// Every bad fixture must make the *binary* exit 1 and name its rule in
 /// the JSONL output — the exact contract CI relies on.
 #[test]
@@ -92,6 +112,10 @@ fn binary_exits_nonzero_on_every_fixture() {
         "trace-kind",
         "allow-reason",
         "allowlist-unused",
+        "panic-reach",
+        "rng-provenance",
+        "trace-coverage",
+        "dead-pub",
     ] {
         let out = Command::new(env!("CARGO_BIN_EXE_sslint"))
             .args(["--root"])
@@ -109,6 +133,46 @@ fn binary_exits_nonzero_on_every_fixture() {
         assert!(
             stdout.contains(&format!("\"rule\":\"{rule}\"")),
             "fixture `{rule}`: JSONL output missing the rule id:\n{stdout}"
+        );
+    }
+}
+
+/// The SARIF rendering of the dead-pub fixture must match the checked-in
+/// golden byte for byte — the CI upload contract.
+#[test]
+fn sarif_golden_matches() {
+    let out = Command::new(env!("CARGO_BIN_EXE_sslint"))
+        .args(["--root"])
+        .arg(fixture("dead-pub"))
+        .args(["--format", "sarif"])
+        .output()
+        .expect("spawn sslint");
+    assert_eq!(out.status.code(), Some(1));
+    let got = String::from_utf8(out.stdout).expect("sarif is utf-8");
+    assert_eq!(got, include_str!("golden/dead-pub.sarif"));
+}
+
+/// Parallel lexing must not leak into the output: `--jobs 1` and
+/// `--jobs 4` produce byte-identical text, JSONL and SARIF on the live
+/// workspace.
+#[test]
+fn jobs_output_is_byte_identical() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    for format in ["text", "jsonl", "sarif"] {
+        let run = |jobs: &str| {
+            Command::new(env!("CARGO_BIN_EXE_sslint"))
+                .args(["--root"])
+                .arg(&root)
+                .args(["--format", format, "--jobs", jobs])
+                .output()
+                .expect("spawn sslint")
+        };
+        let serial = run("1");
+        let parallel = run("4");
+        assert_eq!(serial.status.code(), parallel.status.code(), "{format}");
+        assert_eq!(
+            serial.stdout, parallel.stdout,
+            "--jobs must not change {format} output"
         );
     }
 }

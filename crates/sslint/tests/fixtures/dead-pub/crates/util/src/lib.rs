@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+
+/// Never referenced outside this crate.
+pub fn orphan() -> u32 {
+    7
+}

@@ -1,0 +1,9 @@
+#![forbid(unsafe_code)]
+
+pub fn lookup(v: &[u32], i: usize) -> u32 {
+    inner(v, i)
+}
+
+fn inner(v: &[u32], i: usize) -> u32 {
+    v[i + 1]
+}

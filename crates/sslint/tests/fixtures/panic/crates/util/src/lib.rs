@@ -1,5 +1,5 @@
 #![forbid(unsafe_code)]
 
-pub fn first(v: &[u32]) -> u32 {
+pub(crate) fn first(v: &[u32]) -> u32 {
     *v.first().unwrap()
 }

@@ -1,0 +1,5 @@
+/// Flight-recorder event kinds.
+pub enum TraceEvent {
+    PacketTx { link: u64 },
+    LinkUp,
+}

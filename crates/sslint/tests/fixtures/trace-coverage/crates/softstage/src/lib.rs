@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+use simnet::trace::TraceEvent;
+
+pub fn tx() -> TraceEvent {
+    TraceEvent::PacketTx { link: 1 }
+}

@@ -4,3 +4,21 @@ use simnet::trace::TraceEvent;
 pub fn emit() -> TraceEvent {
     TraceEvent::Bogus
 }
+
+pub fn tx() -> TraceEvent {
+    TraceEvent::PacketTx { link: 1 }
+}
+
+pub fn up() -> TraceEvent {
+    TraceEvent::LinkUp
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn kinds_round_trip() {
+        use super::TraceEvent;
+        assert!(matches!(super::tx(), TraceEvent::PacketTx { .. }));
+        assert!(matches!(super::up(), TraceEvent::LinkUp));
+    }
+}

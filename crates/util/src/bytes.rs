@@ -206,7 +206,8 @@ impl BytesMut {
     }
 
     /// Appends a big-endian `u16`.
-    pub fn put_u16(&mut self, v: u16) {
+    #[cfg(test)]
+    pub(crate) fn put_u16(&mut self, v: u16) {
         self.buf.extend_from_slice(&v.to_be_bytes());
     }
 

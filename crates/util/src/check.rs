@@ -87,7 +87,8 @@ impl Gen {
     }
 
     /// A uniform signed integer in `lo..=hi`. Shrinks toward `lo`.
-    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+    #[cfg(test)]
+    pub(crate) fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
         assert!(lo <= hi, "i64_in: empty range {lo}..={hi}");
         let span = (hi as i128 - lo as i128) as u64;
         lo.wrapping_add(self.u64_in(0, span) as i64)
@@ -101,11 +102,6 @@ impl Gen {
     /// A uniform float in `[lo, hi)`. Shrinks toward `lo`.
     pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
         lo + self.f64_unit() * (hi - lo)
-    }
-
-    /// A boolean that is `true` with probability `p`. Shrinks toward `false`.
-    pub fn bool_with(&mut self, p: f64) -> bool {
-        self.f64_unit() < p
     }
 
     /// A fair coin flip. Shrinks toward `false`.

@@ -28,14 +28,14 @@ impl CoverageInterval {
     }
 
     /// Whether `t` falls inside the interval.
-    pub fn covers(&self, t: SimTime) -> bool {
+    pub(crate) fn covers(&self, t: SimTime) -> bool {
         self.start_us <= t.as_micros() && t.as_micros() < self.end_us
     }
 
     /// RSS the client sees at time `t`: a triangular ramp from the cell
     /// edge (−90 dBm) up to `peak_rss_dbm` mid-interval and back — the
     /// drive-by pattern of a vehicular encounter.
-    pub fn rss_at(&self, t: SimTime) -> Option<f64> {
+    pub(crate) fn rss_at(&self, t: SimTime) -> Option<f64> {
         if !self.covers(t) {
             return None;
         }
@@ -126,14 +126,15 @@ impl CoverageSchedule {
     }
 
     /// Whether network `net` covers the client at `t`.
-    pub fn covered(&self, net: usize, t: SimTime) -> bool {
+    #[cfg(test)]
+    pub(crate) fn covered(&self, net: usize, t: SimTime) -> bool {
         self.intervals
             .iter()
             .any(|i| i.network == net && i.covers(t))
     }
 
     /// RSS for network `net` at `t`, if covered.
-    pub fn rss(&self, net: usize, t: SimTime) -> Option<f64> {
+    pub(crate) fn rss(&self, net: usize, t: SimTime) -> Option<f64> {
         self.intervals
             .iter()
             .filter(|i| i.network == net)

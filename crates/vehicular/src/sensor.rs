@@ -66,7 +66,7 @@ impl NetworkSensor {
     }
 
     /// Forgets all networks heard on `link` (the interface went down).
-    pub fn on_link_down(&mut self, link: LinkId) {
+    pub(crate) fn on_link_down(&mut self, link: LinkId) {
         self.networks.retain(|_, n| n.link != link);
     }
 
@@ -81,7 +81,7 @@ impl NetworkSensor {
     }
 
     /// The strongest fresh network, if any.
-    pub fn best(&self, now: SimTime) -> Option<&NetworkKnowledge> {
+    pub(crate) fn best(&self, now: SimTime) -> Option<&NetworkKnowledge> {
         self.networks
             .values()
             .filter(|n| self.fresh(n, now))
@@ -89,7 +89,8 @@ impl NetworkSensor {
     }
 
     /// All fresh networks.
-    pub fn visible(&self, now: SimTime) -> Vec<&NetworkKnowledge> {
+    #[cfg(test)]
+    pub(crate) fn visible(&self, now: SimTime) -> Vec<&NetworkKnowledge> {
         self.networks
             .values()
             .filter(|n| self.fresh(n, now))

@@ -7,7 +7,9 @@
 //! with the same qualitative structure: alternating connected bursts and
 //! short gaps tuned to a target coverage fraction.
 
-use simnet::{Rng, SimDuration, SimTime};
+#[cfg(test)]
+use simnet::SimTime;
+use simnet::{Rng, SimDuration};
 use util::json::{FromJson, Json, JsonError, ToJson};
 
 use crate::schedule::{CoverageInterval, CoverageSchedule};
@@ -55,7 +57,8 @@ impl ConnectivityTrace {
     }
 
     /// Whether the vehicle is connected at time `t`.
-    pub fn connected_at(&self, t: SimTime) -> bool {
+    #[cfg(test)]
+    pub(crate) fn connected_at(&self, t: SimTime) -> bool {
         let s = t.as_secs_f64();
         self.periods
             .iter()
@@ -82,7 +85,8 @@ impl ConnectivityTrace {
 
     /// Builds a trace from per-second connectivity samples (1 Hz logging,
     /// the common wardriving format).
-    pub fn from_binary_seconds(name: &str, samples: &[bool]) -> Self {
+    #[cfg(test)]
+    pub(crate) fn from_binary_seconds(name: &str, samples: &[bool]) -> Self {
         let mut periods = Vec::new();
         let mut start = 0usize;
         for i in 1..=samples.len() {

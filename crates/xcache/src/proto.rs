@@ -14,9 +14,9 @@ const TAG_REQUEST: u8 = 0x01;
 const TAG_RESPONSE: u8 = 0x02;
 
 /// Wire length of a request frame.
-pub const REQUEST_LEN: usize = 1 + 1 + 20;
+pub(crate) const REQUEST_LEN: usize = 1 + 1 + 20;
 /// Wire length of a response header frame.
-pub const RESPONSE_HDR_LEN: usize = 1 + 1 + 1 + 20 + 8;
+pub(crate) const RESPONSE_HDR_LEN: usize = 1 + 1 + 1 + 20 + 8;
 
 /// A request for one chunk by CID.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -58,7 +58,8 @@ impl ChunkServer {
     }
 
     /// Requests answered "not found" so far.
-    pub fn not_found(&self) -> u64 {
+    #[cfg(test)]
+    pub(crate) fn not_found(&self) -> u64 {
         self.not_found
     }
 
@@ -180,7 +181,8 @@ impl ChunkFetcher {
 
     /// Bytes of the body received so far (for partial-progress tracking
     /// across disconnections).
-    pub fn received_bytes(&self) -> usize {
+    #[cfg(test)]
+    pub(crate) fn received_bytes(&self) -> usize {
         if self.header.is_some() {
             self.buf.len()
         } else {

@@ -101,11 +101,6 @@ impl ChunkStore {
         self.used_bytes
     }
 
-    /// Capacity in bytes.
-    pub fn capacity_bytes(&self) -> usize {
-        self.capacity_bytes
-    }
-
     /// Number of chunks stored.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -18,7 +18,7 @@
 //! ```
 
 /// Size of a SHA-1 digest in bytes.
-pub const DIGEST_LEN: usize = 20;
+pub(crate) const DIGEST_LEN: usize = 20;
 
 /// Computes the SHA-1 digest of `data`.
 pub fn sha1(data: &[u8]) -> [u8; DIGEST_LEN] {
@@ -29,11 +29,11 @@ pub fn sha1(data: &[u8]) -> [u8; DIGEST_LEN] {
 
 /// Renders a digest as lowercase hex.
 pub fn to_hex(digest: &[u8; DIGEST_LEN]) -> String {
-    const HEX: &[u8; 16] = b"0123456789abcdef";
     let mut s = String::with_capacity(DIGEST_LEN * 2);
     for b in digest {
-        s.push(HEX[(b >> 4) as usize] as char);
-        s.push(HEX[(b & 0xf) as usize] as char);
+        for nibble in [b >> 4, b & 0xf] {
+            s.push(char::from_digit(u32::from(nibble), 16).unwrap_or('?'));
+        }
     }
     s
 }
@@ -128,6 +128,8 @@ impl Sha1 {
     /// `update` without touching `total_len` (used for padding only).
     fn update_padding(&mut self, data: &[u8]) {
         for &b in data {
+            // sslint: allow(panic-reach) — buffer_len < 64 is re-established
+            // two lines below every time it reaches the block size
             self.buffer[self.buffer_len] = b;
             self.buffer_len += 1;
             if self.buffer_len == 64 {
@@ -144,6 +146,8 @@ impl Sha1 {
             w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
         }
         for i in 16..80 {
+            // sslint: allow(panic-reach) — schedule offsets are const-bounded
+            // (i ≥ 16, so i-16 ≥ 0; i < 80 into [u32; 80])
             w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
         }
         let [mut a, mut b, mut c, mut d, mut e] = self.state;

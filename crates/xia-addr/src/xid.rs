@@ -35,7 +35,7 @@ impl Principal {
     }
 
     /// Parses a tag produced by [`Principal::tag`].
-    pub fn from_tag(tag: &str) -> Option<Self> {
+    pub(crate) fn from_tag(tag: &str) -> Option<Self> {
         match tag {
             "CID" => Some(Principal::Cid),
             "HID" => Some(Principal::Hid),

@@ -10,7 +10,7 @@ use xia_transport::{TransportError, TransportEvent, TransportMux};
 use xia_wire::{ConnId, XiaPacket, L4};
 
 /// Tag marking a host timer key as belonging to an application.
-pub const APP_TIMER_TAG: u64 = 0x4150 << 48;
+pub(crate) const APP_TIMER_TAG: u64 = 0x4150 << 48;
 
 /// Who owns a transport connection on this host.
 #[derive(Debug)]
@@ -47,7 +47,7 @@ pub struct HostMeta {
 impl HostMeta {
     /// The host's current locator address (`NID : HID`), or a bare `HID`
     /// DAG while unattached.
-    pub fn local_dag(&self) -> Dag {
+    pub(crate) fn local_dag(&self) -> Dag {
         match self.nid {
             Some(nid) => Dag::host(nid, self.hid),
             None => Dag::direct(self.hid),
@@ -120,11 +120,6 @@ impl<'a, 'b> HostCtx<'a, 'b> {
     /// The network the host is currently attached to, if any.
     pub fn nid(&self) -> Option<Xid> {
         self.meta.nid
-    }
-
-    /// The host's current locator address.
-    pub fn local_dag(&self) -> Dag {
-        self.meta.local_dag()
     }
 
     /// The current primary (data) interface.
@@ -234,22 +229,6 @@ impl<'a, 'b> HostCtx<'a, 'b> {
             },
         );
         handle
-    }
-
-    /// Cancels an in-flight fetch by handle (no completion is reported).
-    pub fn cancel_fetch(&mut self, handle: u64) {
-        let conn = self
-            .fetchers
-            .iter()
-            .find(|(_, f)| f.handle == handle && !f.done)
-            .map(|(c, _)| *c);
-        if let Some(conn) = conn {
-            if let Some(f) = self.fetchers.get_mut(&conn) {
-                f.done = true;
-            }
-            let (mux, mut env) = self.env();
-            mux.abort(&mut env, conn);
-        }
     }
 
     /// Sends a best-effort control datagram to `dst` for `service`.

@@ -7,7 +7,7 @@ use util::bytes::Bytes;
 use xcache::{
     chunk_content, ChunkServer, ChunkStore, EvictionPolicy, FetchProgress, Manifest, ServerAction,
 };
-use xia_addr::{Dag, Principal, Xid};
+use xia_addr::{Principal, Xid};
 use xia_transport::{TransportConfig, TransportEvent, TransportMux};
 use xia_wire::{ConnId, XiaPacket, L4};
 
@@ -111,11 +111,6 @@ impl Host {
     /// This host's identifier.
     pub fn hid(&self) -> Xid {
         self.meta.hid
-    }
-
-    /// The host's current locator address.
-    pub fn local_dag(&self) -> Dag {
-        self.meta.local_dag()
     }
 
     /// Network attachment, if any.

@@ -22,5 +22,5 @@ pub mod ctx;
 pub mod host;
 
 pub use app::{App, FetchResult};
-pub use ctx::{HostCtx, HostMeta, APP_TIMER_TAG};
+pub use ctx::{HostCtx, HostMeta};
 pub use host::{EndHost, Host, HostConfig};

@@ -53,7 +53,8 @@ impl RoutingTables {
     }
 
     /// Removes a route.
-    pub fn remove_route(&mut self, xid: &Xid) {
+    #[cfg(test)]
+    pub(crate) fn remove_route(&mut self, xid: &Xid) {
         self.table_mut(xid.principal()).remove(xid);
     }
 
@@ -151,11 +152,6 @@ impl RouterNode {
         &mut self.host
     }
 
-    /// The routing tables.
-    pub fn routes(&self) -> &RoutingTables {
-        &self.routes
-    }
-
     /// Mutable access to the routing tables.
     pub fn routes_mut(&mut self) -> &mut RoutingTables {
         &mut self.routes
@@ -164,11 +160,6 @@ impl RouterNode {
     /// Forwarding counters.
     pub fn stats(&self) -> RouterStats {
         self.stats
-    }
-
-    /// Disables reverse-path source learning (static-only routing).
-    pub fn set_source_learning(&mut self, on: bool) {
-        self.source_learning = on;
     }
 
     /// Whether `xid` is satisfied at this router.

@@ -104,11 +104,6 @@ impl TransportMux {
         &self.config
     }
 
-    /// Replaces the transport configuration for *future* connections.
-    pub fn set_config(&mut self, config: TransportConfig) {
-        self.config = config;
-    }
-
     /// Number of live connections.
     pub fn active_connections(&self) -> usize {
         self.conns.len()

@@ -20,7 +20,8 @@ impl RttEstimator {
     }
 
     /// Whether at least one sample has been absorbed.
-    pub fn has_sample(&self) -> bool {
+    #[cfg(test)]
+    pub(crate) fn has_sample(&self) -> bool {
         self.srtt_us.is_some()
     }
 

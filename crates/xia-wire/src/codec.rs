@@ -34,7 +34,7 @@ use xia_addr::{dag::SOURCE, Dag, DagNode, Principal, Xid};
 use crate::{Beacon, ConnId, SegFlags, Segment, XiaPacket, L4};
 
 /// Wire format version emitted by [`encode`].
-pub const WIRE_VERSION: u8 = 0x01;
+pub(crate) const WIRE_VERSION: u8 = 0x01;
 
 /// Errors produced by [`decode`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,7 +74,7 @@ impl std::fmt::Display for CodecError {
 impl std::error::Error for CodecError {}
 
 /// 32-bit FNV-1a over `body`, the checksum appended by [`encode`].
-pub fn checksum(body: &[u8]) -> u32 {
+pub(crate) fn checksum(body: &[u8]) -> u32 {
     let mut h: u32 = 0x811c_9dc5;
     for &b in body {
         h ^= u32::from(b);

@@ -172,7 +172,7 @@ pub struct XiaPacket {
 
 impl XiaPacket {
     /// Default hop limit for new packets.
-    pub const DEFAULT_HOP_LIMIT: u8 = 32;
+    pub(crate) const DEFAULT_HOP_LIMIT: u8 = 32;
 
     /// Creates a packet at the conceptual source of its destination DAG.
     pub fn new(dst: Dag, src: Dag, l4: L4) -> Self {
