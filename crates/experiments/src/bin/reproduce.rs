@@ -1,7 +1,7 @@
 //! Regenerates the SoftStage paper's tables and figures.
 //!
 //! ```text
-//! reproduce [fig5|fig6|fig6a..fig6f|handoff|fig7|ablation|smoke|all]
+//! reproduce [fig5|fig6|fig6a..fig6f|handoff|fig7|ablation|overload|smoke|all]
 //!           [--seed N] [--seeds K] [--jobs N] [--json PATH]
 //! ```
 //!
@@ -13,7 +13,7 @@
 use std::io::Write as _;
 
 use softstage_experiments::exec::{execute, ExecConfig, TableSpec};
-use softstage_experiments::{ablation, fig5, fig6, fig7, handoff, smoke};
+use softstage_experiments::{ablation, fig5, fig6, fig7, handoff, overload, smoke};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -78,6 +78,7 @@ fn main() {
         "handoff" => vec![handoff::spec()],
         "fig7" => vec![fig7::spec()],
         "ablation" => vec![ablation::spec()],
+        "overload" => vec![overload::spec()],
         "smoke" => vec![smoke::spec()],
         "all" => {
             let mut all = vec![fig5::spec()];
@@ -85,6 +86,7 @@ fn main() {
             all.push(handoff::spec());
             all.push(fig7::spec());
             all.push(ablation::spec());
+            all.push(overload::spec());
             all
         }
         other => usage(&format!("unknown target {other}")),
@@ -130,7 +132,7 @@ fn default_jobs() -> usize {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: reproduce [fig5|fig6|fig6a..fig6f|handoff|fig7|ablation|smoke|all] \
+        "usage: reproduce [fig5|fig6|fig6a..fig6f|handoff|fig7|ablation|overload|smoke|all] \
          [--seed N] [--seeds K] [--jobs N] [--json PATH]"
     );
     std::process::exit(2);

@@ -8,6 +8,7 @@
 //! | §IV-D | [`handoff`] | Chunk-aware vs default handoff policy |
 //! | Fig. 7 | [`fig7`] | Trace-driven wardriving replay |
 //! | (extra) | [`ablation`] | Design-choice ablations (DESIGN.md §5) |
+//! | (extra) | [`overload`] | Graceful degradation under staging-queue caps |
 //!
 //! [`testbed`] builds the paper's Fig. 4 topology; [`params`] holds the
 //! Table III parameter set. Every module declares its table as a list of
@@ -26,6 +27,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod handoff;
+pub mod overload;
 pub mod params;
 pub mod report;
 pub mod smoke;
@@ -33,4 +35,4 @@ pub mod testbed;
 
 pub use exec::{execute, Cell, DerivedRow, ExecConfig, TableSpec};
 pub use params::{ExperimentParams, MB, MBPS};
-pub use testbed::{build, RunResult, Testbed};
+pub use testbed::{build, build_with_vnf, RunResult, Testbed};

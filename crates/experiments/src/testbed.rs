@@ -15,7 +15,7 @@
 //! (loss-throttled, as in the paper).
 
 use simnet::{LinkConfig, LinkId, NodeId, SimDuration, SimTime, Simulator};
-use softstage::{HandoffPolicy, SoftStageClient, SoftStageConfig, StagingVnf};
+use softstage::{HandoffPolicy, SoftStageClient, SoftStageConfig, StagingVnf, VnfConfig, VnfStats};
 use softstage_apps::build_origin;
 use util::bytes::Bytes;
 use vehicular::{BeaconApp, CoverageSchedule};
@@ -70,6 +70,13 @@ pub struct RunResult {
     pub migrations: u64,
     /// `(time, chunk index, from_staged)` completions.
     pub chunk_completions: Vec<(SimTime, usize, bool)>,
+    /// Staging requests the VNFs rejected, as observed by the client.
+    pub stage_rejects: u64,
+    /// Times the client's circuit breaker opened against an edge.
+    pub breaker_opens: u64,
+    /// Time the staging path spent in each mode, in µs:
+    /// `(Active, OriginFallback, Degraded)`.
+    pub mode_dwell_us: (u64, u64, u64),
     /// Whether the delivered content hash matches the published content.
     pub content_ok: bool,
 }
@@ -83,11 +90,24 @@ pub(crate) fn generate_content(len: usize, seed: u64) -> Bytes {
 }
 
 /// Builds the testbed for `params` with the given coverage `schedule`,
-/// running a client configured by `client_config`.
+/// running a client configured by `client_config`. Every VNF gets the
+/// default (generous) queue bounds; use [`build_with_vnf`] to shape them.
 pub fn build(
     params: &ExperimentParams,
     schedule: &CoverageSchedule,
     client_config: SoftStageConfig,
+) -> Testbed {
+    build_with_vnf(params, schedule, client_config, |_| VnfConfig::default())
+}
+
+/// Builds the testbed with per-edge VNF queue bounds and admission
+/// policies: `make_vnf(i)` configures the VNF on edge network `i`
+/// (overload experiments pinch selected edges this way).
+pub fn build_with_vnf(
+    params: &ExperimentParams,
+    schedule: &CoverageSchedule,
+    client_config: SoftStageConfig,
+    make_vnf: impl Fn(usize) -> VnfConfig,
 ) -> Testbed {
     let nets = params.edge_networks.max(schedule.networks).max(1);
     let mut sim = Simulator::new(params.seed);
@@ -125,7 +145,7 @@ pub fn build(
         let sid = Xid::new_random(Principal::Sid, 4_000 + i as u64);
         let mut host = Host::new(HostConfig::new(hid));
         let vnf_dag = if params.vnf_deployed {
-            let vnf = StagingVnf::new(sid);
+            let vnf = StagingVnf::with_config(sid, make_vnf(i));
             let dag = vnf.service_dag(nid, hid);
             host.add_app(Box::new(vnf));
             Some(dag)
@@ -289,6 +309,48 @@ impl Testbed {
         oracle.audit_with_stats(&sink.to_vec(), self.sim.stats())
     }
 
+    /// Counters of every deployed Staging VNF, in edge order (empty when
+    /// `vnf_deployed` is off).
+    pub fn vnf_stats(&self) -> Vec<VnfStats> {
+        self.edges
+            .iter()
+            .filter_map(|&edge| {
+                self.sim
+                    .node::<RouterNode>(edge)
+                    .and_then(|r| r.host().app::<StagingVnf>(0))
+                    .map(StagingVnf::stats)
+            })
+            .collect()
+    }
+
+    /// In-flight staging-job count of every deployed VNF, in edge order.
+    /// A drained testbed (download finished, no faults pending) reports
+    /// all zeros — overload tests assert the queues empty out.
+    pub fn vnf_queue_depths(&self) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter_map(|&edge| {
+                self.sim
+                    .node::<RouterNode>(edge)
+                    .and_then(|r| r.host().app::<StagingVnf>(0))
+                    .map(StagingVnf::queue_depth)
+            })
+            .collect()
+    }
+
+    /// Current XCache capacity of every edge router, in edge order.
+    /// `CacheSqueeze` faults show up here as the shrunken limit.
+    pub fn edge_cache_capacities(&self) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter_map(|&edge| {
+                self.sim
+                    .node::<RouterNode>(edge)
+                    .map(|r| r.host().store().capacity_bytes())
+            })
+            .collect()
+    }
+
     /// The client's SoftStage application.
     pub fn client_app(&self) -> &SoftStageClient {
         self.sim
@@ -318,6 +380,13 @@ impl Testbed {
             handoffs: app.roamer.handoffs,
             migrations: app.roamer.migrations,
             chunk_completions: stats.chunk_completions.clone(),
+            stage_rejects: stats.stage_rejects,
+            breaker_opens: stats.breaker_opens,
+            mode_dwell_us: (
+                stats.dwell_active_us,
+                stats.dwell_fallback_us,
+                stats.dwell_degraded_us,
+            ),
             content_ok: app.is_done() && app.content_digest() == self.content_digest,
         }
     }

@@ -1,8 +1,9 @@
 //! Deterministic fault injection.
 //!
 //! A [`FaultPlan`] is a declarative schedule of failures — link flaps,
-//! burst loss, bit corruption, node crashes/restarts and cache wipes —
-//! laid onto a simulation before it runs. Because every fault fires at a
+//! burst loss, bit corruption, node crashes/restarts, cache wipes, cache
+//! squeezes (capacity shrinks) and slow-edge service windows — laid onto
+//! a simulation before it runs. Because every fault fires at a
 //! scheduled [`SimTime`] (or at times drawn from a seeded [`Rng`]), a run
 //! with faults is exactly as reproducible as one without: same plan, same
 //! seed, same outcome.
@@ -94,6 +95,28 @@ pub enum Fault {
         /// Wipe time.
         at: SimTime,
     },
+    /// The node's content cache shrinks to `capacity` bytes at `at`,
+    /// forcing eviction churn; the node keeps running.
+    CacheSqueeze {
+        /// Affected node.
+        node: NodeId,
+        /// Squeeze time.
+        at: SimTime,
+        /// New cache capacity in bytes.
+        capacity: usize,
+    },
+    /// The node's service rate degrades for the window: replies are
+    /// delayed by `delay` until `at + lasting` restores full speed.
+    SlowEdge {
+        /// Affected node.
+        node: NodeId,
+        /// Window start.
+        at: SimTime,
+        /// Window length.
+        lasting: SimDuration,
+        /// Added per-reply service delay during the window.
+        delay: SimDuration,
+    },
 }
 
 /// A deterministic, declarative schedule of faults.
@@ -170,6 +193,27 @@ impl FaultPlan {
         self.push(Fault::CacheWipe { node, at })
     }
 
+    /// Adds a [`Fault::CacheSqueeze`].
+    pub fn cache_squeeze(&mut self, node: NodeId, at: SimTime, capacity: usize) -> &mut Self {
+        self.push(Fault::CacheSqueeze { node, at, capacity })
+    }
+
+    /// Adds a [`Fault::SlowEdge`].
+    pub fn slow_edge(
+        &mut self,
+        node: NodeId,
+        at: SimTime,
+        lasting: SimDuration,
+        delay: SimDuration,
+    ) -> &mut Self {
+        self.push(Fault::SlowEdge {
+            node,
+            at,
+            lasting,
+            delay,
+        })
+    }
+
     /// Adds `count` link flaps at times drawn deterministically from
     /// `seed`, uniformly over `[window_start, window_end)`, each lasting
     /// `down_for`. Useful for chaos tests that want "some" churn without
@@ -243,6 +287,28 @@ impl FaultPlan {
                 }
                 Fault::CacheWipe { node, at } => {
                     sim.schedule_node_fault(at, node, NodeFault::CacheWipe);
+                }
+                Fault::CacheSqueeze { node, at, capacity } => {
+                    sim.schedule_node_fault(at, node, NodeFault::CacheResize { capacity });
+                }
+                Fault::SlowEdge {
+                    node,
+                    at,
+                    lasting,
+                    delay,
+                } => {
+                    sim.schedule_node_fault(
+                        at,
+                        node,
+                        NodeFault::SlowService {
+                            delay_us: delay.as_micros(),
+                        },
+                    );
+                    sim.schedule_node_fault(
+                        at + lasting,
+                        node,
+                        NodeFault::SlowService { delay_us: 0 },
+                    );
                 }
             }
         }
@@ -388,6 +454,40 @@ mod tests {
                 (SimTime::from_micros(100_000), NodeFault::Crash),
                 (SimTime::from_micros(150_000), NodeFault::Restart),
                 (SimTime::from_micros(300_000), NodeFault::CacheWipe),
+            ]
+        );
+        assert_eq!(sim.stats().faults, 3);
+    }
+
+    #[test]
+    fn squeeze_and_slow_edge_reach_the_node() {
+        let (mut sim, _, b, _) = build();
+        let mut plan = FaultPlan::new();
+        plan.cache_squeeze(b, SimTime::from_micros(100_000), 4096)
+            .slow_edge(
+                b,
+                SimTime::from_micros(200_000),
+                SimDuration::from_millis(150),
+                SimDuration::from_millis(40),
+            );
+        plan.apply(&mut sim);
+        sim.run();
+        assert_eq!(
+            sim.node::<Chatter>(b).unwrap().faults,
+            vec![
+                (
+                    SimTime::from_micros(100_000),
+                    NodeFault::CacheResize { capacity: 4096 },
+                ),
+                (
+                    SimTime::from_micros(200_000),
+                    NodeFault::SlowService { delay_us: 40_000 },
+                ),
+                // The window's restoring half clears the delay.
+                (
+                    SimTime::from_micros(350_000),
+                    NodeFault::SlowService { delay_us: 0 },
+                ),
             ]
         );
         assert_eq!(sim.stats().faults, 3);

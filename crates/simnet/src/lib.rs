@@ -77,6 +77,6 @@ pub use sim::Simulator;
 pub use stats::{LinkStats, SimStats};
 pub use time::{SimDuration, SimTime};
 pub use trace::{
-    ClientMode, DropReason, FetchSource, InvariantKind, Tag, TraceEvent, TraceOracle, TraceRecord,
-    TraceSink, Violation,
+    BreakerState, ClientMode, DropReason, FetchSource, InvariantKind, RejectReason, Tag,
+    TraceEvent, TraceOracle, TraceRecord, TraceSink, Violation,
 };

@@ -84,6 +84,19 @@ pub enum NodeFault {
     /// The node's content cache is wiped (e.g. an operator flush or disk
     /// failure) but the node keeps running.
     CacheWipe,
+    /// The node's content cache is resized in place (e.g. a co-tenant
+    /// claiming edge resources); unpinned chunks are evicted until the
+    /// new capacity fits.
+    CacheResize {
+        /// New capacity in bytes.
+        capacity: usize,
+    },
+    /// The node's service rate degrades: applications should delay their
+    /// replies by `delay_us` (0 restores full speed).
+    SlowService {
+        /// Added per-reply service delay, µs.
+        delay_us: u64,
+    },
 }
 
 /// An action requested by a node during a callback, applied by the

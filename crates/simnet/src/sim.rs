@@ -496,6 +496,10 @@ impl<M: Message> Simulator<M> {
                     NodeFault::Crash => TraceEvent::NodeCrash,
                     NodeFault::Restart => TraceEvent::NodeRestart,
                     NodeFault::CacheWipe => TraceEvent::CacheWipe,
+                    NodeFault::CacheResize { capacity } => TraceEvent::CacheResize {
+                        capacity: capacity as u64,
+                    },
+                    NodeFault::SlowService { delay_us } => TraceEvent::ServiceDegrade { delay_us },
                 };
                 emit(&mut self.sink, self.time, node, ev);
                 self.with_node(node, |n, ctx| n.on_fault(ctx, fault));

@@ -16,6 +16,8 @@
 //!   (no orphan deliveries),
 //! - no fetch completes from an edge cache that never staged the chunk,
 //! - no chunk transfer spans a committed handoff (chunk-aware policy),
+//! - no staging request leaves a node whose circuit breaker is open, and
+//!   a breaker never opens without a preceding reject or timeout,
 //! - per-link event counts and byte totals match [`LinkStats`] exactly
 //!   (only meaningful on untruncated traces).
 //!
@@ -151,6 +153,73 @@ impl ClientMode {
             "origin_fallback" => ClientMode::OriginFallback,
             "degraded" => ClientMode::Degraded,
             other => return Err(JsonError::new(format!("unknown client mode {other:?}"))),
+        })
+    }
+}
+
+/// Why a staging VNF refused to take on a request.
+///
+/// The wire names are shared with `softstage`'s reject message, so the
+/// parse helpers are public.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The staging queue reached its configured depth cap.
+    QueueDepth,
+    /// The staging queue reached its configured byte cap.
+    QueueBytes,
+    /// Admission control predicted the chunk cannot stage in time.
+    Deadline,
+}
+
+impl RejectReason {
+    /// The reason's wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RejectReason::QueueDepth => "queue_depth",
+            RejectReason::QueueBytes => "queue_bytes",
+            RejectReason::Deadline => "deadline",
+        }
+    }
+
+    /// Parses a wire name back into the reason.
+    pub fn parse(s: &str) -> Result<Self, JsonError> {
+        Ok(match s {
+            "queue_depth" => RejectReason::QueueDepth,
+            "queue_bytes" => RejectReason::QueueBytes,
+            "deadline" => RejectReason::Deadline,
+            other => return Err(JsonError::new(format!("unknown reject reason {other:?}"))),
+        })
+    }
+}
+
+/// State of the client's per-edge circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: staging requests flow normally.
+    Closed,
+    /// Tripped: no staging requests until the open window elapses.
+    Open,
+    /// Probing: exactly one trial request decides close vs. re-open.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// The state's wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+
+    /// Parses a wire name back into the state.
+    pub fn parse(s: &str) -> Result<Self, JsonError> {
+        Ok(match s {
+            "closed" => BreakerState::Closed,
+            "open" => BreakerState::Open,
+            "half_open" => BreakerState::HalfOpen,
+            other => return Err(JsonError::new(format!("unknown breaker state {other:?}"))),
         })
     }
 }
@@ -305,6 +374,39 @@ pub enum TraceEvent {
         /// New target depth in chunks.
         depth: u32,
     },
+    /// A VNF refused a staging request (emitted by the VNF at the
+    /// decision and by the client on receipt; the node tells them apart).
+    StageReject {
+        /// Content tag.
+        chunk: Tag,
+        /// Why the request was shed.
+        reason: RejectReason,
+        /// Advisory back-off before retrying, µs.
+        retry_after_us: u64,
+    },
+    /// A staging request outlived its back-off without any answer; the
+    /// client re-issues it and counts the silence against edge health.
+    StageTimeout {
+        /// Content tag.
+        chunk: Tag,
+    },
+    /// The client's circuit breaker for its active edge changed state.
+    BreakerTransition {
+        /// Network tag of the edge the breaker guards (0 if unknown).
+        edge: Tag,
+        /// The state entered.
+        state: BreakerState,
+    },
+    /// Fault injection resized the node's content cache in place.
+    CacheResize {
+        /// New capacity in bytes.
+        capacity: u64,
+    },
+    /// Fault injection changed the node's service delay (0 = restored).
+    ServiceDegrade {
+        /// Added per-reply service delay, µs.
+        delay_us: u64,
+    },
 }
 
 impl TraceEvent {
@@ -335,6 +437,11 @@ impl TraceEvent {
             TraceEvent::HandoffCommit { .. } => "handoff_commit",
             TraceEvent::ModeTransition { .. } => "mode",
             TraceEvent::StageDepth { .. } => "stage_depth",
+            TraceEvent::StageReject { .. } => "stage_reject",
+            TraceEvent::StageTimeout { .. } => "stage_timeout",
+            TraceEvent::BreakerTransition { .. } => "breaker",
+            TraceEvent::CacheResize { .. } => "cache_resize",
+            TraceEvent::ServiceDegrade { .. } => "service_degrade",
         }
     }
 }
@@ -416,7 +523,8 @@ impl ToJson for TraceRecord {
             TraceEvent::StageRequest { chunk }
             | TraceEvent::StageStart { chunk }
             | TraceEvent::StageFailed { chunk }
-            | TraceEvent::ChunkEvicted { chunk } => {
+            | TraceEvent::ChunkEvicted { chunk }
+            | TraceEvent::StageTimeout { chunk } => {
                 fields.push(("chunk", int(chunk.0)));
             }
             TraceEvent::StageAck { chunk, ok } => {
@@ -450,6 +558,25 @@ impl ToJson for TraceRecord {
             }
             TraceEvent::StageDepth { depth } => {
                 fields.push(("depth", int(u64::from(depth))));
+            }
+            TraceEvent::StageReject {
+                chunk,
+                reason,
+                retry_after_us,
+            } => {
+                fields.push(("chunk", int(chunk.0)));
+                fields.push(("reason", Json::Str(reason.name().to_string())));
+                fields.push(("retry_after_us", int(retry_after_us)));
+            }
+            TraceEvent::BreakerTransition { edge, state } => {
+                fields.push(("edge", int(edge.0)));
+                fields.push(("state", Json::Str(state.name().to_string())));
+            }
+            TraceEvent::CacheResize { capacity } => {
+                fields.push(("capacity", int(capacity)));
+            }
+            TraceEvent::ServiceDegrade { delay_us } => {
+                fields.push(("delay_us", int(delay_us)));
             }
         }
         obj(fields)
@@ -574,6 +701,24 @@ impl FromJson for TraceRecord {
             },
             "stage_depth" => TraceEvent::StageDepth {
                 depth: req_u32(v, "depth")?,
+            },
+            "stage_reject" => TraceEvent::StageReject {
+                chunk: req_tag(v, "chunk")?,
+                reason: RejectReason::parse(req_str(v, "reason")?)?,
+                retry_after_us: req_u64(v, "retry_after_us")?,
+            },
+            "stage_timeout" => TraceEvent::StageTimeout {
+                chunk: req_tag(v, "chunk")?,
+            },
+            "breaker" => TraceEvent::BreakerTransition {
+                edge: req_tag(v, "edge")?,
+                state: BreakerState::parse(req_str(v, "state")?)?,
+            },
+            "cache_resize" => TraceEvent::CacheResize {
+                capacity: req_u64(v, "capacity")?,
+            },
+            "service_degrade" => TraceEvent::ServiceDegrade {
+                delay_us: req_u64(v, "delay_us")?,
             },
             other => return Err(JsonError::new(format!("unknown event {other:?}"))),
         };
@@ -710,6 +855,11 @@ pub enum InvariantKind {
     HandoffMidChunk,
     /// Trace counts disagree with the simulator's [`SimStats`].
     StatsMismatch,
+    /// A staging request sent while the node's breaker was open.
+    StageWhileBreakerOpen,
+    /// A breaker opened with no reject or timeout since its last
+    /// transition.
+    BreakerOpenNoSignal,
 }
 
 impl fmt::Display for InvariantKind {
@@ -721,6 +871,8 @@ impl fmt::Display for InvariantKind {
             InvariantKind::UnstagedEdgeFetch => "unstaged-edge-fetch",
             InvariantKind::HandoffMidChunk => "handoff-mid-chunk",
             InvariantKind::StatsMismatch => "stats-mismatch",
+            InvariantKind::StageWhileBreakerOpen => "stage-while-breaker-open",
+            InvariantKind::BreakerOpenNoSignal => "breaker-open-no-signal",
         };
         f.write_str(s)
     }
@@ -854,6 +1006,8 @@ impl TraceOracle {
         let mut links: BTreeMap<usize, LinkTally> = BTreeMap::new();
         let mut staged: BTreeSet<u64> = BTreeSet::new();
         let mut in_flight: BTreeMap<usize, Tag> = BTreeMap::new();
+        let mut breaker: BTreeMap<usize, BreakerState> = BTreeMap::new();
+        let mut health_signals: BTreeMap<usize, u64> = BTreeMap::new();
         for r in records {
             if let Some(p) = prev_seq {
                 if r.seq <= p {
@@ -973,6 +1127,39 @@ impl TraceOracle {
                         }
                     }
                 }
+                TraceEvent::StageRequest { chunk } => {
+                    if breaker.get(&r.node.index()) == Some(&BreakerState::Open) {
+                        v.push(Violation {
+                            kind: InvariantKind::StageWhileBreakerOpen,
+                            seq: r.seq,
+                            detail: format!(
+                                "node {} requested staging of chunk {chunk} \
+                                 with its breaker open",
+                                r.node.index()
+                            ),
+                        });
+                    }
+                }
+                TraceEvent::StageReject { .. } | TraceEvent::StageTimeout { .. } => {
+                    *health_signals.entry(r.node.index()).or_insert(0) += 1;
+                }
+                TraceEvent::BreakerTransition { state, .. } => {
+                    if state == BreakerState::Open
+                        && health_signals.get(&r.node.index()).copied().unwrap_or(0) == 0
+                    {
+                        v.push(Violation {
+                            kind: InvariantKind::BreakerOpenNoSignal,
+                            seq: r.seq,
+                            detail: format!(
+                                "node {} opened its breaker without a reject \
+                                 or timeout since the last transition",
+                                r.node.index()
+                            ),
+                        });
+                    }
+                    breaker.insert(r.node.index(), state);
+                    health_signals.insert(r.node.index(), 0);
+                }
                 _ => {}
             }
         }
@@ -1040,6 +1227,165 @@ mod tests {
         let text = s.to_jsonl();
         let parsed = parse_jsonl(&text).expect("parse");
         assert_eq!(parsed, s.to_vec());
+    }
+
+    #[test]
+    fn overload_events_round_trip() {
+        let mut s = TraceSink::new(64);
+        s.record(
+            SimTime::from_micros(1),
+            NodeId(3),
+            TraceEvent::StageReject {
+                chunk: Tag(0xbeef),
+                reason: RejectReason::QueueDepth,
+                retry_after_us: 2_000_000,
+            },
+        );
+        s.record(
+            SimTime::from_micros(2),
+            NodeId(3),
+            TraceEvent::StageTimeout { chunk: Tag(0xbeef) },
+        );
+        s.record(
+            SimTime::from_micros(3),
+            NodeId(3),
+            TraceEvent::BreakerTransition {
+                edge: Tag(42),
+                state: BreakerState::HalfOpen,
+            },
+        );
+        s.record(
+            SimTime::from_micros(4),
+            NodeId(1),
+            TraceEvent::CacheResize { capacity: 1 << 20 },
+        );
+        s.record(
+            SimTime::from_micros(5),
+            NodeId(1),
+            TraceEvent::ServiceDegrade { delay_us: 250_000 },
+        );
+        let parsed = parse_jsonl(&s.to_jsonl()).expect("parse");
+        assert_eq!(parsed, s.to_vec());
+        for reason in [
+            RejectReason::QueueDepth,
+            RejectReason::QueueBytes,
+            RejectReason::Deadline,
+        ] {
+            assert_eq!(RejectReason::parse(reason.name()).expect("parse"), reason);
+        }
+        for state in [
+            BreakerState::Closed,
+            BreakerState::Open,
+            BreakerState::HalfOpen,
+        ] {
+            assert_eq!(BreakerState::parse(state.name()).expect("parse"), state);
+        }
+    }
+
+    #[test]
+    fn oracle_rejects_stage_request_while_breaker_open() {
+        let records = vec![
+            rec(0, 0, 2, TraceEvent::StageTimeout { chunk: Tag(1) }),
+            rec(
+                1,
+                1,
+                2,
+                TraceEvent::BreakerTransition {
+                    edge: Tag(9),
+                    state: BreakerState::Open,
+                },
+            ),
+            rec(2, 2, 2, TraceEvent::StageRequest { chunk: Tag(1) }),
+        ];
+        let v = TraceOracle::new().audit(&records);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, InvariantKind::StageWhileBreakerOpen);
+        // A half-open probe is legal: the transition precedes the request.
+        let records = vec![
+            rec(0, 0, 2, TraceEvent::StageTimeout { chunk: Tag(1) }),
+            rec(
+                1,
+                1,
+                2,
+                TraceEvent::BreakerTransition {
+                    edge: Tag(9),
+                    state: BreakerState::Open,
+                },
+            ),
+            rec(
+                2,
+                2,
+                2,
+                TraceEvent::BreakerTransition {
+                    edge: Tag(9),
+                    state: BreakerState::HalfOpen,
+                },
+            ),
+            rec(3, 3, 2, TraceEvent::StageRequest { chunk: Tag(1) }),
+        ];
+        assert!(TraceOracle::new().audit(&records).is_empty());
+    }
+
+    #[test]
+    fn oracle_rejects_breaker_open_without_signal() {
+        let records = vec![rec(
+            0,
+            0,
+            2,
+            TraceEvent::BreakerTransition {
+                edge: Tag(9),
+                state: BreakerState::Open,
+            },
+        )];
+        let v = TraceOracle::new().audit(&records);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, InvariantKind::BreakerOpenNoSignal);
+        // A reject earlier in the run justifies the open; the signal is
+        // spent by the transition, so re-opening after a half-open probe
+        // needs a fresh reject or timeout.
+        let records = vec![
+            rec(
+                0,
+                0,
+                2,
+                TraceEvent::StageReject {
+                    chunk: Tag(1),
+                    reason: RejectReason::QueueBytes,
+                    retry_after_us: 0,
+                },
+            ),
+            rec(
+                1,
+                1,
+                2,
+                TraceEvent::BreakerTransition {
+                    edge: Tag(9),
+                    state: BreakerState::Open,
+                },
+            ),
+            rec(
+                2,
+                2,
+                2,
+                TraceEvent::BreakerTransition {
+                    edge: Tag(9),
+                    state: BreakerState::HalfOpen,
+                },
+            ),
+            rec(
+                3,
+                3,
+                2,
+                TraceEvent::BreakerTransition {
+                    edge: Tag(9),
+                    state: BreakerState::Open,
+                },
+            ),
+        ];
+        let v = TraceOracle::new().audit(&records);
+        assert_eq!(v.len(), 1, "{v:#?}");
+        assert_eq!(v[0].kind, InvariantKind::BreakerOpenNoSignal);
+        assert_eq!(v[0].seq, 3, "only the unsignalled re-open is flagged");
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! Admission control for the staging VNF.
+//!
+//! The VNF enforces its hard queue caps (depth and bytes) itself; an
+//! [`AdmissionPolicy`] decides, below those caps, whether a staging job
+//! is worth starting at all. The deadline-aware policy implements the
+//! RICH-style signal (arXiv 1908.07228): shed a request whose chunk
+//! cannot stage before the client's predicted usefulness deadline —
+//! staging it would burn backhaul on a chunk the vehicle will already
+//! have fetched from the origin (or driven past) by the time it lands.
+
+use simnet::{RejectReason, SimDuration, SimTime};
+
+/// The staging queue at the instant an admission decision is made.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionSnapshot {
+    /// In-flight staging jobs (distinct origin fetches).
+    pub depth: usize,
+    /// Configured depth cap.
+    pub max_depth: usize,
+    /// Estimated bytes the in-flight jobs will pull.
+    pub bytes: u64,
+    /// Configured byte cap.
+    pub max_bytes: u64,
+    /// Current sim time.
+    pub now: SimTime,
+    /// The client's usefulness deadline for this request, if it sent one.
+    pub deadline: Option<SimTime>,
+    /// The VNF's smoothed estimate of one staging job's latency.
+    pub est_stage: Option<SimDuration>,
+}
+
+/// Decides whether the VNF takes on one more staging job.
+///
+/// Returning `None` admits the job; `Some(reason)` sheds it with a typed
+/// reject. Policies run only below the hard caps, so they refine — never
+/// replace — backpressure.
+pub trait AdmissionPolicy: std::fmt::Debug {
+    /// One admission decision for one chunk.
+    fn admit(&mut self, q: &AdmissionSnapshot) -> Option<RejectReason>;
+}
+
+/// Admits everything below the hard caps (the pre-overload behavior).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysAdmit;
+
+impl AdmissionPolicy for AlwaysAdmit {
+    fn admit(&mut self, _q: &AdmissionSnapshot) -> Option<RejectReason> {
+        None
+    }
+}
+
+/// Sheds once the queue reaches a soft depth threshold (≤ the hard cap).
+#[derive(Debug, Clone, Copy)]
+pub struct DepthThreshold {
+    /// Jobs in flight at or above which new work is shed.
+    pub threshold: usize,
+}
+
+impl AdmissionPolicy for DepthThreshold {
+    fn admit(&mut self, q: &AdmissionSnapshot) -> Option<RejectReason> {
+        (q.depth >= self.threshold).then_some(RejectReason::QueueDepth)
+    }
+}
+
+/// Sheds requests that cannot stage before the client's deadline.
+///
+/// The wait for a free slot is approximated as one smoothed staging
+/// latency per queued job ahead of this one, plus the job's own fetch.
+/// Requests without a deadline, and VNFs without a latency estimate yet,
+/// always admit — the policy only sheds on evidence.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeadlineAware;
+
+impl AdmissionPolicy for DeadlineAware {
+    fn admit(&mut self, q: &AdmissionSnapshot) -> Option<RejectReason> {
+        let (deadline, est) = match (q.deadline, q.est_stage) {
+            (Some(d), Some(e)) => (d, e),
+            _ => return None,
+        };
+        let landing = q.now + est * (q.depth as u64 + 1);
+        (landing > deadline).then_some(RejectReason::Deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(depth: usize, deadline_us: Option<u64>, est_us: Option<u64>) -> AdmissionSnapshot {
+        AdmissionSnapshot {
+            depth,
+            max_depth: 16,
+            bytes: 0,
+            max_bytes: u64::MAX,
+            now: SimTime::from_micros(1_000_000),
+            deadline: deadline_us.map(SimTime::from_micros),
+            est_stage: est_us.map(SimDuration::from_micros),
+        }
+    }
+
+    #[test]
+    fn always_admit_admits() {
+        assert_eq!(AlwaysAdmit.admit(&snap(15, None, None)), None);
+    }
+
+    #[test]
+    fn depth_threshold_sheds_at_threshold() {
+        let mut p = DepthThreshold { threshold: 4 };
+        assert_eq!(p.admit(&snap(3, None, None)), None);
+        assert_eq!(
+            p.admit(&snap(4, None, None)),
+            Some(RejectReason::QueueDepth)
+        );
+        assert_eq!(
+            p.admit(&snap(9, None, None)),
+            Some(RejectReason::QueueDepth)
+        );
+    }
+
+    #[test]
+    fn deadline_aware_sheds_only_on_evidence() {
+        let mut p = DeadlineAware;
+        // No deadline or no estimate: admit.
+        assert_eq!(p.admit(&snap(8, None, Some(500_000))), None);
+        assert_eq!(p.admit(&snap(8, Some(1_200_000), None)), None);
+        // An empty queue stages in one est (1.0 s + 0.5 s ≤ 1.6 s): admit.
+        assert_eq!(p.admit(&snap(0, Some(1_600_000), Some(500_000))), None);
+        // Three jobs ahead push the landing past the deadline: shed.
+        assert_eq!(
+            p.admit(&snap(3, Some(1_600_000), Some(500_000))),
+            Some(RejectReason::Deadline)
+        );
+    }
+}

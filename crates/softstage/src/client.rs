@@ -23,15 +23,18 @@
 
 use std::collections::BTreeMap;
 
-use simnet::{ClientMode, FetchSource, LinkId, SimDuration, SimTime, Tag, TraceEvent};
+use simnet::{
+    BreakerState, ClientMode, FetchSource, LinkId, SimDuration, SimTime, Tag, TraceEvent,
+};
 use vehicular::{RoamConfig, RoamEvent, RoamState, Roamer, ROAM_ASSOC_TIMER};
 use xia_addr::{sha1::Sha1, Dag, Xid};
 use xia_host::{App, FetchResult, HostCtx};
 use xia_wire::Beacon;
 
+use crate::breaker::{Breaker, BreakerConfig};
 use crate::coordinator::{CoordinatorConfig, StagingCoordinator};
 use crate::messages::StagingMsg;
-use crate::profile::{ChunkProfile, StagingState};
+use crate::profile::{ChunkProfile, RetryProfile, StagingState};
 
 /// When to hand off to a stronger network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -56,20 +59,13 @@ pub struct SoftStageConfig {
     pub coordinator: CoordinatorConfig,
     /// Staging on/off; off gives the Xftp baseline.
     pub staging_enabled: bool,
-    /// Initial back-off before re-requesting staging for a pending chunk;
-    /// doubles per attempt (with deterministic jitter) up to
-    /// [`SoftStageConfig::stage_retry_cap`].
-    pub stage_retry: SimDuration,
-    /// Upper bound on the staging-request retry back-off.
-    pub stage_retry_cap: SimDuration,
-    /// Total staging re-requests allowed per session before the client
-    /// gives up on staging and degrades to plain Xftp.
-    pub stage_retry_budget: u64,
-    /// Initial back-off before retrying a failed origin fetch; doubles per
-    /// consecutive failure up to [`SoftStageConfig::fetch_retry_cap`].
-    pub fetch_retry: SimDuration,
-    /// Upper bound on the fetch retry back-off.
-    pub fetch_retry_cap: SimDuration,
+    /// Retry and back-off knobs, as one serializable [`RetryProfile`]
+    /// (staging re-requests follow `stage_retry · 2^attempt` clamped to
+    /// `stage_retry_cap`, bounded by `stage_retry_budget`; origin-fetch
+    /// retries follow `fetch_retry`..`fetch_retry_cap`).
+    pub retry: RetryProfile,
+    /// Circuit breaker guarding the active edge's staging path.
+    pub breaker: BreakerConfig,
     /// Chunks pre-staged into a handoff target (step ④).
     pub prestage_depth: usize,
     /// Housekeeping tick period.
@@ -83,11 +79,8 @@ impl Default for SoftStageConfig {
             roam: RoamConfig::default(),
             coordinator: CoordinatorConfig::default(),
             staging_enabled: true,
-            stage_retry: SimDuration::from_secs(2),
-            stage_retry_cap: SimDuration::from_secs(16),
-            stage_retry_budget: 64,
-            fetch_retry: SimDuration::from_millis(500),
-            fetch_retry_cap: SimDuration::from_secs(8),
+            retry: RetryProfile::default(),
+            breaker: BreakerConfig::default(),
             prestage_depth: 4,
             tick: SimDuration::from_millis(500),
         }
@@ -176,6 +169,20 @@ pub struct ClientStats {
     pub vnf_rediscoveries: u64,
     /// Whether the staging retry budget ran out ([`StagingMode::Degraded`]).
     pub degraded: bool,
+    /// Staging requests the VNF explicitly rejected (backpressure or
+    /// admission control).
+    pub stage_rejects: u64,
+    /// Staging requests that went unanswered past their back-off while
+    /// the edge was reachable.
+    pub stage_timeouts: u64,
+    /// Times the circuit breaker opened against the active edge.
+    pub breaker_opens: u64,
+    /// Time spent with the staging path in [`StagingMode::Active`], in µs.
+    pub dwell_active_us: u64,
+    /// Time spent in [`StagingMode::OriginFallback`], in µs.
+    pub dwell_fallback_us: u64,
+    /// Time spent in [`StagingMode::Degraded`], in µs.
+    pub dwell_degraded_us: u64,
     /// Payload bytes downloaded.
     pub bytes_fetched: u64,
 }
@@ -205,6 +212,12 @@ pub struct SoftStageClient {
     pending_handoff: Option<Xid>,
     current_vnf: Option<Dag>,
     mode: StagingMode,
+    /// When the current mode was entered (dwell-time accounting).
+    mode_since: SimTime,
+    /// Health of the active edge's staging path.
+    breaker: Breaker,
+    /// The edge the breaker's signals belong to; switching edges resets it.
+    breaker_edge: Option<Xid>,
     /// Last coordinator depth recorded into the trace (dedup).
     last_depth: usize,
     /// Consecutive failures of the current origin fetch (back-off input).
@@ -231,6 +244,7 @@ impl SoftStageClient {
         SoftStageClient {
             coordinator: StagingCoordinator::new(config.coordinator),
             roamer: Roamer::new(config.roam),
+            breaker: Breaker::new(config.breaker),
             config,
             profile,
             next_fetch: 0,
@@ -238,6 +252,8 @@ impl SoftStageClient {
             pending_handoff: None,
             current_vnf: None,
             mode: StagingMode::Active,
+            mode_since: SimTime::ZERO,
+            breaker_edge: None,
             last_depth: 0,
             fetch_attempts: 0,
             stage_retry_spent: 0,
@@ -284,6 +300,54 @@ impl SoftStageClient {
         self.mode
     }
 
+    /// The circuit breaker's current state (inspection).
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.state()
+    }
+
+    /// Folds the time spent in the current mode into its dwell counter.
+    fn accrue_dwell(&mut self, now: SimTime) {
+        let elapsed = (now - self.mode_since).as_micros();
+        match self.mode {
+            StagingMode::Active => self.stats.dwell_active_us += elapsed,
+            StagingMode::OriginFallback => self.stats.dwell_fallback_us += elapsed,
+            StagingMode::Degraded => self.stats.dwell_degraded_us += elapsed,
+        }
+        self.mode_since = now;
+    }
+
+    /// Switches staging mode, accruing dwell time for the mode left.
+    fn set_mode(&mut self, now: SimTime, mode: StagingMode) {
+        if self.mode != mode {
+            self.accrue_dwell(now);
+            self.mode = mode;
+        }
+    }
+
+    /// Mirrors a breaker state change into the flight recorder.
+    fn emit_breaker(&mut self, ctx: &mut HostCtx<'_, '_>, state: BreakerState) {
+        let Some(edge) = self.breaker_edge else {
+            return;
+        };
+        util::trace_event!(
+            ctx,
+            TraceEvent::BreakerTransition {
+                edge: tag(&edge),
+                state,
+            }
+        );
+    }
+
+    /// Feeds one failure signal (reject or timeout) to the breaker,
+    /// recording the trip if this one opened it.
+    fn note_breaker_failure(&mut self, ctx: &mut HostCtx<'_, '_>) {
+        let now = ctx.now();
+        if let Some(state) = self.breaker.on_failure(now) {
+            self.stats.breaker_opens += 1;
+            self.emit_breaker(ctx, state);
+        }
+    }
+
     /// Staging is off for this session: either configured off (Xftp
     /// baseline) or degraded after exhausting the retry budget.
     fn staging_off(&self) -> bool {
@@ -292,8 +356,8 @@ impl SoftStageClient {
 
     /// Permanently gives up on staging: every unfetched chunk goes back to
     /// its origin DAG and the client continues as plain Xftp.
-    fn degrade(&mut self) {
-        self.mode = StagingMode::Degraded;
+    fn degrade(&mut self, now: SimTime) {
+        self.set_mode(now, StagingMode::Degraded);
         self.stats.degraded = true;
         for i in 0..self.profile.len() {
             let pending = self
@@ -350,7 +414,7 @@ impl SoftStageClient {
             // explicit origin-fallback state; fetches use raw DAGs until a
             // beacon re-advertises a VNF.
             if self.mode == StagingMode::Active {
-                self.mode = StagingMode::OriginFallback;
+                self.set_mode(ctx.now(), StagingMode::OriginFallback);
                 self.stats.origin_fallbacks += 1;
                 util::trace_event!(
                     ctx,
@@ -364,7 +428,7 @@ impl SoftStageClient {
         if self.mode == StagingMode::OriginFallback {
             // A VNF came (back) into reach — e.g. it restarted, or a
             // handoff brought us into a provisioned network.
-            self.mode = StagingMode::Active;
+            self.set_mode(ctx.now(), StagingMode::Active);
             self.stats.vnf_rediscoveries += 1;
             util::trace_event!(
                 ctx,
@@ -372,6 +436,14 @@ impl SoftStageClient {
                     mode: ClientMode::Active,
                 }
             );
+        }
+        // Health-aware failover: an open breaker keeps staging traffic off
+        // the sick edge; fetches keep flowing on origin DAGs meanwhile.
+        if let Some(state) = self.breaker.poll(ctx.now()) {
+            self.emit_breaker(ctx, state);
+        }
+        if !self.breaker.can_request() {
+            return;
         }
         let depth = self.coordinator.target_depth();
         if depth != self.last_depth {
@@ -389,8 +461,19 @@ impl SoftStageClient {
             return;
         }
         let from = self.next_fetch + usize::from(self.in_flight.is_some());
-        let idxs = self.profile.staging_candidates(from, deficit);
+        let mut idxs = self.profile.staging_candidates(from, deficit, ctx.now());
+        let probe = self.breaker.is_probe();
+        if probe {
+            // The half-open probe risks a single chunk, not a batch.
+            idxs.truncate(1);
+        }
+        if idxs.is_empty() {
+            return;
+        }
         self.stage_chunks(ctx, &vnf, &idxs);
+        if probe {
+            self.breaker.note_probe_sent();
+        }
     }
 
     /// The Staging Tracker: sends one staging request for `idxs`.
@@ -406,7 +489,24 @@ impl SoftStageClient {
         for (cid, _) in &chunks {
             util::trace_event!(ctx, TraceEvent::StageRequest { chunk: tag(cid) });
         }
-        let msg = StagingMsg::Request { chunks };
+        // RICH-style usefulness deadline: the chunk `k` positions ahead is
+        // needed in about `k · L_fetch`; the VNF's deadline-aware admission
+        // can shed work that cannot land in time. Zero until a fetch
+        // estimate exists (no deadline — admit on evidence only).
+        let deadline_us = match self.coordinator.fetch_estimate() {
+            Some(fetch) => {
+                let ahead = idxs
+                    .first()
+                    .map_or(0, |&i| i.saturating_sub(self.next_fetch) as u64)
+                    + idxs.len() as u64;
+                (ctx.now() + fetch * ahead).as_micros()
+            }
+            None => 0,
+        };
+        let msg = StagingMsg::Request {
+            chunks,
+            deadline_us,
+        };
         let token = ctx.send_control(vnf.clone(), vnf.intent(), msg.encode());
         self.sent_tokens.insert(token, ctx.now());
         let now = ctx.now();
@@ -422,7 +522,7 @@ impl SoftStageClient {
         let from = self.next_fetch + usize::from(self.in_flight.is_some());
         let idxs = self
             .profile
-            .staging_candidates(from, self.config.prestage_depth);
+            .staging_candidates(from, self.config.prestage_depth, ctx.now());
         self.stage_chunks(ctx, vnf, &idxs);
     }
 
@@ -482,6 +582,14 @@ impl SoftStageClient {
             self.coordinator.observe_gap(ctx.now() - detached);
         }
         self.current_vnf = self.roamer.sensor.vnf_of(&nid, ctx.now()).cloned();
+        if self.breaker_edge != Some(nid) {
+            // A different edge: its health record starts clean. The breaker
+            // tracks one edge at a time — the active one.
+            self.breaker_edge = Some(nid);
+            if let Some(state) = self.breaker.reset() {
+                self.emit_breaker(ctx, state);
+            }
+        }
         if self.pending_handoff == Some(nid) {
             self.pending_handoff = None;
         }
@@ -529,7 +637,10 @@ impl App for SoftStageClient {
             TICK_TIMER => {
                 // Re-issue staging for requests lost in the air, each
                 // chunk on its own capped-exponential back-off schedule.
-                let (base, cap) = (self.config.stage_retry, self.config.stage_retry_cap);
+                let (base, cap) = (
+                    self.config.retry.stage_retry,
+                    self.config.retry.stage_retry_cap,
+                );
                 let stale = self.profile.stale_pending_with(ctx.now(), |r| {
                     let salt = r
                         .cid
@@ -540,12 +651,13 @@ impl App for SoftStageClient {
                     backoff(base, cap, r.stage_attempts.saturating_sub(1), salt)
                 });
                 if !stale.is_empty() && !self.staging_off() {
-                    let budget = self.config.stage_retry_budget;
+                    let budget = u64::from(self.config.retry.stage_retry_budget);
+                    let associated = matches!(self.roamer.state(), RoamState::Associated { .. });
                     for idx in stale {
                         if self.stage_retry_spent >= budget {
                             // Retry budget exhausted: stop staging for
                             // good and finish the download as plain Xftp.
-                            self.degrade();
+                            self.degrade(ctx.now());
                             util::trace_event!(
                                 ctx,
                                 TraceEvent::ModeTransition {
@@ -556,9 +668,25 @@ impl App for SoftStageClient {
                         }
                         self.stage_retry_spent += 1;
                         self.stats.stage_retries += 1;
+                        let chunk = self.profile.get(idx).map(|r| tag(&r.cid));
                         if let Some(r) = self.profile.get_mut(idx) {
                             r.staging_state = StagingState::Blank;
                             r.pending_since = None;
+                        }
+                        // An unanswered request is a health signal — but
+                        // only while the edge was actually reachable:
+                        // coverage gaps must not trip the breaker.
+                        if associated {
+                            if let Some(chunk) = chunk {
+                                self.stats.stage_timeouts += 1;
+                                util::trace_event!(ctx, TraceEvent::StageTimeout { chunk });
+                                self.note_breaker_failure(ctx);
+                            }
+                        } else {
+                            // The coverage gap, not the edge, may have
+                            // eaten the request: unwind any in-flight
+                            // probe so a later one can go out.
+                            self.breaker.abort_probe();
                         }
                     }
                 }
@@ -583,38 +711,83 @@ impl App for SoftStageClient {
         token: u64,
         body: &util::bytes::Bytes,
     ) {
-        let Some(StagingMsg::Staged {
-            cid,
-            ok,
-            staging_latency_us,
-            nid,
-            hid,
-        }) = StagingMsg::decode(body)
-        else {
-            return;
-        };
-        util::trace_event!(
-            ctx,
-            TraceEvent::StageAck {
-                chunk: tag(&cid),
-                ok
-            }
-        );
-        if ok {
-            let latency = SimDuration::from_micros(staging_latency_us);
-            if self.profile.mark_ready(&cid, nid, hid, latency).is_some() {
-                if staging_latency_us > 0 {
-                    self.coordinator.observe_stage(latency);
+        match StagingMsg::decode(body) {
+            Some(StagingMsg::Staged {
+                cid,
+                ok,
+                staging_latency_us,
+                nid,
+                hid,
+            }) => {
+                util::trace_event!(
+                    ctx,
+                    TraceEvent::StageAck {
+                        chunk: tag(&cid),
+                        ok
+                    }
+                );
+                // Any staged reply — success or failure — means the edge
+                // is alive and answering: the breaker heals.
+                if let Some(state) = self.breaker.on_success() {
+                    self.emit_breaker(ctx, state);
                 }
-                if let Some(&sent) = self.sent_tokens.get(&token) {
-                    let rtt = (ctx.now() - sent).saturating_sub(latency);
-                    self.coordinator.observe_rtt(rtt);
+                if ok {
+                    let latency = SimDuration::from_micros(staging_latency_us);
+                    if self.profile.mark_ready(&cid, nid, hid, latency).is_some() {
+                        if staging_latency_us > 0 {
+                            self.coordinator.observe_stage(latency);
+                        }
+                        if let Some(&sent) = self.sent_tokens.get(&token) {
+                            let rtt = (ctx.now() - sent).saturating_sub(latency);
+                            self.coordinator.observe_rtt(rtt);
+                        }
+                    }
+                } else if let Some((idx, _)) = self.profile.by_cid(&cid) {
+                    self.profile.mark_fallback(idx);
                 }
+                self.maybe_stage(ctx);
             }
-        } else if let Some((idx, _)) = self.profile.by_cid(&cid) {
-            self.profile.mark_fallback(idx);
+            Some(StagingMsg::Reject {
+                cid,
+                reason,
+                retry_after_us,
+            }) => {
+                // Backpressure: the VNF shed this chunk. The fetch path is
+                // untouched (origin DAG still serves it); the chunk just
+                // re-enters the staging candidate pool later.
+                self.stats.stage_rejects += 1;
+                util::trace_event!(
+                    ctx,
+                    TraceEvent::StageReject {
+                        chunk: tag(&cid),
+                        reason,
+                        retry_after_us,
+                    }
+                );
+                if let Some((idx, r)) = self.profile.by_cid(&cid) {
+                    // Honor the VNF's advisory, but never come back sooner
+                    // than this chunk's own back-off schedule would.
+                    let salt = r
+                        .cid
+                        .id()
+                        .iter()
+                        .take(8)
+                        .fold(0u64, |acc, &b| (acc << 8) | u64::from(b));
+                    let own = backoff(
+                        self.config.retry.stage_retry,
+                        self.config.retry.stage_retry_cap,
+                        r.stage_attempts.saturating_sub(1),
+                        salt,
+                    );
+                    let wait = own.max(SimDuration::from_micros(retry_after_us));
+                    self.profile.mark_rejected(idx, ctx.now() + wait);
+                }
+                // An explicit reject is a health signal: the edge is up
+                // but shedding load — back off from it.
+                self.note_breaker_failure(ctx);
+            }
+            _ => {}
         }
-        self.maybe_stage(ctx);
     }
 
     fn on_fetch_complete(
@@ -663,6 +836,8 @@ impl App for SoftStageClient {
                 self.next_fetch = fetch.idx + 1;
                 if self.next_fetch >= self.profile.len() {
                     self.done = true;
+                    // Close the dwell-time books for the final mode.
+                    self.accrue_dwell(ctx.now());
                     self.stats.finished = Some(ctx.now());
                     return;
                 }
@@ -707,8 +882,8 @@ impl App for SoftStageClient {
                     // Origin fetch failed: retry with capped exponential
                     // back-off so a down origin isn't hammered.
                     let delay = backoff(
-                        self.config.fetch_retry,
-                        self.config.fetch_retry_cap,
+                        self.config.retry.fetch_retry,
+                        self.config.retry.fetch_retry_cap,
                         self.fetch_attempts,
                         fetch.idx as u64,
                     );

@@ -155,6 +155,19 @@ impl StagingCoordinator {
     pub(crate) fn deficit(&self, staged_ahead: usize) -> usize {
         self.target_depth().saturating_sub(staged_ahead)
     }
+
+    /// The smoothed staged-chunk fetch latency (`L_EdgeNet→C`), once
+    /// measured. The Staging Manager derives its RICH-style usefulness
+    /// deadlines from it: chunk `k` positions ahead is needed in about
+    /// `k · L_fetch`.
+    pub fn fetch_estimate(&self) -> Option<SimDuration> {
+        self.fetch.value()
+    }
+
+    /// The smoothed staging latency (`L_S→EdgeNet`), once measured.
+    pub fn stage_estimate(&self) -> Option<SimDuration> {
+        self.stage.value()
+    }
 }
 
 #[cfg(test)]

@@ -30,14 +30,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
+pub mod breaker;
 pub mod client;
 pub mod coordinator;
 pub mod messages;
 pub mod profile;
 pub mod vnf;
 
+pub use admission::{
+    AdmissionPolicy, AdmissionSnapshot, AlwaysAdmit, DeadlineAware, DepthThreshold,
+};
+pub use breaker::{Breaker, BreakerConfig};
 pub use client::{ClientStats, HandoffPolicy, SoftStageClient, SoftStageConfig, StagingMode};
 pub use coordinator::{CoordinatorConfig, Ewma, StagingCoordinator};
 pub use messages::StagingMsg;
-pub use profile::{ChunkProfile, ChunkRecord, FetchState, StagingState};
-pub use vnf::{StagingVnf, VnfStats};
+pub use profile::{ChunkProfile, ChunkRecord, FetchState, RetryProfile, StagingState};
+pub use vnf::{StagingVnf, VnfConfig, VnfStats};

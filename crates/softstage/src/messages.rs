@@ -2,8 +2,12 @@
 //!
 //! Messages ride in best-effort control datagrams; the Staging Manager
 //! retries stale requests, and the VNF answers idempotently (a chunk
-//! already staged is re-acknowledged immediately).
+//! already staged is re-acknowledged immediately). Under overload the
+//! VNF answers with an explicit [`StagingMsg::Reject`] instead of
+//! silently queueing, carrying the shed reason and an advisory
+//! `retry_after_us` back-off the client folds into its retry schedule.
 
+use simnet::RejectReason;
 use util::bytes::Bytes;
 use util::json::{FromJson, Json, JsonError, ToJson};
 use xia_addr::{Dag, Xid};
@@ -16,6 +20,10 @@ pub enum StagingMsg {
     Request {
         /// `(cid, origin DAG)` pairs to stage.
         chunks: Vec<(Xid, Dag)>,
+        /// Client's RICH-style usefulness deadline, µs of sim time: the
+        /// predicted instant the download will need these chunks. Zero
+        /// means "no deadline" (admission cannot shed on time).
+        deadline_us: u64,
     },
     /// VNF → Manager: one chunk's staging outcome (step ⑥).
     Staged {
@@ -31,17 +39,33 @@ pub enum StagingMsg {
         /// HID of the cache (access router) holding the chunk.
         hid: Xid,
     },
+    /// VNF → Manager: the request for one chunk was shed by admission
+    /// control or queue backpressure — nothing was queued.
+    Reject {
+        /// The chunk that was not admitted.
+        cid: Xid,
+        /// Why it was shed.
+        reason: RejectReason,
+        /// Advisory back-off before retrying, µs.
+        retry_after_us: u64,
+    },
 }
 
 impl ToJson for StagingMsg {
     fn to_json(&self) -> Json {
         match self {
-            StagingMsg::Request { chunks } => {
+            StagingMsg::Request {
+                chunks,
+                deadline_us,
+            } => {
                 let chunks = chunks
                     .iter()
                     .map(|(cid, dag)| Json::Arr(vec![cid.to_json(), dag.to_json()]))
                     .collect();
-                Json::Obj(vec![("request".into(), Json::Arr(chunks))])
+                Json::Obj(vec![
+                    ("request".into(), Json::Arr(chunks)),
+                    ("deadline_us".into(), deadline_us.to_json()),
+                ])
             }
             StagingMsg::Staged {
                 cid,
@@ -57,6 +81,18 @@ impl ToJson for StagingMsg {
                     ("staging_latency_us".into(), staging_latency_us.to_json()),
                     ("nid".into(), nid.to_json()),
                     ("hid".into(), hid.to_json()),
+                ]),
+            )]),
+            StagingMsg::Reject {
+                cid,
+                reason,
+                retry_after_us,
+            } => Json::Obj(vec![(
+                "reject".into(),
+                Json::Obj(vec![
+                    ("cid".into(), cid.to_json()),
+                    ("reason".into(), Json::Str(reason.name().to_string())),
+                    ("retry_after_us".into(), retry_after_us.to_json()),
                 ]),
             )]),
         }
@@ -78,7 +114,26 @@ impl FromJson for StagingMsg {
                     Ok((Xid::from_json(&pair[0])?, Dag::from_json(&pair[1])?))
                 })
                 .collect::<Result<Vec<_>, JsonError>>()?;
-            return Ok(StagingMsg::Request { chunks });
+            // Older encodings carried no deadline; treat absence as none.
+            let deadline_us = match v.field("deadline_us") {
+                Ok(d) => u64::from_json(d)?,
+                Err(_) => 0,
+            };
+            return Ok(StagingMsg::Request {
+                chunks,
+                deadline_us,
+            });
+        }
+        if let Ok(r) = v.field("reject") {
+            return Ok(StagingMsg::Reject {
+                cid: Xid::from_json(r.field("cid")?)?,
+                reason: RejectReason::parse(
+                    r.field("reason")?
+                        .as_str()
+                        .ok_or_else(|| JsonError::new("reason must be a string"))?,
+                )?,
+                retry_after_us: u64::from_json(r.field("retry_after_us")?)?,
+            });
         }
         let s = v.field("staged")?;
         Ok(StagingMsg::Staged {
@@ -119,8 +174,17 @@ mod tests {
         );
         let msg = StagingMsg::Request {
             chunks: vec![(cid, dag)],
+            deadline_us: 0,
         };
         assert_eq!(StagingMsg::decode(&msg.encode()), Some(msg));
+        let with_deadline = StagingMsg::Request {
+            chunks: vec![],
+            deadline_us: 9_500_000,
+        };
+        assert_eq!(
+            StagingMsg::decode(&with_deadline.encode()),
+            Some(with_deadline)
+        );
     }
 
     #[test]
@@ -134,5 +198,26 @@ mod tests {
         };
         assert_eq!(StagingMsg::decode(&msg.encode()), Some(msg));
         assert_eq!(StagingMsg::decode(b"not json"), None);
+    }
+
+    #[test]
+    fn reject_roundtrip() {
+        for reason in [
+            RejectReason::QueueDepth,
+            RejectReason::QueueBytes,
+            RejectReason::Deadline,
+        ] {
+            let msg = StagingMsg::Reject {
+                cid: Xid::for_content(b"z"),
+                reason,
+                retry_after_us: 2_000_000,
+            };
+            assert_eq!(StagingMsg::decode(&msg.encode()), Some(msg));
+        }
+        assert_eq!(
+            StagingMsg::decode(br#"{"reject":{"cid":"bogus"}}"#),
+            None,
+            "malformed rejects are dropped, not panicked on"
+        );
     }
 }

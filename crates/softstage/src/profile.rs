@@ -1,10 +1,90 @@
 //! The Chunk Profile (Table I of the paper): per-chunk staging state, kept
-//! on the client by the Staging Manager.
+//! on the client by the Staging Manager — plus the serializable
+//! [`RetryProfile`] holding the Manager's retry and back-off knobs.
 
 use std::collections::BTreeMap;
 
 use simnet::{SimDuration, SimTime};
+use util::json::{FromJson, Json, JsonError, ToJson};
 use xia_addr::{Dag, Xid};
+
+/// The Staging Manager's retry knobs, as one serializable profile.
+///
+/// Staging retries follow a capped exponential back-off
+/// (`stage_retry · 2^attempt`, clamped to `stage_retry_cap`) bounded by
+/// `stage_retry_budget` total re-requests; origin fetch retries follow
+/// their own `fetch_retry..fetch_retry_cap` schedule. The JSON encoding
+/// round-trips exactly (integer µs), so tuned profiles can be shipped
+/// and replayed deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryProfile {
+    /// Base staging-retry back-off (first retry waits this long).
+    pub stage_retry: SimDuration,
+    /// Upper clamp of the staging back-off schedule.
+    pub stage_retry_cap: SimDuration,
+    /// Total staging re-requests before degrading to plain Xftp.
+    pub stage_retry_budget: u32,
+    /// Base origin-fetch retry back-off.
+    pub fetch_retry: SimDuration,
+    /// Upper clamp of the fetch back-off schedule.
+    pub fetch_retry_cap: SimDuration,
+}
+
+impl Default for RetryProfile {
+    fn default() -> Self {
+        RetryProfile {
+            stage_retry: SimDuration::from_secs(2),
+            stage_retry_cap: SimDuration::from_secs(16),
+            stage_retry_budget: 64,
+            fetch_retry: SimDuration::from_millis(500),
+            fetch_retry_cap: SimDuration::from_secs(8),
+        }
+    }
+}
+
+impl ToJson for RetryProfile {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "stage_retry_us".into(),
+                self.stage_retry.as_micros().to_json(),
+            ),
+            (
+                "stage_retry_cap_us".into(),
+                self.stage_retry_cap.as_micros().to_json(),
+            ),
+            (
+                "stage_retry_budget".into(),
+                u64::from(self.stage_retry_budget).to_json(),
+            ),
+            (
+                "fetch_retry_us".into(),
+                self.fetch_retry.as_micros().to_json(),
+            ),
+            (
+                "fetch_retry_cap_us".into(),
+                self.fetch_retry_cap.as_micros().to_json(),
+            ),
+        ])
+    }
+}
+
+impl FromJson for RetryProfile {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let us = |key: &str| -> Result<SimDuration, JsonError> {
+            Ok(SimDuration::from_micros(u64::from_json(v.field(key)?)?))
+        };
+        let budget = u64::from_json(v.field("stage_retry_budget")?)?;
+        Ok(RetryProfile {
+            stage_retry: us("stage_retry_us")?,
+            stage_retry_cap: us("stage_retry_cap_us")?,
+            stage_retry_budget: u32::try_from(budget)
+                .map_err(|_| JsonError::new("stage_retry_budget exceeds u32"))?,
+            fetch_retry: us("fetch_retry_us")?,
+            fetch_retry_cap: us("fetch_retry_cap_us")?,
+        })
+    }
+}
 
 /// Fetch state of a chunk (Table I: `BLANK`, `DONE`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -53,6 +133,9 @@ pub struct ChunkRecord {
     /// Staging requests sent for this chunk so far (drives the retry
     /// back-off; never reset, so re-requests keep slowing down).
     pub stage_attempts: u32,
+    /// Earliest time this chunk may be re-requested — set when the VNF
+    /// rejects it with an advisory `retry_after`.
+    pub not_before: Option<SimTime>,
     /// Time to fetch this chunk to the client, once measured.
     pub fetch_latency: Option<SimDuration>,
     /// Time the VNF took to stage this chunk from the origin.
@@ -106,6 +189,7 @@ impl ChunkProfile {
             location: None,
             pending_since: None,
             stage_attempts: 0,
+            not_before: None,
             fetch_latency: None,
             staging_latency: None,
         });
@@ -177,6 +261,16 @@ impl ChunkProfile {
         r.pending_since = None;
     }
 
+    /// Records a VNF reject: the chunk returns to `Blank` (it stays a
+    /// staging candidate) but is gated until `not_before`; the attempt
+    /// count keeps growing, so its own back-off keeps lengthening too.
+    pub(crate) fn mark_rejected(&mut self, idx: usize, not_before: SimTime) {
+        let r = &mut self.records[idx];
+        r.staging_state = StagingState::Blank;
+        r.pending_since = None;
+        r.not_before = Some(not_before);
+    }
+
     /// Records fetch completion.
     pub(crate) fn mark_fetched(&mut self, idx: usize, latency: SimDuration) {
         let r = &mut self.records[idx];
@@ -198,14 +292,17 @@ impl ChunkProfile {
     }
 
     /// Indices of the next `take` unfetched, unstaged chunks at/after
-    /// `from` — staging candidates.
-    pub(crate) fn staging_candidates(&self, from: usize, take: usize) -> Vec<usize> {
+    /// `from` — staging candidates. Chunks gated by a reject's
+    /// `retry_after` stay out until their gate passes.
+    pub(crate) fn staging_candidates(&self, from: usize, take: usize, now: SimTime) -> Vec<usize> {
         self.records
             .iter()
             .enumerate()
             .skip(from.min(self.records.len()))
             .filter(|(_, r)| {
-                r.fetch_state == FetchState::Blank && r.staging_state == StagingState::Blank
+                r.fetch_state == FetchState::Blank
+                    && r.staging_state == StagingState::Blank
+                    && r.not_before.map_or(true, |t| t <= now)
             })
             .take(take)
             .map(|(i, _)| i)
@@ -335,9 +432,50 @@ mod tests {
         p.mark_fetched(0, SimDuration::from_millis(1));
         p.mark_pending(1, SimTime::from_micros(0));
         p.mark_fallback(2);
-        assert_eq!(p.staging_candidates(0, 10), vec![3, 4, 5]);
-        assert_eq!(p.staging_candidates(4, 10), vec![4, 5]);
-        assert_eq!(p.staging_candidates(0, 1), vec![3]);
+        let now = SimTime::from_micros(0);
+        assert_eq!(p.staging_candidates(0, 10, now), vec![3, 4, 5]);
+        assert_eq!(p.staging_candidates(4, 10, now), vec![4, 5]);
+        assert_eq!(p.staging_candidates(0, 1, now), vec![3]);
+    }
+
+    #[test]
+    fn rejected_chunks_are_gated_until_retry_after() {
+        let mut p = ChunkProfile::new();
+        for i in 0..3 {
+            let (c, d) = dag(i);
+            p.register(c, d);
+        }
+        p.mark_pending(0, SimTime::from_micros(0));
+        p.mark_rejected(0, SimTime::from_micros(2_000_000));
+        let r = p.get(0).unwrap();
+        assert_eq!(r.staging_state, StagingState::Blank);
+        assert_eq!(r.stage_attempts, 1, "attempts persist across rejects");
+        // Gated out before the advisory passes, candidate again after.
+        let early = SimTime::from_micros(1_500_000);
+        let late = SimTime::from_micros(2_000_000);
+        assert_eq!(p.staging_candidates(0, 10, early), vec![1, 2]);
+        assert_eq!(p.staging_candidates(0, 10, late), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn retry_profile_round_trips_through_json() {
+        let p = RetryProfile {
+            stage_retry: SimDuration::from_millis(250),
+            stage_retry_cap: SimDuration::from_secs(5),
+            stage_retry_budget: 12,
+            fetch_retry: SimDuration::from_millis(125),
+            fetch_retry_cap: SimDuration::from_secs(4),
+        };
+        let text = p.to_json().to_string_compact();
+        let back = RetryProfile::from_json(&Json::parse(&text).expect("parse"));
+        assert_eq!(back.expect("decode"), p);
+        // The defaults survive the trip too.
+        let d = RetryProfile::default();
+        let text = d.to_json().to_string_compact();
+        assert_eq!(
+            RetryProfile::from_json(&Json::parse(&text).expect("parse")).expect("decode"),
+            d
+        );
     }
 
     #[test]

@@ -204,6 +204,30 @@ impl ChunkStore {
         victims.len()
     }
 
+    /// Resizes the store in place — the fault-injection "cache squeeze".
+    ///
+    /// Shrinking evicts unpinned chunks per the policy (logged like any
+    /// other eviction) until the cached data fits; pinned content never
+    /// goes, so a store holding more pinned bytes than `capacity_bytes`
+    /// simply stops caching. Growing takes effect immediately. Returns
+    /// how many chunks were evicted.
+    pub fn resize(&mut self, capacity_bytes: usize) -> usize {
+        self.capacity_bytes = capacity_bytes;
+        let mut evicted = 0;
+        while self.used_bytes > self.capacity_bytes {
+            if !self.evict_one() {
+                break;
+            }
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// The store's current capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
     /// Removes a chunk outright (e.g. invalidation).
     pub fn remove(&mut self, cid: &Xid) -> Option<Bytes> {
         let e = self.entries.remove(cid)?;
@@ -292,6 +316,35 @@ mod tests {
         assert!(!s.contains(&c2), "LRU victim evicted");
         assert!(s.contains(&c3) && s.contains(&c4));
         assert_eq!(s.stats().evictions, 1);
+    }
+
+    #[test]
+    fn resize_shrink_evicts_to_fit_and_spares_pinned() {
+        let mut s = ChunkStore::new(100, EvictionPolicy::Lru);
+        let (pinned, pd) = chunk(0, 20);
+        s.publish(pinned, pd);
+        let (c1, d1) = chunk(1, 10);
+        let (c2, d2) = chunk(2, 10);
+        let (c3, d3) = chunk(3, 10);
+        s.insert(c1, d1);
+        s.insert(c2, d2);
+        s.insert(c3, d3);
+        let _ = s.get(&c1); // c2 becomes the LRU victim, then c3.
+        assert_eq!(s.resize(35), 2);
+        assert_eq!(s.capacity_bytes(), 35);
+        assert!(s.contains(&pinned) && s.contains(&c1));
+        assert!(!s.contains(&c2) && !s.contains(&c3));
+        assert_eq!(s.used_bytes(), 30);
+        assert_eq!(s.stats().evictions, 2);
+        assert_eq!(s.take_evicted().len(), 2, "squeeze evictions are logged");
+        // Squeezing below the pinned footprint stops at the pinned floor.
+        assert_eq!(s.resize(5), 1);
+        assert!(s.contains(&pinned) && !s.contains(&c1));
+        assert_eq!(s.used_bytes(), 20);
+        // Growing back is immediate and evicts nothing.
+        assert_eq!(s.resize(100), 0);
+        let (c4, d4) = chunk(4, 50);
+        assert!(s.insert(c4, d4));
     }
 
     #[test]

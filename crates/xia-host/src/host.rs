@@ -269,6 +269,21 @@ impl Host {
                 }
                 self.start(ctx);
             }
+            NodeFault::CacheResize { capacity } => {
+                self.store.resize(capacity);
+                for idx in 0..self.apps.len() {
+                    self.with_app(ctx, idx, |app, hctx| app.on_fault(hctx, fault));
+                }
+                // Draining flushes the squeeze's evictions into the trace.
+                self.drain(ctx);
+            }
+            NodeFault::SlowService { .. } => {
+                // Host state is untouched; apps model the degraded rate.
+                for idx in 0..self.apps.len() {
+                    self.with_app(ctx, idx, |app, hctx| app.on_fault(hctx, fault));
+                }
+                self.drain(ctx);
+            }
         }
     }
 

@@ -14,11 +14,24 @@ cargo build --release --offline
 echo "== sslint (determinism & hygiene audit) =="
 cargo run -q -p sslint --release --offline
 
+echo "== sslint: trace-coverage obligation is in force =="
+# The overload path added trace kinds (stage_reject, stage_timeout,
+# breaker_transition, cache_resize, service_degrade); the trace-coverage
+# rule is what obliges each one to keep an emit site and an oracle/test
+# reference. Fail loudly if the rule ever drops out of the catalogue.
+# (plain grep, not -q: -q closes the pipe on the first match, which the
+# emitter sees as a broken-pipe write error)
+cargo run -q -p sslint --release --offline -- --list-rules | grep '^trace-coverage' > /dev/null \
+    || { echo "verify: sslint trace-coverage rule missing" >&2; exit 1; }
+
 echo "== tier-1: workspace tests =="
 cargo test -q --offline
 
 echo "== chaos suite (fault injection, release) =="
 cargo test -q --offline --release -p softstage-suite --test chaos --test determinism
+
+echo "== overload suite (backpressure, admission, circuit breaker, release) =="
+cargo test -q --offline --release -p softstage-suite --test overload
 
 echo "== golden traces (flight recorder + invariant oracle, release) =="
 cargo test -q --offline --release -p softstage-suite --test golden_trace
@@ -31,5 +44,8 @@ echo "== reproduce: parallel determinism diff + wall-clock record =="
 # byte-identical, refreshes the smoke entry in BENCH_reproduce.json.
 # For the full trajectory point, run: scripts/bench_reproduce.sh all 4
 scripts/bench_reproduce.sh smoke 2 2
+# The overload table (completion vs staging-queue cap) rides along as a
+# second recorded row: graceful degradation stays benchmarked.
+scripts/bench_reproduce.sh overload 2 1
 
 echo "verify: OK"

@@ -11,10 +11,10 @@
 
 mod common;
 
-use softstage_suite::experiments::{build, ExperimentParams, RunResult, Testbed};
+use softstage_suite::experiments::{build, ExperimentParams, RunResult, Testbed, MB};
 use softstage_suite::simnet::fault::FaultPlan;
 use softstage_suite::simnet::{SimDuration, SimTime};
-use softstage_suite::softstage::{SoftStageConfig, StagingMode};
+use softstage_suite::softstage::{RetryProfile, SoftStageConfig, StagingMode};
 
 use common::{deadline, small, testbed, TRACE_CAPACITY};
 
@@ -22,8 +22,12 @@ const SEEDS: [u64; 3] = [7, 101, 9001];
 
 /// Runs the scenario and asserts the core chaos invariants: completion,
 /// content integrity, bounded slowdown versus the fault-free twin, and an
-/// oracle-clean trace on both runs.
-fn assert_survives(params: &ExperimentParams, inject: impl Fn(&mut Testbed)) -> RunResult {
+/// oracle-clean trace on both runs. Returns the faulted testbed with its
+/// result so scenarios can assert on post-run node state.
+fn assert_survives(
+    params: &ExperimentParams,
+    inject: impl Fn(&mut Testbed),
+) -> (Testbed, RunResult) {
     let mut clean_tb = testbed(params);
     clean_tb.enable_trace(TRACE_CAPACITY);
     let clean = clean_tb.run(deadline());
@@ -51,7 +55,7 @@ fn assert_survives(params: &ExperimentParams, inject: impl Fn(&mut Testbed)) -> 
         "slowdown out of bounds (seed {}): clean {clean_t:?}, faulted {faulted_t:?}",
         params.seed
     );
-    result
+    (tb, result)
 }
 
 #[test]
@@ -100,7 +104,7 @@ fn burst_loss_windows_are_survivable() {
 fn wire_corruption_is_dropped_by_checksum_and_survivable() {
     for seed in SEEDS {
         let p = small(seed);
-        let result = assert_survives(&p, |tb| {
+        let (_, result) = assert_survives(&p, |tb| {
             let mut plan = FaultPlan::new();
             for &link in &tb.radio_links.clone() {
                 plan.corruption(
@@ -155,6 +159,55 @@ fn cache_wipe_falls_back_to_origin_and_is_survivable() {
 }
 
 #[test]
+fn cache_squeeze_evicts_staged_chunks_and_is_survivable() {
+    for seed in SEEDS {
+        let p = small(seed);
+        let (tb, _) = assert_survives(&p, |tb| {
+            let mut plan = FaultPlan::new();
+            for &edge in &tb.edges.clone() {
+                // Squeeze each edge cache to two chunks' worth mid-run:
+                // staged chunks are evicted under pressure, so fetches
+                // that miss must re-stage or fall back to the origin.
+                plan.cache_squeeze(
+                    edge,
+                    SimTime::ZERO + SimDuration::from_secs(4),
+                    (2 * MB) as usize,
+                );
+            }
+            plan.apply(&mut tb.sim);
+        });
+        // The squeeze is permanent: the shrunken limit survives the run.
+        let caps = tb.edge_cache_capacities();
+        assert!(
+            !caps.is_empty() && caps.iter().all(|&c| c == (2 * MB) as usize),
+            "edge caches must report the squeezed capacity (seed {seed}): {caps:?}"
+        );
+    }
+}
+
+#[test]
+fn slow_edge_service_degradation_is_survivable() {
+    for seed in SEEDS {
+        let p = small(seed);
+        assert_survives(&p, |tb| {
+            let mut plan = FaultPlan::new();
+            for &edge in &tb.edges.clone() {
+                // Every staging reply is held 1.5 s for a 20 s window:
+                // acks land late — some after the client's back-off fires —
+                // and the download must absorb the jitter.
+                plan.slow_edge(
+                    edge,
+                    SimTime::ZERO + SimDuration::from_secs(2),
+                    SimDuration::from_secs(20),
+                    SimDuration::from_millis(1500),
+                );
+            }
+            plan.apply(&mut tb.sim);
+        });
+    }
+}
+
+#[test]
 fn vnf_unreachable_uses_explicit_origin_fallback() {
     for seed in SEEDS {
         let p = ExperimentParams {
@@ -189,9 +242,12 @@ fn long_vnf_outage_exhausts_retry_budget_and_degrades_to_xftp() {
             ..ExperimentParams::default()
         };
         let config = SoftStageConfig {
-            stage_retry: SimDuration::from_millis(250),
-            stage_retry_cap: SimDuration::from_secs(1),
-            stage_retry_budget: 8,
+            retry: RetryProfile {
+                stage_retry: SimDuration::from_millis(250),
+                stage_retry_cap: SimDuration::from_secs(1),
+                stage_retry_budget: 8,
+                ..RetryProfile::default()
+            },
             ..SoftStageConfig::default()
         };
         let schedule = p.alternating_schedule(SimDuration::from_secs(2000));

@@ -1,0 +1,261 @@
+//! Overload suite: a saturating staging-request storm against pinched VNF
+//! queues. The invariants under test are the overload-protection design's:
+//!
+//! - the VNF's staging queue never exceeds its configured cap (bounded
+//!   backpressure, not silent queueing),
+//! - every shed request is *reported* — client-counted rejects match the
+//!   VNF's shed counter, and nothing disappears: the download completes
+//!   with a byte-correct content hash,
+//! - the whole degraded run is deterministic: same seed, byte-identical
+//!   digest across two runs,
+//! - a long edge outage drives the client's circuit breaker through
+//!   open/probe cycles without stalling the download.
+//!
+//! Every run finishes with a trace-oracle audit, so the new overload
+//! events (`StageReject`, `StageTimeout`, `BreakerTransition`) must also
+//! satisfy their ordering invariants (no stage request while the breaker
+//! is open; every open preceded by a failure signal).
+
+mod common;
+
+use softstage_suite::experiments::{build_with_vnf, ExperimentParams, RunResult, Testbed, MB};
+use softstage_suite::simnet::fault::FaultPlan;
+use softstage_suite::simnet::{BreakerState, SimDuration, SimTime};
+use softstage_suite::softstage::{
+    Breaker, BreakerConfig, CoordinatorConfig, SoftStageConfig, VnfConfig,
+};
+
+use common::{deadline, TRACE_CAPACITY};
+
+const SEEDS: [u64; 3] = [7, 101, 9001];
+
+/// The storm: a deep staging window (initial depth 16) over a 12-chunk
+/// download, so the first request batch alone overruns a pinched queue.
+fn storm_params(seed: u64) -> ExperimentParams {
+    ExperimentParams {
+        file_size: 12 * MB,
+        chunk_size: MB,
+        seed,
+        ..ExperimentParams::default()
+    }
+}
+
+fn storm_client() -> SoftStageConfig {
+    SoftStageConfig {
+        coordinator: CoordinatorConfig {
+            initial_depth: 16,
+            ..CoordinatorConfig::default()
+        },
+        ..SoftStageConfig::default()
+    }
+}
+
+/// Builds the storm testbed with every VNF capped at `max_depth` jobs.
+fn storm_testbed(seed: u64, max_depth: usize) -> Testbed {
+    let params = storm_params(seed);
+    let schedule = params.alternating_schedule(SimDuration::from_secs(2000));
+    let mut tb = build_with_vnf(&params, &schedule, storm_client(), |_| VnfConfig {
+        max_depth,
+        retry_after: SimDuration::from_millis(750),
+        ..VnfConfig::default()
+    });
+    tb.enable_trace(TRACE_CAPACITY);
+    tb
+}
+
+fn run_storm(seed: u64, max_depth: usize) -> (Testbed, RunResult) {
+    let mut tb = storm_testbed(seed, max_depth);
+    let result = tb.run(deadline());
+    (tb, result)
+}
+
+#[test]
+fn storm_stays_within_queue_cap_and_loses_nothing() {
+    for seed in SEEDS {
+        let cap = 2usize;
+        let (tb, result) = run_storm(seed, cap);
+        assert!(
+            result.content_ok,
+            "storm run must complete intact (seed {seed}): {result:?}"
+        );
+        common::assert_trace_clean(&tb, &format!("storm seed {seed}"));
+
+        let vnfs = tb.vnf_stats();
+        assert!(!vnfs.is_empty(), "VNFs deployed");
+        let mut total_rejected = 0;
+        for (i, v) in vnfs.iter().enumerate() {
+            assert!(
+                v.peak_depth <= cap as u64,
+                "VNF {i} queue must stay within its cap (seed {seed}): {v:?}"
+            );
+            total_rejected += v.rejected;
+        }
+        // The deep window versus a depth-2 queue must actually shed work…
+        assert!(
+            total_rejected > 0,
+            "a 16-deep storm against cap 2 must reject (seed {seed}): {vnfs:?}"
+        );
+        // …and every shed is reported: no lost-but-unreported staging.
+        // (Replies can still be in flight at completion, so the client may
+        // have seen fewer — never more — rejects than the VNFs sent.)
+        assert!(
+            result.stage_rejects <= total_rejected,
+            "client cannot see more rejects than were sent (seed {seed}): \
+             client {} vs vnf {total_rejected}",
+            result.stage_rejects
+        );
+        assert!(
+            result.stage_rejects > 0,
+            "the client must observe the backpressure (seed {seed}): {result:?}"
+        );
+        // Backpressure sheds load, it does not strand it: once the
+        // download completes every staging queue has drained.
+        assert!(
+            tb.vnf_queue_depths().iter().all(|&d| d == 0),
+            "staging queues must drain by completion (seed {seed}): {:?}",
+            tb.vnf_queue_depths()
+        );
+    }
+}
+
+#[test]
+fn storm_runs_are_byte_identical_per_seed() {
+    for seed in SEEDS {
+        let (tb_a, res_a) = run_storm(seed, 2);
+        let (tb_b, res_b) = run_storm(seed, 2);
+        assert!(res_a.content_ok && res_b.content_ok, "seed {seed}");
+        let a = common::digest_of(&tb_a, "storm", &res_a);
+        let b = common::digest_of(&tb_b, "storm", &res_b);
+        assert_eq!(
+            a, b,
+            "same-seed storm runs must be byte-identical (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn unpinched_vnf_sees_no_backpressure() {
+    // The generous default bounds must keep existing workloads reject-free:
+    // overload protection is inert until something is actually overloaded.
+    for seed in SEEDS {
+        let (tb, result) = run_storm(seed, 64);
+        assert!(result.content_ok, "seed {seed}: {result:?}");
+        common::assert_trace_clean(&tb, &format!("unpinched seed {seed}"));
+        assert_eq!(
+            result.stage_rejects, 0,
+            "no rejects under generous bounds (seed {seed}): {result:?}"
+        );
+        assert_eq!(
+            result.breaker_opens, 0,
+            "breaker must stay closed on a healthy edge (seed {seed}): {result:?}"
+        );
+        assert_eq!(tb.client_app().breaker_state(), BreakerState::Closed);
+        assert!(
+            result.mode_dwell_us.0 > 0,
+            "the staging path must dwell Active (seed {seed}): {result:?}"
+        );
+        // A healthy run feeds both latency estimators (they drive the
+        // staged-ahead depth and the RICH-style usefulness deadlines).
+        let coord = tb.client_app().coordinator();
+        assert!(
+            coord.fetch_estimate().is_some() && coord.stage_estimate().is_some(),
+            "healthy staging must feed the latency estimators (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn breaker_walks_the_full_state_machine() {
+    // The breaker is a pure state machine on the sim clock; walk it
+    // through every edge: trip on consecutive failures, hold while open,
+    // half-open probe re-opens on failure, an aborted (lost) probe frees
+    // the slot without a verdict, and a successful probe heals it shut.
+    let mut b = Breaker::new(BreakerConfig {
+        threshold: 3,
+        open_for: SimDuration::from_secs(3),
+    });
+    let t = |secs: u64| SimTime::ZERO + SimDuration::from_secs(secs);
+    assert_eq!(b.state(), BreakerState::Closed);
+    assert!(b.can_request() && !b.is_probe());
+    assert_eq!(b.on_failure(t(1)), None);
+    assert_eq!(b.on_failure(t(2)), None);
+    assert_eq!(b.on_failure(t(3)), Some(BreakerState::Open));
+    assert!(!b.can_request());
+    // The open window holds until `open_for` elapses…
+    assert_eq!(b.poll(t(5)), None);
+    assert_eq!(b.poll(t(6)), Some(BreakerState::HalfOpen));
+    assert!(b.can_request() && b.is_probe());
+    b.note_probe_sent();
+    assert!(!b.can_request(), "only one probe may be in flight");
+    // …a failed probe re-opens for a fresh window…
+    assert_eq!(b.on_failure(t(7)), Some(BreakerState::Open));
+    assert_eq!(b.poll(t(10)), Some(BreakerState::HalfOpen));
+    b.note_probe_sent();
+    // …a probe lost to a coverage gap is no verdict on the edge: the
+    // slot frees for another probe instead of deadlocking half-open…
+    b.abort_probe();
+    assert_eq!(b.state(), BreakerState::HalfOpen);
+    assert!(b.can_request() && b.is_probe());
+    b.note_probe_sent();
+    // …and a successful probe closes the breaker for good.
+    assert_eq!(b.on_success(), Some(BreakerState::Closed));
+    assert!(b.can_request() && !b.is_probe());
+}
+
+#[test]
+fn slow_edge_trips_breaker_and_download_survives() {
+    // A `SlowEdge` fault stalls every VNF's replies for 10 s (each held
+    // 30 s, far past the staging back-off) while the radio stays up. The
+    // onset at 0.5 s lands before the storm's first origin fetches
+    // complete, so every staging ack is held: the pending requests all
+    // time out while associated, the breaker must open — health-aware
+    // failover to origin fetches — and the download must keep moving.
+    // When the fault lifts, the held replies flush, the breaker heals
+    // shut, and staging resumes. The download is twice the storm size so
+    // the run outlives the fault window with room for the recovery.
+    for seed in SEEDS {
+        let params = ExperimentParams {
+            file_size: 24 * MB,
+            chunk_size: MB,
+            seed,
+            ..ExperimentParams::default()
+        };
+        let schedule = params.alternating_schedule(SimDuration::from_secs(2000));
+        let mut tb = build_with_vnf(&params, &schedule, storm_client(), |_| VnfConfig::default());
+        tb.enable_trace(TRACE_CAPACITY);
+        let mut plan = FaultPlan::new();
+        for &edge in &tb.edges.clone() {
+            plan.slow_edge(
+                edge,
+                SimTime::ZERO + SimDuration::from_millis(500),
+                SimDuration::from_secs(10),
+                SimDuration::from_secs(30),
+            );
+        }
+        plan.apply(&mut tb.sim);
+        let result = tb.run(deadline());
+        assert!(
+            result.content_ok,
+            "slow-edge run must complete intact (seed {seed}): {result:?}"
+        );
+        common::assert_trace_clean(&tb, &format!("slow-edge seed {seed}"));
+        assert!(
+            result.breaker_opens > 0,
+            "repeated staging timeouts must trip the breaker (seed {seed}): {result:?}"
+        );
+        let app = tb.client_app();
+        assert!(
+            app.stats().stage_timeouts > 0,
+            "timeouts are the breaker's evidence (seed {seed}): {:?}",
+            app.stats()
+        );
+        // The fault lifts 10.5 s in, long before the download can finish
+        // over the origin path; the flushed replies and resumed staging
+        // must heal the breaker shut by completion.
+        assert_eq!(
+            app.breaker_state(),
+            BreakerState::Closed,
+            "breaker must heal once the edge recovers (seed {seed})"
+        );
+    }
+}
