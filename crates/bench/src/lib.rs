@@ -2,7 +2,17 @@
 //! regenerates (a scaled-down instance of) one of the paper's tables or
 //! figures; the full-scale regeneration lives in the
 //! `softstage-experiments` crate's `reproduce` binary.
+//!
+//! This crate also hosts the [`alloc_counter`] instrumentation used by
+//! the scheduler microbenchmark (`src/bin/sched_bench.rs`) and the
+//! allocation regression test: a counting [`std::alloc::GlobalAlloc`]
+//! wrapper around the system allocator. That wrapper is the one place in
+//! the workspace that needs `unsafe` (the `GlobalAlloc` trait itself is
+//! unsafe), so this crate does not carry `#![forbid(unsafe_code)]`; the
+//! module below re-establishes `#![deny(unsafe_code)]` everywhere except
+//! the two-line trait impl.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(unreachable_pub)]
+
+pub mod alloc_counter;

@@ -63,15 +63,18 @@
 pub mod fault;
 pub mod link;
 pub mod node;
+pub mod pool;
 pub mod rng;
 pub mod sim;
 pub mod stats;
 pub mod time;
 pub mod trace;
+pub mod wheel;
 
 pub use fault::{Fault, FaultPlan};
 pub use link::{ArqConfig, LinkConfig, LinkId};
 pub use node::{Context, Message, Node, NodeFault, NodeId, TimerKey};
+pub use pool::BufPool;
 pub use rng::Rng;
 pub use sim::Simulator;
 pub use stats::{LinkStats, SimStats};
@@ -80,3 +83,4 @@ pub use trace::{
     BreakerState, ClientMode, DropReason, FetchSource, InvariantKind, RejectReason, Tag,
     TraceEvent, TraceOracle, TraceRecord, TraceSink, Violation,
 };
+pub use wheel::{EventQueue, HeapQueue, Scheduler, WheelQueue};

@@ -1,14 +1,12 @@
 //! The event scheduler and simulation driver.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use crate::link::{Link, LinkConfig, LinkId, TxOutcome};
 use crate::node::{Action, Context, Message, Node, NodeFault, NodeId, TimerKey};
 use crate::rng::Rng;
 use crate::stats::{LinkStats, SimStats};
 use crate::time::SimTime;
 use crate::trace::{DropReason, TraceEvent, TraceSink};
+use crate::wheel::{Backend, Scheduler};
 
 /// Records `event` into an optional sink; compiled away entirely when the
 /// `util/trace` feature is off.
@@ -53,36 +51,13 @@ enum EventKind<M> {
     NodeFault { node: NodeId, fault: NodeFault },
 }
 
-struct Event<M> {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind<M>,
-}
-
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
 /// A deterministic discrete-event network simulator.
 ///
 /// See the [crate documentation](crate) for an end-to-end example.
 pub struct Simulator<M: Message> {
     time: SimTime,
     seq: u64,
-    queue: BinaryHeap<Reverse<Event<M>>>,
+    queue: Backend<EventKind<M>>,
     nodes: Vec<Option<Box<dyn Node<M>>>>,
     links: Vec<Link>,
     rng: Rng,
@@ -93,15 +68,24 @@ pub struct Simulator<M: Message> {
     /// Flight recorder; `None` (the default) records nothing and keeps
     /// every hot path a single branch.
     sink: Option<TraceSink>,
+    /// Recycled action buffer handed to each node callback's [`Context`],
+    /// so steady-state dispatch does not allocate per event.
+    spare_actions: Vec<Action<M>>,
 }
 
 impl<M: Message> Simulator<M> {
-    /// Creates a simulator whose randomness derives entirely from `seed`.
+    /// Creates a simulator whose randomness derives entirely from `seed`,
+    /// dispatching from the default [`Scheduler::Wheel`] backend.
     pub fn new(seed: u64) -> Self {
+        Self::with_scheduler(seed, Scheduler::default())
+    }
+
+    /// Like [`Simulator::new`] with an explicit event-queue backend.
+    pub fn with_scheduler(seed: u64, scheduler: Scheduler) -> Self {
         Simulator {
             time: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: Backend::new(scheduler),
             nodes: Vec::new(),
             links: Vec::new(),
             rng: Rng::seed_from_u64(seed),
@@ -109,7 +93,30 @@ impl<M: Message> Simulator<M> {
             started: false,
             event_limit: u64::MAX,
             sink: None,
+            spare_actions: Vec::new(),
         }
+    }
+
+    /// Which event-queue backend this simulator dispatches from.
+    pub fn scheduler(&self) -> Scheduler {
+        self.queue.kind()
+    }
+
+    /// Switches the event-queue backend, migrating any pending events.
+    ///
+    /// Migration drains the old queue in dispatch order and re-files
+    /// each event with its original `(at, seq)` key, so the swap is
+    /// invisible: the next pop is the same event either way. Used by the
+    /// cross-scheduler digest tests to A/B a fully built topology.
+    pub fn set_scheduler(&mut self, scheduler: Scheduler) {
+        if self.queue.kind() == scheduler {
+            return;
+        }
+        let mut next = Backend::new(scheduler);
+        while let Some((at, seq, kind)) = self.queue.pop() {
+            next.push(at, seq, kind);
+        }
+        self.queue = next;
     }
 
     /// Attaches (or replaces) a flight recorder holding at most
@@ -226,7 +233,7 @@ impl<M: Message> Simulator<M> {
     fn push(&mut self, at: SimTime, kind: EventKind<M>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Event { at, seq, kind }));
+        self.queue.push(at, seq, kind);
     }
 
     /// Delivers `on_start` to every node (once).
@@ -255,17 +262,21 @@ impl<M: Message> Simulator<M> {
             node: id,
             links: &self.links,
             rng: &mut self.rng,
-            actions: Vec::new(),
+            // Recycled scratch buffer: empty here, emptied again below.
+            actions: std::mem::take(&mut self.spare_actions),
             trace: self.sink.as_mut(),
         };
         f(node.as_mut(), &mut ctx);
-        let actions = ctx.actions;
+        let mut actions = ctx.actions;
         if let Some(slot) = self.nodes.get_mut(id.0) {
             *slot = Some(node);
         }
-        for action in actions {
+        for action in actions.drain(..) {
             self.apply(id, action);
         }
+        // apply() never re-enters with_node, so the drained buffer can be
+        // parked for the next callback without racing a nested borrow.
+        self.spare_actions = actions;
     }
 
     fn apply(&mut self, from: NodeId, action: Action<M>) {
@@ -413,18 +424,18 @@ impl<M: Message> Simulator<M> {
     /// empty.
     pub(crate) fn step(&mut self) -> bool {
         self.ensure_started();
-        let Some(Reverse(event)) = self.queue.pop() else {
+        let Some((at, _seq, kind)) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(event.at >= self.time, "time must be monotonic");
-        self.time = event.at;
+        debug_assert!(at >= self.time, "time must be monotonic");
+        self.time = at;
         self.stats.events += 1;
         assert!(
             self.stats.events <= self.event_limit,
             "event limit exceeded at {} (possible protocol livelock)",
             self.time
         );
-        match event.kind {
+        match kind {
             EventKind::Arrival {
                 node,
                 link,
@@ -518,8 +529,8 @@ impl<M: Message> Simulator<M> {
     pub fn run_until(&mut self, deadline: SimTime) {
         self.ensure_started();
         loop {
-            match self.queue.peek() {
-                Some(Reverse(e)) if e.at <= deadline => {
+            match self.queue.next_at() {
+                Some(at) if at <= deadline => {
                     self.step();
                 }
                 _ => break,
@@ -547,8 +558,8 @@ impl<M: Message> Simulator<M> {
             if predicate(self) {
                 return true;
             }
-            match self.queue.peek() {
-                Some(Reverse(e)) if e.at <= deadline => {
+            match self.queue.next_at() {
+                Some(at) if at <= deadline => {
                     self.step();
                 }
                 _ => break,
@@ -814,6 +825,43 @@ mod tests {
         sim.add_node(Box::new(Loop));
         sim.set_event_limit(100);
         sim.run();
+    }
+
+    /// The livelock guard counts *dispatches*, which both queue backends
+    /// must agree on exactly: the limit fires at the same event count
+    /// and the same simulated time regardless of scheduler.
+    #[test]
+    fn event_limit_fires_identically_across_backends() {
+        use crate::wheel::Scheduler;
+        struct Loop;
+        impl Node<Num> for Loop {
+            fn on_start(&mut self, ctx: &mut Context<'_, Num>) {
+                ctx.set_timer(SimDuration::from_micros(1), 0);
+            }
+            fn on_packet(&mut self, _: &mut Context<'_, Num>, _: LinkId, _: Num) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, Num>, _: TimerKey) {
+                ctx.set_timer(SimDuration::from_micros(1), 0);
+            }
+        }
+        let outcome = |scheduler| {
+            let mut sim: Simulator<Num> = Simulator::with_scheduler(0, scheduler);
+            sim.add_node(Box::new(Loop));
+            sim.set_event_limit(100);
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.run()))
+                .expect_err("limit must trip");
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_else(|| "<non-string panic>".into());
+            (sim.stats().events, sim.now(), msg)
+        };
+        let wheel = outcome(Scheduler::Wheel);
+        let heap = outcome(Scheduler::Heap);
+        assert!(
+            wheel.2.contains("event limit"),
+            "unexpected panic: {wheel:?}"
+        );
+        assert_eq!(wheel, heap);
     }
 
     #[test]

@@ -1,0 +1,532 @@
+//! Event-queue backends: the hierarchical timer wheel and the reference
+//! binary heap.
+//!
+//! The simulator dispatches events in `(time, seq)` order — `seq` is the
+//! global insertion counter, so ties at equal timestamps resolve FIFO.
+//! Both backends here implement that contract exactly; they are
+//! interchangeable event-for-event, which the differential suite
+//! (`crates/simnet/tests/sched_diff.rs`) and the cross-scheduler golden
+//! trace tests pin down.
+//!
+//! - [`WheelQueue`] is the production backend: a hierarchical timer wheel
+//!   (calendar queue) with 64-slot levels covering the full `u64`
+//!   microsecond range. Push is O(1); pop is amortized O(1) with
+//!   occasional cascades. Slot buckets are recycled through a
+//!   [`BufPool`], so the steady state allocates nothing.
+//! - [`HeapQueue`] is the pre-wheel `BinaryHeap<Reverse<_>>` scheduler,
+//!   kept verbatim as the reference implementation for differential
+//!   tests and A/B digest comparisons.
+//!
+//! # Wheel geometry
+//!
+//! 11 levels of 64 slots (6 bits per level) cover all 66 bits needed for
+//! `u64` timestamps. An event due at `at` lives at the level of the most
+//! significant bit where `at` differs from the wheel's `elapsed` cursor;
+//! its slot is `at`'s 6-bit digit at that level. Level 0 buckets hold
+//! events with *identical* timestamps (they agree with `elapsed` on all
+//! bits above the low 6, and on the slot digit itself), so a level-0
+//! bucket drains FIFO as one batch. Higher-level buckets cascade down
+//! when they become the earliest work: the cursor advances to the
+//! bucket's base time and every entry re-files at a strictly lower
+//! level, so each entry cascades at most 10 times.
+//!
+//! # Why determinism survives
+//!
+//! The cursor only ever advances to (a) the timestamp of the level-0
+//! bucket being dispatched or (b) the base of the lowest non-empty
+//! bucket being cascaded. Both are lower bounds of all pending work, so
+//! no bucket is ever skipped, and within a bucket entries keep insertion
+//! order. Equal-timestamp events always converge to the same level-0
+//! bucket in push order — across cascades too, because a cascade
+//! completes before any later push can observe the new cursor. Hence pop
+//! order is exactly `(at, seq)`: identical to the heap, byte-identical
+//! traces.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::pool::BufPool;
+use crate::time::SimTime;
+
+/// Bits per wheel level (64 slots).
+const LEVEL_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Levels needed so that `LEVELS * LEVEL_BITS >= 64` covers any `u64`.
+const LEVELS: usize = 11;
+
+/// Which event-queue backend a [`crate::Simulator`] dispatches from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// Hierarchical timer wheel ([`WheelQueue`]) — the default.
+    #[default]
+    Wheel,
+    /// Binary heap ([`HeapQueue`]) — the pre-wheel reference backend,
+    /// kept for differential testing and A/B trace comparison.
+    Heap,
+}
+
+/// The ordering contract every simulator event queue must honor: pop
+/// order is ascending `(at, seq)`, i.e. time order with FIFO
+/// tie-breaking by the insertion counter.
+pub trait EventQueue<T> {
+    /// Enqueues `item` to fire at `at`. `seq` is the caller's global
+    /// insertion counter; callers must pass strictly increasing values.
+    fn push(&mut self, at: SimTime, seq: u64, item: T);
+    /// Removes and returns the earliest event (lowest `(at, seq)`).
+    fn pop(&mut self) -> Option<(SimTime, u64, T)>;
+    /// The timestamp of the earliest pending event, without dequeuing.
+    fn next_at(&self) -> Option<SimTime>;
+    /// Number of pending events.
+    fn len(&self) -> usize;
+    /// Whether no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+struct Entry<T> {
+    at: u64,
+    seq: u64,
+    item: T,
+}
+
+/// Hierarchical timer wheel; see the [module docs](self) for geometry
+/// and the determinism argument.
+pub struct WheelQueue<T> {
+    /// Time cursor: every pending entry has `at >= elapsed`, and all
+    /// occupied buckets sit at or after the cursor's position on their
+    /// level. Only advances inside [`EventQueue::pop`].
+    elapsed: u64,
+    len: usize,
+    /// Bit `l` set iff level `l` has any occupied slot — the earliest
+    /// non-empty level is one `trailing_zeros` away.
+    levels: u16,
+    /// One occupancy bitmap per level; bit `s` set iff slot `s` holds
+    /// entries. `trailing_zeros` finds the earliest occupied slot.
+    occupied: [u64; LEVELS],
+    /// `LEVELS * SLOTS` buckets, level-major.
+    slots: Vec<Vec<Entry<T>>>,
+    /// The level-0 bucket currently being drained, reversed so `pop()`
+    /// from the back yields insertion order. All entries share one `at`.
+    current: Vec<Entry<T>>,
+    /// Recycles drained bucket storage back under fresh pushes.
+    pool: BufPool<Entry<T>>,
+}
+
+impl<T> WheelQueue<T> {
+    /// Creates an empty wheel with its cursor at time zero.
+    pub fn new() -> Self {
+        WheelQueue {
+            elapsed: 0,
+            len: 0,
+            levels: 0,
+            occupied: [0; LEVELS],
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            current: Vec::new(),
+            pool: BufPool::new(),
+        }
+    }
+
+    /// Buffer-pool recycling counters `(recycled, fresh)` — how many
+    /// bucket handouts reused parked capacity vs. hit the allocator.
+    pub fn pool_stats(&self) -> (u64, u64) {
+        (self.pool.recycled(), self.pool.fresh())
+    }
+
+    /// The level holding an event at `at` given cursor `elapsed`: the
+    /// 6-bit digit position of the most significant differing bit.
+    #[inline]
+    fn level_for(elapsed: u64, at: u64) -> usize {
+        let diff = at ^ elapsed;
+        if diff == 0 {
+            0
+        } else {
+            ((63 - diff.leading_zeros()) / LEVEL_BITS) as usize
+        }
+    }
+
+    /// Files `entry` into its bucket relative to the current cursor.
+    #[inline]
+    fn file(&mut self, entry: Entry<T>) {
+        let level = Self::level_for(self.elapsed, entry.at);
+        let slot = (entry.at >> (LEVEL_BITS as usize * level)) as usize & (SLOTS - 1);
+        let idx = level * SLOTS + slot;
+        // sslint: allow(panic-reach) — idx < LEVELS * SLOTS by construction: level <= 10, slot <= 63
+        let bucket = &mut self.slots[idx];
+        if bucket.capacity() == 0 {
+            *bucket = self.pool.get();
+        }
+        bucket.push(entry);
+        self.occupied[level] |= 1 << slot;
+        self.levels |= 1 << level;
+    }
+
+    /// Lowest non-empty `(level, slot)` pair, if any entry is filed.
+    #[inline]
+    fn earliest_bucket(&self) -> Option<(usize, usize)> {
+        if self.levels == 0 {
+            return None;
+        }
+        let level = self.levels.trailing_zeros() as usize;
+        // sslint: allow(panic-reach) — `levels` bits only cover the LEVELS array
+        let slot = self.occupied[level].trailing_zeros() as usize;
+        Some((level, slot))
+    }
+}
+
+impl<T> Default for WheelQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> for WheelQueue<T> {
+    fn push(&mut self, at: SimTime, seq: u64, item: T) {
+        let at = at.as_micros();
+        debug_assert!(at >= self.elapsed, "scheduled into the wheel's past");
+        // Clamp for totality: the heap would accept a past timestamp and
+        // the dispatcher's monotonic-time debug_assert would catch it;
+        // the wheel files it as "due now" with the same seq ordering.
+        let at = at.max(self.elapsed);
+        self.file(Entry { at, seq, item });
+        self.len += 1;
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u64, T)> {
+        loop {
+            if let Some(entry) = self.current.pop() {
+                self.len -= 1;
+                if self.current.is_empty() {
+                    let spent = std::mem::take(&mut self.current);
+                    self.pool.put(spent);
+                }
+                return Some((SimTime::from_micros(entry.at), entry.seq, entry.item));
+            }
+            let (level, slot) = self.earliest_bucket()?;
+            let idx = level * SLOTS + slot;
+            // sslint: allow(panic-reach) — idx < LEVELS * SLOTS: occupancy bits only cover real slots
+            let mut bucket = std::mem::take(&mut self.slots[idx]);
+            self.occupied[level] &= !(1u64 << slot);
+            if self.occupied[level] == 0 {
+                self.levels &= !(1u16 << level);
+            }
+            let Some(first_at) = bucket.first().map(|e| e.at) else {
+                // Occupancy bit with an empty bucket cannot arise; clear
+                // and move on rather than spin.
+                continue;
+            };
+            // Level-0 buckets always hold a single timestamp; a
+            // higher-level bucket usually does too (one pending timer in
+            // its window). Either way the whole bucket is the earliest
+            // work and can dispatch as one FIFO batch — skipping the
+            // re-file of a full cascade.
+            let single_at = level == 0 || bucket.iter().all(|e| e.at == first_at);
+            if single_at {
+                debug_assert!(first_at >= self.elapsed);
+                self.elapsed = first_at;
+                bucket.reverse();
+                self.current = bucket;
+            } else {
+                // Cascade: advance the cursor to the bucket's base time
+                // and re-file every entry at a strictly lower level.
+                let shift = LEVEL_BITS as usize * level;
+                let base = (first_at >> shift) << shift;
+                debug_assert!(base >= self.elapsed);
+                self.elapsed = base.max(self.elapsed);
+                for entry in bucket.drain(..) {
+                    debug_assert!(Self::level_for(self.elapsed, entry.at) < level);
+                    self.file(entry);
+                }
+                self.pool.put(bucket);
+            }
+        }
+    }
+
+    fn next_at(&self) -> Option<SimTime> {
+        // Deliberately non-mutating: peeking must not advance the
+        // cursor, because callers may push new (earlier) events between
+        // a peek and the next pop.
+        if let Some(entry) = self.current.last() {
+            return Some(SimTime::from_micros(entry.at));
+        }
+        let (level, slot) = self.earliest_bucket()?;
+        let idx = level * SLOTS + slot;
+        // sslint: allow(panic-reach) — idx < LEVELS * SLOTS: occupancy bits only cover real slots
+        let bucket = &self.slots[idx];
+        if level == 0 {
+            // Level-0 buckets are single-timestamp batches.
+            bucket.first().map(|e| SimTime::from_micros(e.at))
+        } else {
+            // The earliest pending event is in this bucket (lower levels
+            // are empty and higher levels/slots are strictly later), but
+            // within it timestamps vary: scan. Rare — the very next pop
+            // cascades this bucket away.
+            bucket.iter().map(|e| e.at).min().map(SimTime::from_micros)
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+impl<T> std::fmt::Debug for WheelQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WheelQueue")
+            .field("len", &self.len)
+            .field("elapsed", &self.elapsed)
+            .finish()
+    }
+}
+
+struct HeapEntry<T> {
+    at: SimTime,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for HeapEntry<T> {}
+impl<T> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The pre-wheel scheduler, verbatim: a min-heap over `(at, seq)`.
+///
+/// Kept as the reference backend so differential tests and golden-trace
+/// A/B runs can prove the wheel changed nothing observable.
+pub struct HeapQueue<T> {
+    heap: BinaryHeap<Reverse<HeapEntry<T>>>,
+}
+
+impl<T> HeapQueue<T> {
+    /// Creates an empty heap queue.
+    pub fn new() -> Self {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+        }
+    }
+}
+
+impl<T> Default for HeapQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> for HeapQueue<T> {
+    fn push(&mut self, at: SimTime, seq: u64, item: T) {
+        self.heap.push(Reverse(HeapEntry { at, seq, item }));
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u64, T)> {
+        let Reverse(e) = self.heap.pop()?;
+        Some((e.at, e.seq, e.item))
+    }
+
+    fn next_at(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+impl<T> std::fmt::Debug for HeapQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeapQueue")
+            .field("len", &self.heap.len())
+            .finish()
+    }
+}
+
+/// Static dispatch over the two backends — an enum rather than a trait
+/// object so the dispatcher's inner loop inlines.
+pub(crate) enum Backend<T> {
+    Wheel(WheelQueue<T>),
+    Heap(HeapQueue<T>),
+}
+
+impl<T> Backend<T> {
+    pub(crate) fn new(scheduler: Scheduler) -> Self {
+        match scheduler {
+            Scheduler::Wheel => Backend::Wheel(WheelQueue::new()),
+            Scheduler::Heap => Backend::Heap(HeapQueue::new()),
+        }
+    }
+
+    pub(crate) fn kind(&self) -> Scheduler {
+        match self {
+            Backend::Wheel(_) => Scheduler::Wheel,
+            Backend::Heap(_) => Scheduler::Heap,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, at: SimTime, seq: u64, item: T) {
+        match self {
+            Backend::Wheel(q) => q.push(at, seq, item),
+            Backend::Heap(q) => q.push(at, seq, item),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn pop(&mut self) -> Option<(SimTime, u64, T)> {
+        match self {
+            Backend::Wheel(q) => q.pop(),
+            Backend::Heap(q) => q.pop(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn next_at(&self) -> Option<SimTime> {
+        match self {
+            Backend::Wheel(q) => q.next_at(),
+            Backend::Heap(q) => q.next_at(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            Backend::Wheel(q) => q.len(),
+            Backend::Heap(q) => q.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<Q: EventQueue<u32>>(q: &mut Q) -> Vec<(u64, u64, u32)> {
+        let mut out = Vec::new();
+        while let Some((at, seq, item)) = q.pop() {
+            out.push((at.as_micros(), seq, item));
+        }
+        out
+    }
+
+    #[test]
+    fn fifo_ties_at_equal_timestamps() {
+        let mut q: WheelQueue<u32> = WheelQueue::new();
+        q.push(SimTime::from_micros(5), 0, 10);
+        q.push(SimTime::from_micros(5), 1, 11);
+        q.push(SimTime::from_micros(1), 2, 12);
+        q.push(SimTime::from_micros(5), 3, 13);
+        assert_eq!(
+            drain(&mut q),
+            vec![(1, 2, 12), (5, 0, 10), (5, 1, 11), (5, 3, 13)]
+        );
+    }
+
+    #[test]
+    fn far_future_events_cascade_across_levels() {
+        let mut q: WheelQueue<u32> = WheelQueue::new();
+        // One event per wheel level, pushed far-to-near.
+        let times: Vec<u64> = (0..10).rev().map(|l| 3u64 << (6 * l)).collect();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_micros(t), i as u64, i as u32);
+        }
+        let popped = drain(&mut q);
+        let ats: Vec<u64> = popped.iter().map(|&(at, _, _)| at).collect();
+        let mut expect = times.clone();
+        expect.sort_unstable();
+        assert_eq!(ats, expect);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_sorted() {
+        // A deterministic LCG drives pushes mixed with pops; compare the
+        // wheel to the reference heap at every step.
+        let mut wheel: WheelQueue<u32> = WheelQueue::new();
+        let mut heap: HeapQueue<u32> = HeapQueue::new();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        for round in 0..2000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(round);
+            let delay = (state >> 33) % 1000;
+            // Occasional far-future outliers exercise high levels.
+            let delay = if state % 17 == 0 { delay << 40 } else { delay };
+            let at = SimTime::from_micros(now + delay);
+            wheel.push(at, seq, round as u32);
+            heap.push(at, seq, round as u32);
+            seq += 1;
+            if state % 3 == 0 {
+                let w = wheel.pop();
+                let h = heap.pop();
+                assert_eq!(
+                    w.as_ref().map(|(a, s, i)| (*a, *s, *i)),
+                    h.as_ref().map(|(a, s, i)| (*a, *s, *i))
+                );
+                if let Some((at, _, _)) = w {
+                    now = at.as_micros();
+                }
+            }
+            assert_eq!(wheel.next_at(), heap.next_at());
+            assert_eq!(wheel.len(), heap.len());
+        }
+        assert_eq!(drain(&mut wheel), {
+            let mut v = Vec::new();
+            while let Some((at, s, i)) = heap.pop() {
+                v.push((at.as_micros(), s, i));
+            }
+            v
+        });
+    }
+
+    #[test]
+    fn next_at_does_not_mutate() {
+        let mut q: WheelQueue<u32> = WheelQueue::new();
+        q.push(SimTime::from_micros(1 << 30), 0, 1);
+        assert_eq!(q.next_at(), Some(SimTime::from_micros(1 << 30)));
+        // A later, earlier-timestamp push must still be representable
+        // and pop first.
+        q.push(SimTime::from_micros(7), 1, 2);
+        assert_eq!(q.next_at(), Some(SimTime::from_micros(7)));
+        assert_eq!(q.pop().map(|(_, _, i)| i), Some(2));
+        assert_eq!(q.pop().map(|(_, _, i)| i), Some(1));
+    }
+
+    #[test]
+    fn max_timestamp_is_representable() {
+        let mut q: WheelQueue<u32> = WheelQueue::new();
+        q.push(SimTime::MAX, 0, 1);
+        q.push(SimTime::ZERO, 1, 2);
+        assert_eq!(q.pop().map(|(at, _, i)| (at, i)), Some((SimTime::ZERO, 2)));
+        assert_eq!(q.pop().map(|(at, _, i)| (at, i)), Some((SimTime::MAX, 1)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn buckets_recycle_through_the_pool() {
+        let mut q: WheelQueue<u32> = WheelQueue::new();
+        let mut seq = 0;
+        for round in 0..100u64 {
+            for i in 0..8 {
+                q.push(SimTime::from_micros(round * 100), seq, i);
+                seq += 1;
+            }
+            while q.pop().is_some() {}
+        }
+        let (recycled, fresh) = q.pool_stats();
+        assert!(
+            recycled > 10 * fresh,
+            "steady state must reuse buckets: recycled={recycled} fresh={fresh}"
+        );
+    }
+}

@@ -1,0 +1,281 @@
+//! Differential tests: the timer-wheel scheduler against the reference
+//! binary heap.
+//!
+//! Every test drives the two [`EventQueue`] backends with the *same*
+//! operation sequence and asserts they agree — on each pop, on each
+//! non-mutating peek, and on the final drain. Seeded generators
+//! (`util::check` + `util::seed`) cover the regimes where a wheel can
+//! diverge from a heap: bursts of equal-timestamp events (FIFO
+//! tie-breaking), far-future events that overflow into high wheel
+//! levels (cascade correctness), pops cut short by a dispatch limit,
+//! and full simulator runs where in-flight deliveries are cancelled by
+//! link epochs.
+
+use simnet::rng::Rng;
+use simnet::{
+    Context, EventQueue, HeapQueue, LinkConfig, LinkId, Message, Node, Scheduler, SimDuration,
+    SimTime, Simulator, WheelQueue,
+};
+use util::check::{check, Gen};
+use util::seed;
+
+/// One observable pop result.
+type Popped = (SimTime, u64, u64);
+
+/// Pops both queues once and asserts byte-for-byte agreement.
+fn pop_both(wheel: &mut WheelQueue<u64>, heap: &mut HeapQueue<u64>) -> Option<Popped> {
+    let w = wheel.pop();
+    let h = heap.pop();
+    assert_eq!(w, h, "wheel and heap disagreed on pop order");
+    w
+}
+
+/// Drives both backends through `ops` interleaved push/pop operations,
+/// with `delay` choosing each push's offset from the current clock, then
+/// drains and compares the tails.
+fn drive(g: &mut Gen, ops: usize, mut delay: impl FnMut(&mut Gen) -> u64) {
+    let mut wheel: WheelQueue<u64> = WheelQueue::new();
+    let mut heap: HeapQueue<u64> = HeapQueue::new();
+    let mut now = 0u64;
+    let mut seq = 0u64;
+    for _ in 0..ops {
+        if wheel.is_empty() || g.bool() {
+            let at = now.saturating_add(delay(g));
+            wheel.push(SimTime::from_micros(at), seq, seq);
+            heap.push(SimTime::from_micros(at), seq, seq);
+            seq += 1;
+        } else if let Some((at, _, _)) = pop_both(&mut wheel, &mut heap) {
+            now = at.as_micros();
+        }
+        assert_eq!(wheel.next_at(), heap.next_at(), "peek disagreement");
+        assert_eq!(wheel.len(), heap.len());
+    }
+    while !heap.is_empty() {
+        pop_both(&mut wheel, &mut heap);
+    }
+    assert!(wheel.is_empty());
+}
+
+#[test]
+fn random_schedules_pop_identically() {
+    check("sched-diff-random", 40, |g| {
+        drive(g, 400, |g| g.u64_in(0, 10_000));
+    });
+}
+
+#[test]
+fn equal_timestamp_bursts_stay_fifo() {
+    // Half of all pushes land at exactly the current time, so FIFO
+    // tie-breaking is doing almost all of the ordering work.
+    check("sched-diff-bursts", 40, |g| {
+        drive(g, 400, |g| if g.bool() { 0 } else { g.u64_in(0, 3) });
+    });
+}
+
+#[test]
+fn far_future_events_overflow_wheel_levels() {
+    // Delays of `digit << (6 * level)` place events on every wheel level
+    // up to the top (level 10 covers bits 60..64), forcing cascades to
+    // interleave with near-term work.
+    check("sched-diff-far-future", 40, |g| {
+        drive(g, 300, |g| {
+            let digit = g.u64_in(1, 63);
+            let level = g.usize_in(0, 10) as u32;
+            digit.checked_shl(6 * level).unwrap_or(u64::MAX)
+        });
+    });
+}
+
+#[test]
+fn pop_limit_cuts_both_backends_at_the_same_event() {
+    // Models Simulator::set_event_limit: dispatch stops after a fixed
+    // number of pops, more work arrives, then the run resumes. The
+    // prefix before the cut, the cut point, and the tail must all agree.
+    check("sched-diff-limit", 30, |g| {
+        let mut wheel: WheelQueue<u64> = WheelQueue::new();
+        let mut heap: HeapQueue<u64> = HeapQueue::new();
+        let mut seq = 0u64;
+        let mut push_burst =
+            |wheel: &mut WheelQueue<u64>, heap: &mut HeapQueue<u64>, g: &mut Gen, base: u64| {
+                for _ in 0..g.usize_in(5, 40) {
+                    let at = SimTime::from_micros(base + g.u64_in(0, 100));
+                    wheel.push(at, seq, seq);
+                    heap.push(at, seq, seq);
+                    seq += 1;
+                }
+            };
+        push_burst(&mut wheel, &mut heap, g, 0);
+        let limit = g.usize_in(1, 20);
+        let mut resume_at = 0;
+        for _ in 0..limit {
+            if let Some((at, _, _)) = pop_both(&mut wheel, &mut heap) {
+                resume_at = at.as_micros();
+            }
+        }
+        // New work lands relative to where the limited run stopped.
+        push_burst(&mut wheel, &mut heap, g, resume_at);
+        while !heap.is_empty() {
+            pop_both(&mut wheel, &mut heap);
+        }
+        assert!(wheel.is_empty());
+    });
+}
+
+#[test]
+fn derived_seed_schedules_are_reproducible() {
+    // The same derived seed must produce the same pop sequence from the
+    // wheel alone — the scheduler itself adds no hidden state.
+    let run = |seed_val: u64| {
+        let mut rng = Rng::seed_from_u64(seed_val);
+        let mut wheel: WheelQueue<u64> = WheelQueue::new();
+        let mut out = Vec::new();
+        let mut now = 0u64;
+        for seq in 0..500u64 {
+            let delay = rng.gen_range_f64(0.0, 5_000.0) as u64;
+            wheel.push(SimTime::from_micros(now + delay), seq, seq);
+            if seq % 3 == 0 {
+                if let Some((at, s, item)) = wheel.pop() {
+                    now = at.as_micros();
+                    out.push((at, s, item));
+                }
+            }
+        }
+        while let Some(p) = wheel.pop() {
+            out.push(p);
+        }
+        out
+    };
+    for replicate in 0..3 {
+        let s = seed::derive(42, "sched-diff", replicate);
+        assert_eq!(run(s), run(s), "replicate {replicate} not reproducible");
+    }
+    assert_ne!(
+        run(seed::derive(42, "sched-diff", 0)),
+        run(seed::derive(42, "sched-diff", 1)),
+        "distinct replicates should explore distinct schedules"
+    );
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: a full simulator run, including epoch-cancelled in-flight
+// deliveries, is observably identical under both backends.
+
+#[derive(Clone, Debug, PartialEq)]
+struct Num(u64);
+impl Message for Num {
+    fn wire_size(&self) -> usize {
+        600
+    }
+}
+
+/// Echoes every received number back, incremented, up to a bound.
+struct Echo {
+    limit: u64,
+    log: Vec<(SimTime, u64)>,
+    kick: bool,
+    link: Option<LinkId>,
+}
+
+impl Node<Num> for Echo {
+    fn on_start(&mut self, ctx: &mut Context<'_, Num>) {
+        if self.kick {
+            if let Some(l) = self.link {
+                ctx.send(l, Num(0));
+                // Equal-deadline timers ride along to exercise FIFO ties
+                // inside a real dispatch loop.
+                ctx.set_timer(SimDuration::from_millis(5), 1);
+                ctx.set_timer(SimDuration::from_millis(5), 2);
+            }
+        }
+    }
+    fn on_packet(&mut self, ctx: &mut Context<'_, Num>, link: LinkId, msg: Num) {
+        self.log.push((ctx.now(), msg.0));
+        if msg.0 < self.limit {
+            ctx.send(link, Num(msg.0 + 1));
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_, Num>, key: simnet::TimerKey) {
+        self.log.push((ctx.now(), u64::MAX - key));
+    }
+}
+
+fn lossy_run(
+    scheduler: Scheduler,
+    seed_val: u64,
+) -> (Vec<(SimTime, u64)>, Vec<(SimTime, u64)>, u64) {
+    let mut sim = Simulator::with_scheduler(seed_val, scheduler);
+    assert_eq!(sim.scheduler(), scheduler);
+    let a = sim.add_node(Box::new(Echo {
+        limit: 40,
+        log: vec![],
+        kick: true,
+        link: None,
+    }));
+    let b = sim.add_node(Box::new(Echo {
+        limit: 40,
+        log: vec![],
+        kick: false,
+        link: None,
+    }));
+    let l = sim.add_link(
+        a,
+        b,
+        LinkConfig::wireless(2_000_000, SimDuration::from_millis(3), 0.2),
+    );
+    sim.node_mut::<Echo>(a).unwrap().link = Some(l);
+    sim.node_mut::<Echo>(b).unwrap().link = Some(l);
+    // A mid-run outage cancels whatever is in flight via the link epoch.
+    sim.schedule_link_state(SimTime::from_micros(40_000), l, false);
+    sim.schedule_link_state(SimTime::from_micros(90_000), l, true);
+    sim.run();
+    let log_a = sim.node::<Echo>(a).unwrap().log.clone();
+    let log_b = sim.node::<Echo>(b).unwrap().log.clone();
+    (log_a, log_b, sim.stats().events)
+}
+
+#[test]
+fn full_simulator_run_is_identical_across_schedulers() {
+    for seed_val in [1, 7, 42, 1234] {
+        let wheel = lossy_run(Scheduler::Wheel, seed_val);
+        let heap = lossy_run(Scheduler::Heap, seed_val);
+        assert_eq!(wheel, heap, "seed {seed_val}: backends diverged");
+    }
+}
+
+#[test]
+fn set_scheduler_migrates_pending_events_in_order() {
+    // Build under one backend, flip to the other with events pending —
+    // the run must still match a pure single-backend run.
+    let pure = lossy_run(Scheduler::Heap, 11);
+    let mut sim = Simulator::with_scheduler(11, Scheduler::Wheel);
+    let a = sim.add_node(Box::new(Echo {
+        limit: 40,
+        log: vec![],
+        kick: true,
+        link: None,
+    }));
+    let b = sim.add_node(Box::new(Echo {
+        limit: 40,
+        log: vec![],
+        kick: false,
+        link: None,
+    }));
+    let l = sim.add_link(
+        a,
+        b,
+        LinkConfig::wireless(2_000_000, SimDuration::from_millis(3), 0.2),
+    );
+    sim.node_mut::<Echo>(a).unwrap().link = Some(l);
+    sim.node_mut::<Echo>(b).unwrap().link = Some(l);
+    sim.schedule_link_state(SimTime::from_micros(40_000), l, false);
+    sim.schedule_link_state(SimTime::from_micros(90_000), l, true);
+    // Pending events exist now (the scripted link flaps); migrate them.
+    sim.set_scheduler(Scheduler::Heap);
+    sim.run();
+    let got = (
+        sim.node::<Echo>(a).unwrap().log.clone(),
+        sim.node::<Echo>(b).unwrap().log.clone(),
+        sim.stats().events,
+    );
+    assert_eq!(got, pure);
+}

@@ -23,7 +23,11 @@ use std::sync::Arc;
 /// ```
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    // Arc<Vec<u8>> rather than Arc<[u8]> so `From<Vec<u8>>` is a move:
+    // converting a Vec into Arc<[u8]> would re-copy the payload to place
+    // it inline with the refcount header, and chunk construction on the
+    // transmit path does this for every multi-kilobyte buffer.
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -104,10 +108,9 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        let data: Arc<[u8]> = v.into();
-        let end = data.len();
+        let end = v.len();
         Bytes {
-            data,
+            data: Arc::new(v),
             start: 0,
             end,
         }

@@ -13,6 +13,7 @@
 //! work.
 
 use std::fmt;
+use std::sync::Arc;
 
 use util::json::{FromJson, Json, JsonError, ToJson};
 
@@ -70,8 +71,18 @@ impl std::error::Error for DagError {}
 /// let dag = Dag::cid_with_fallback(cid, nid, hid);
 /// assert_eq!(dag.to_string(), format!("{} | {} : {}", cid, nid, hid));
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+/// A DAG is immutable once assembled, so the representation lives behind
+/// an [`Arc`]: cloning an address — which happens for every packet's
+/// `(dst, src)` pair on the simulator hot path — is a reference-count
+/// bump instead of three `Vec` deep-copies. Equality and hashing remain
+/// structural (with a pointer-identity fast path), so two independently
+/// built equal addresses still compare and hash equal.
+#[derive(Clone)]
 pub struct Dag {
+    repr: Arc<DagRepr>,
+}
+
+struct DagRepr {
     nodes: Vec<DagNode>,
     /// Source out-edges in priority order.
     entry: Vec<usize>,
@@ -79,7 +90,31 @@ pub struct Dag {
     intent: usize,
 }
 
+impl PartialEq for Dag {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.repr, &other.repr)
+            || (self.repr.nodes == other.repr.nodes && self.repr.entry == other.repr.entry)
+    }
+}
+impl Eq for Dag {}
+impl std::hash::Hash for Dag {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.repr.nodes.hash(state);
+        self.repr.entry.hash(state);
+    }
+}
+
 impl Dag {
+    /// Wraps validated parts in the shared representation.
+    fn assemble(nodes: Vec<DagNode>, entry: Vec<usize>, intent: usize) -> Self {
+        Dag {
+            repr: Arc::new(DagRepr {
+                nodes,
+                entry,
+                intent,
+            }),
+        }
+    }
     /// Assembles a DAG from parts, validating structure.
     ///
     /// `entry` lists the source node's out-edges in priority order. The
@@ -132,24 +167,22 @@ impl Dag {
             .zip(colors.iter())
             .position(|(n, c)| *c == Color::Black && n.edges.is_empty())
             .ok_or(DagError::NoIntent)?;
-        Ok(Dag {
-            nodes,
-            entry,
-            intent,
-        })
+        Ok(Dag::assemble(nodes, entry, intent))
     }
 
     /// Assembles one of the fixed-shape addresses below. The literal
     /// shapes cannot trip the validator; if a future edit breaks one, the
     /// address degrades to a direct intent-only DAG instead of panicking.
     fn from_static(intent_xid: Xid, nodes: Vec<DagNode>, entry: Vec<usize>) -> Self {
-        Dag::from_parts(nodes, entry).unwrap_or(Dag {
-            nodes: vec![DagNode {
-                xid: intent_xid,
-                edges: vec![],
-            }],
-            entry: vec![0],
-            intent: 0,
+        Dag::from_parts(nodes, entry).unwrap_or_else(|_| {
+            Dag::assemble(
+                vec![DagNode {
+                    xid: intent_xid,
+                    edges: vec![],
+                }],
+                vec![0],
+                0,
+            )
         })
     }
 
@@ -216,18 +249,19 @@ impl Dag {
 
     /// The intent (final destination) node.
     pub fn intent(&self) -> Xid {
+        let intent = self.repr.intent;
         // sslint: allow(panic-reach) — intent is range-checked at construction and the Dag is immutable after it
-        self.nodes[self.intent].xid
+        self.repr.nodes[intent].xid
     }
 
     /// Index of the intent node.
     pub fn intent_index(&self) -> usize {
-        self.intent
+        self.repr.intent
     }
 
     /// All nodes of the DAG.
     pub fn nodes(&self) -> &[DagNode] {
-        &self.nodes
+        &self.repr.nodes
     }
 
     /// The XID at node `idx`.
@@ -236,22 +270,23 @@ impl Dag {
     ///
     /// Panics if `idx` is out of range (and not [`SOURCE`]).
     pub fn xid(&self, idx: usize) -> Xid {
-        self.nodes[idx].xid
+        self.repr.nodes[idx].xid
     }
 
     /// Priority-ordered out-edges of node `idx`, where [`SOURCE`] denotes
     /// the conceptual source node.
     pub fn out_edges(&self, idx: usize) -> &[usize] {
         if idx == SOURCE {
-            &self.entry
+            &self.repr.entry
         } else {
-            &self.nodes[idx].edges
+            &self.repr.nodes[idx].edges
         }
     }
 
     /// First NID appearing in the DAG, if any — the "network locator".
     pub fn network(&self) -> Option<Xid> {
-        self.nodes
+        self.repr
+            .nodes
             .iter()
             .map(|n| n.xid)
             .find(|x| x.principal() == Principal::Nid)
@@ -260,7 +295,8 @@ impl Dag {
     /// First HID appearing in the DAG, if any — the fallback host that can
     /// serve the intent.
     pub fn fallback_host(&self) -> Option<Xid> {
-        self.nodes
+        self.repr
+            .nodes
             .iter()
             .map(|n| n.xid)
             .find(|x| x.principal() == Principal::Hid)
@@ -297,8 +333,8 @@ impl FromJson for DagNode {
 impl ToJson for Dag {
     fn to_json(&self) -> Json {
         Json::Obj(vec![
-            ("nodes".into(), self.nodes.to_json()),
-            ("entry".into(), self.entry.to_json()),
+            ("nodes".into(), self.repr.nodes.to_json()),
+            ("entry".into(), self.repr.entry.to_json()),
         ])
     }
 }
@@ -318,21 +354,19 @@ impl fmt::Display for Dag {
     /// falling back to an explicit node list for exotic DAGs.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Recognize the 3-node fallback shape.
-        if self.nodes.len() == 3 && self.entry == [0, 1] {
-            return write!(
-                f,
-                "{} | {} : {}",
-                self.nodes[0].xid, self.nodes[1].xid, self.nodes[2].xid
-            );
+        let nodes = &self.repr.nodes;
+        let entry = &self.repr.entry;
+        if nodes.len() == 3 && *entry == [0, 1] {
+            return write!(f, "{} | {} : {}", nodes[0].xid, nodes[1].xid, nodes[2].xid);
         }
-        if self.nodes.len() == 2 && self.entry == [1] {
-            return write!(f, "{} : {}", self.nodes[1].xid, self.nodes[0].xid);
+        if nodes.len() == 2 && *entry == [1] {
+            return write!(f, "{} : {}", nodes[1].xid, nodes[0].xid);
         }
-        if self.nodes.len() == 1 {
-            return write!(f, "{}", self.nodes[0].xid);
+        if nodes.len() == 1 {
+            return write!(f, "{}", nodes[0].xid);
         }
-        write!(f, "DAG{{entry={:?}", self.entry)?;
-        for (i, n) in self.nodes.iter().enumerate() {
+        write!(f, "DAG{{entry={entry:?}")?;
+        for (i, n) in nodes.iter().enumerate() {
             write!(f, ", {}={} -> {:?}", i, n.xid, n.edges)?;
         }
         f.write_str("}")
@@ -342,19 +376,20 @@ impl fmt::Display for Dag {
 impl fmt::Debug for Dag {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Compact: reuse Display but with short XIDs.
-        if self.nodes.len() == 3 && self.entry == [0, 1] {
+        let nodes = &self.repr.nodes;
+        if nodes.len() == 3 && self.repr.entry == [0, 1] {
             return write!(
                 f,
                 "{} | {} : {}",
-                self.nodes[0].xid.short(),
-                self.nodes[1].xid.short(),
-                self.nodes[2].xid.short()
+                nodes[0].xid.short(),
+                nodes[1].xid.short(),
+                nodes[2].xid.short()
             );
         }
         write!(
             f,
             "Dag({} nodes, intent {})",
-            self.nodes.len(),
+            nodes.len(),
             self.intent().short()
         )
     }

@@ -19,11 +19,52 @@ SEED=42
 OUT=BENCH_reproduce.json
 BIN=target/release/reproduce
 
+CORES=$(nproc 2>/dev/null || echo 1)
+
+# Writes ENTRY (one `    "name": {...}` line) into $OUT, carrying the
+# other targets' entries forward.
+write_entry() { # write_entry NAME ENTRY_LINE
+    local lines=("$2")
+    if [ -f "$OUT" ]; then
+        while IFS= read -r line; do
+            case "$line" in
+            '    "'*'": {'*)
+                t="${line#    \"}"
+                t="${t%%\"*}"
+                if [ "$t" != "$1" ]; then
+                    lines+=("${line%,}")
+                fi
+                ;;
+            esac
+        done < "$OUT"
+    fi
+    {
+        echo '{'
+        echo '  "benchmark": "reproduce wall-clock (seconds), --jobs 1 vs --jobs N",'
+        echo '  "entries": {'
+        printf '%s\n' "${lines[@]}" | sort | awk 'NR > 1 { print prev "," } { prev = $0 } END { print prev }'
+        echo '  }'
+        echo '}'
+    } > "$OUT"
+}
+
+# `sched` is a different shape of target: the scheduler microbenchmark
+# (events/sec + allocs/event, wheel vs heap — heap being the pre-wheel
+# baseline) rather than a paired reproduce run.
+if [ "$TARGET" = sched ]; then
+    SBIN=target/release/sched_bench
+    if [ ! -x "$SBIN" ]; then
+        cargo build -q --release --offline -p softstage-bench --bin sched_bench
+    fi
+    payload=$("$SBIN" --events 2000000 --json)
+    write_entry sched "    \"sched\": $payload"
+    echo "bench_reproduce: sched -> $OUT"
+    exit 0
+fi
+
 if [ ! -x "$BIN" ]; then
     cargo build -q --release --offline -p softstage-experiments --bin reproduce
 fi
-
-CORES=$(nproc 2>/dev/null || echo 1)
 
 run_timed() { # run_timed JOBS JSON_PATH -> prints elapsed seconds
     local t0 t1
@@ -50,30 +91,7 @@ speedup=$(awk -v a="$serial_secs" -v b="$par_secs" \
 entry=$(printf '    "%s": {"serial_secs": %s, "parallel_secs": %s, "parallel_jobs": %s, "seeds": %s, "speedup": %s, "host_cores": %s, "byte_identical": true}' \
     "$TARGET" "$serial_secs" "$par_secs" "$PAR" "$SEEDS" "$speedup" "$CORES")
 
-# Carry forward the other targets' entries (one entry per line).
-lines=("$entry")
-if [ -f "$OUT" ]; then
-    while IFS= read -r line; do
-        case "$line" in
-        '    "'*'": {'*)
-            t="${line#    \"}"
-            t="${t%%\"*}"
-            if [ "$t" != "$TARGET" ]; then
-                lines+=("${line%,}")
-            fi
-            ;;
-        esac
-    done < "$OUT"
-fi
-
-{
-    echo '{'
-    echo '  "benchmark": "reproduce wall-clock (seconds), --jobs 1 vs --jobs N",'
-    echo '  "entries": {'
-    printf '%s\n' "${lines[@]}" | sort | awk 'NR > 1 { print prev "," } { prev = $0 } END { print prev }'
-    echo '  }'
-    echo '}'
-} > "$OUT"
+write_entry "$TARGET" "$entry"
 
 echo "bench_reproduce: $TARGET jobs=1 ${serial_secs}s, jobs=$PAR ${par_secs}s" \
     "(${speedup}x on $CORES cores, byte-identical) -> $OUT"

@@ -30,6 +30,16 @@ cargo test -q --offline
 echo "== chaos suite (fault injection, release) =="
 cargo test -q --offline --release -p softstage-suite --test chaos --test determinism
 
+echo "== scheduler differential suite (wheel vs heap, release) =="
+# Property tests drive both event-queue backends through the same push/pop
+# sequences (equal-timestamp bursts, far-future overflow, pop limits) and
+# full simulator runs, asserting identical dispatch order throughout.
+cargo test -q --offline --release -p simnet --test sched_diff
+
+echo "== allocation regression (counting allocator, release) =="
+# Steady-state transmit/deliver must stay at zero heap ops per event.
+cargo test -q --offline --release -p softstage-bench --test alloc_regression
+
 echo "== overload suite (backpressure, admission, circuit breaker, release) =="
 cargo test -q --offline --release -p softstage-suite --test overload
 
@@ -47,5 +57,8 @@ scripts/bench_reproduce.sh smoke 2 2
 # The overload table (completion vs staging-queue cap) rides along as a
 # second recorded row: graceful degradation stays benchmarked.
 scripts/bench_reproduce.sh overload 2 1
+# Scheduler microbenchmark: events/sec and allocs/event for both queue
+# backends (heap = the pre-wheel baseline), recorded as the sched entry.
+scripts/bench_reproduce.sh sched
 
 echo "verify: OK"
