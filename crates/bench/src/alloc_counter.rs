@@ -52,17 +52,21 @@ unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         bump(&ALLOCS, 1);
         bump(&BYTES, layout.size() as u64);
+        // SAFETY: `layout` is the caller's, forwarded unchanged to System.
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         bump(&DEALLOCS, 1);
+        // SAFETY: `ptr`/`layout` are the caller's, forwarded unchanged.
         unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         bump(&REALLOCS, 1);
         bump(&BYTES, new_size as u64);
+        // SAFETY: `ptr`/`layout`/`new_size` are the caller's, forwarded
+        // unchanged to System.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

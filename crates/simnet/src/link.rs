@@ -66,8 +66,11 @@ impl Default for ArqConfig {
     }
 }
 
-/// Static configuration of a [`Link`] (both directions share it).
-#[derive(Debug, Clone, PartialEq)]
+/// Static configuration of a [`Link`] (both directions share it). All
+/// fields are plain scalars, so the type is `Copy` — the transmit hot
+/// path takes a copy rather than `clone()`ing (hot-path-alloc treats any
+/// `.clone()` on the hot path as an allocation smell).
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkConfig {
     /// Link bandwidth in bits per second.
     pub bandwidth_bps: u64,
@@ -250,6 +253,7 @@ impl Link {
 
     /// Offers one packet of `wire_bytes` for transmission from `from` at
     /// `now`; `sample` draws uniform `[0,1)` values for loss decisions.
+    // sslint: hot-path — runs once per packet offered; must stay allocation-free
     pub(crate) fn transmit(
         &mut self,
         from: NodeId,
@@ -260,7 +264,7 @@ impl Link {
         if !self.up {
             return TxOutcome::DropDown;
         }
-        let config = self.config.clone();
+        let config = self.config;
         let loss = self.loss;
         let corrupt = self.corrupt;
         let dir = if from == self.a {

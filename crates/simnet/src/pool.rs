@@ -45,6 +45,7 @@ impl<T> BufPool<T> {
 
     /// Takes a buffer from the pool, allocating only when the free list
     /// is empty. The returned buffer is always empty (`len == 0`).
+    // sslint: pool-boundary — the one sanctioned allocation site: a fresh Vec only when the free list is dry
     pub fn get(&mut self) -> Vec<T> {
         match self.free.pop() {
             Some(buf) => {
@@ -62,6 +63,7 @@ impl<T> BufPool<T> {
     /// Returns a buffer to the pool. Contents are dropped here; capacity
     /// is kept for the next [`BufPool::get`]. Zero-capacity buffers are
     /// not worth parking and are dropped outright.
+    // sslint: hot-path — recycle runs once per drained bucket; parking must not allocate
     pub fn put(&mut self, mut buf: Vec<T>) {
         buf.clear();
         if buf.capacity() > 0 && self.free.len() < Self::MAX_PARKED {

@@ -182,6 +182,7 @@ impl<T> Default for WheelQueue<T> {
 }
 
 impl<T> EventQueue<T> for WheelQueue<T> {
+    // sslint: hot-path — wheel filing runs once per scheduled event
     fn push(&mut self, at: SimTime, seq: u64, item: T) {
         let at = at.as_micros();
         debug_assert!(at >= self.elapsed, "scheduled into the wheel's past");
@@ -193,6 +194,7 @@ impl<T> EventQueue<T> for WheelQueue<T> {
         self.len += 1;
     }
 
+    // sslint: hot-path — wheel dispatch runs once per delivered event
     fn pop(&mut self) -> Option<(SimTime, u64, T)> {
         loop {
             if let Some(entry) = self.current.pop() {

@@ -1,0 +1,730 @@
+//! Pass 3 of the semantic analyzer: a lightweight intraprocedural
+//! CFG/dataflow layer over fn bodies.
+//!
+//! Pass 1 ([`crate::graph`]) sees *items and calls*; this pass sees
+//! *statements and order*. A fn body's token span is parsed into a
+//! structured statement tree ([`Stmt`]): Rust is block-structured, so the
+//! tree **is** the control-flow graph — sequence edges between siblings,
+//! branch edges into `if`/`match` arms, back edges around loops — and the
+//! classic dataflow questions become tree walks:
+//!
+//! - **dominance** ([`dominating_spans`]): which tokens must have executed
+//!   before a given token? Earlier siblings at every enclosing level plus
+//!   enclosing `if`/`while`/`match` headers. For an earlier *branching*
+//!   sibling only its always-executed header counts — an `available()`
+//!   call inside one arm of a previous `if` does not guard anything.
+//! - **reaching assignments** ([`reaching_assignments`]): which values may
+//!   a binding hold at a use site? A may-analysis over every assignment
+//!   textually before the use (program order for structured code),
+//!   classifying right-hand sides as pool acquires, fresh empty
+//!   allocations, or unknown.
+//!
+//! Both deliberately over-approximate toward *fewer false positives*: an
+//! unknown receiver is never flagged (the runtime `alloc_regression`
+//! harness backstops it), and a may-pool assignment exempts a site even
+//! when only one path acquires from the pool.
+
+use crate::lex::{self, Tok, TokKind};
+
+/// One statement-level node of a fn body's structured control-flow tree.
+#[derive(Debug)]
+pub struct Stmt {
+    /// Token span `[start, end)` covering the whole statement.
+    pub span: (usize, usize),
+    /// The statement's control-flow shape.
+    pub kind: StmtKind,
+}
+
+/// The control-flow shape of one [`Stmt`].
+#[derive(Debug)]
+pub enum StmtKind {
+    /// A straight-line statement (let, expression, item, …): no
+    /// statement-level branching, whatever brackets it contains.
+    Plain,
+    /// `if cond { … } else { … }` (the else branch may itself hold a
+    /// nested `if` for `else if` chains).
+    If {
+        /// Token span of the condition (always executed).
+        cond: (usize, usize),
+        /// Statements of the then branch.
+        then_branch: Vec<Stmt>,
+        /// Statements of the else branch (empty when absent).
+        else_branch: Vec<Stmt>,
+    },
+    /// `for`/`while`/`loop`: header (always evaluated at least once for
+    /// `for`/`while`) plus a body that may run zero times.
+    Loop {
+        /// Token span of the loop header (empty for bare `loop`).
+        header: (usize, usize),
+        /// Statements of the loop body.
+        body: Vec<Stmt>,
+    },
+    /// `match scrutinee { arm, … }`: the scrutinee dominates every arm;
+    /// sibling arms never dominate each other.
+    Match {
+        /// Token span of the scrutinee (always executed).
+        scrutinee: (usize, usize),
+        /// One statement list per arm body.
+        arms: Vec<Vec<Stmt>>,
+    },
+    /// A bare `{ … }` or `unsafe { … }` block statement.
+    Block(Vec<Stmt>),
+}
+
+/// Keywords that open a structured statement when they appear in
+/// statement position.
+const LOOP_KEYWORDS: &[&str] = &["for", "while", "loop"];
+
+/// Parses `toks[start..end)` — a fn or block body — into its statement
+/// tree. Never fails: malformed input degrades to `Plain` statements.
+pub fn parse_stmts(toks: &[Tok], start: usize, end: usize) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    let mut i = start.min(end);
+    while i < end {
+        let t = &toks[i];
+        if t.is_punct(";") {
+            i += 1; // stray separator between statements
+            continue;
+        }
+        // Skip `#[…]` / `#![…]` attributes so the statement they decorate
+        // still dispatches on its own keyword (`#[cfg(…)] if guard() {…}`
+        // must parse as an If, not get swallowed into a Plain run).
+        if t.is_punct("#") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|n| n.is_punct("!")) {
+                j += 1;
+            }
+            if toks.get(j).is_some_and(|n| n.is_punct("[")) {
+                let mut depth = 0i32;
+                while j < end {
+                    if toks[j].is_punct("[") {
+                        depth += 1;
+                    } else if toks[j].is_punct("]") {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                i = (j + 1).min(end);
+                continue;
+            }
+        }
+        if t.is_ident("if") {
+            i = parse_if(toks, i, end, &mut out);
+            continue;
+        }
+        if t.kind == TokKind::Ident && LOOP_KEYWORDS.contains(&t.text.as_str()) {
+            i = parse_loop(toks, i, end, &mut out);
+            continue;
+        }
+        if t.is_ident("match") {
+            i = parse_match(toks, i, end, &mut out);
+            continue;
+        }
+        if t.is_punct("{")
+            || (t.is_ident("unsafe") && toks.get(i + 1).is_some_and(|n| n.is_punct("{")))
+        {
+            let open = if t.is_punct("{") { i } else { i + 1 };
+            let close = skip_balanced(toks, open, end);
+            out.push(Stmt {
+                span: (i, close),
+                kind: StmtKind::Block(parse_stmts(toks, open + 1, close.saturating_sub(1))),
+            });
+            i = close;
+            continue;
+        }
+        i = parse_plain(toks, i, end, &mut out);
+    }
+    out
+}
+
+/// Consumes one straight-line statement starting at `i`: forward to the
+/// first `;` at bracket depth 0. Balanced `{…}` groups at depth 0 (struct
+/// literals, closure bodies, `match`/`if` used as expressions) are
+/// swallowed and the statement continues, except when nothing follows but
+/// a new statement — a block-ended expression statement (`… { … }` with
+/// no trailing `;`) ends at its closing brace.
+fn parse_plain(toks: &[Tok], start: usize, end: usize, out: &mut Vec<Stmt>) -> usize {
+    let mut i = start;
+    let mut depth = 0i32;
+    while i < end {
+        let t = &toks[i];
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct(";") {
+            i += 1;
+            break;
+        } else if depth == 0 && t.is_punct("{") {
+            let close = skip_balanced(toks, i, end);
+            if toks.get(close).is_some_and(|n| n.is_punct(";")) {
+                i = close + 1;
+                break;
+            }
+            // `} else`, `.method()` chains and binary operators continue
+            // the statement; a fresh token in statement position ends it.
+            if toks.get(close).is_none_or(|n| {
+                !(n.is_ident("else")
+                    || n.is_punct(".")
+                    || n.is_punct("?")
+                    || n.is_punct("+")
+                    || n.is_punct("-")
+                    || n.is_punct("*")
+                    || n.is_punct("/"))
+            }) {
+                i = close;
+                break;
+            }
+            i = close;
+            continue;
+        }
+        i += 1;
+    }
+    out.push(Stmt {
+        span: (start, i),
+        kind: StmtKind::Plain,
+    });
+    i
+}
+
+fn parse_if(toks: &[Tok], start: usize, end: usize, out: &mut Vec<Stmt>) -> usize {
+    let Some(open) = find_body_brace(toks, start + 1, end) else {
+        return parse_plain(toks, start, end, out);
+    };
+    let cond = (start + 1, open);
+    let then_close = skip_balanced(toks, open, end);
+    let then_branch = parse_stmts(toks, open + 1, then_close.saturating_sub(1));
+    let mut else_branch = Vec::new();
+    let mut stmt_end = then_close;
+    if toks.get(then_close).is_some_and(|n| n.is_ident("else")) {
+        let e = then_close + 1;
+        if toks.get(e).is_some_and(|n| n.is_ident("if")) {
+            // `else if …`: recurse; the nested If lands in else_branch.
+            stmt_end = parse_if(toks, e, end, &mut else_branch);
+        } else if toks.get(e).is_some_and(|n| n.is_punct("{")) {
+            let else_close = skip_balanced(toks, e, end);
+            else_branch = parse_stmts(toks, e + 1, else_close.saturating_sub(1));
+            stmt_end = else_close;
+        }
+    }
+    out.push(Stmt {
+        span: (start, stmt_end),
+        kind: StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        },
+    });
+    stmt_end
+}
+
+fn parse_loop(toks: &[Tok], start: usize, end: usize, out: &mut Vec<Stmt>) -> usize {
+    let Some(open) = find_body_brace(toks, start + 1, end) else {
+        return parse_plain(toks, start, end, out);
+    };
+    let close = skip_balanced(toks, open, end);
+    out.push(Stmt {
+        span: (start, close),
+        kind: StmtKind::Loop {
+            header: (start + 1, open),
+            body: parse_stmts(toks, open + 1, close.saturating_sub(1)),
+        },
+    });
+    close
+}
+
+fn parse_match(toks: &[Tok], start: usize, end: usize, out: &mut Vec<Stmt>) -> usize {
+    let Some(open) = find_body_brace(toks, start + 1, end) else {
+        return parse_plain(toks, start, end, out);
+    };
+    let close = skip_balanced(toks, open, end);
+    let body_end = close.saturating_sub(1);
+    let mut arms = Vec::new();
+    let mut i = open + 1;
+    while i < body_end {
+        // Pattern up to the `=>` (lexed as `=` `>`) at depth 0.
+        let mut depth = 0i32;
+        let mut arrow = None;
+        let mut j = i;
+        while j < body_end {
+            let t = &toks[j];
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                depth -= 1;
+            } else if depth == 0
+                && t.is_punct("=")
+                && toks.get(j + 1).is_some_and(|n| n.is_punct(">"))
+            {
+                arrow = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        let Some(arrow) = arrow else {
+            break;
+        };
+        let body_start = arrow + 2;
+        let arm_end = if toks.get(body_start).is_some_and(|n| n.is_punct("{")) {
+            skip_balanced(toks, body_start, body_end)
+        } else {
+            // Expression arm: to the `,` at depth 0 (or the match end).
+            let mut d = 0i32;
+            let mut k = body_start;
+            while k < body_end {
+                let t = &toks[k];
+                if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                    d += 1;
+                } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                    d -= 1;
+                } else if d == 0 && t.is_punct(",") {
+                    break;
+                }
+                k += 1;
+            }
+            k
+        };
+        arms.push(parse_stmts(toks, body_start, arm_end));
+        i = arm_end;
+        if toks.get(i).is_some_and(|n| n.is_punct(",")) {
+            i += 1;
+        }
+    }
+    out.push(Stmt {
+        span: (start, close),
+        kind: StmtKind::Match {
+            scrutinee: (start + 1, open),
+            arms,
+        },
+    });
+    close
+}
+
+/// Finds the `{` opening a structured statement's body: the first `{` at
+/// paren/bracket/angle depth 0 after `from`. Struct literals in `if let`
+/// patterns sit inside parens/brackets or behind `=`, which is close
+/// enough for audit purposes.
+fn find_body_brace(toks: &[Tok], from: usize, end: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for i in from..end {
+        let t = &toks[i];
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct("{") {
+            return Some(i);
+        } else if depth == 0 && t.is_punct(";") {
+            return None;
+        }
+    }
+    None
+}
+
+/// Skips a balanced `{…}` starting at `open_at`. Returns the index just
+/// past the matching close (mirrors `graph::skip_balanced`, kept local so
+/// the passes stay independent).
+fn skip_balanced(toks: &[Tok], open_at: usize, end: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open_at;
+    while i < end {
+        if toks[i].is_punct("{") {
+            depth += 1;
+        } else if toks[i].is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    end
+}
+
+fn within(span: (usize, usize), target: usize) -> bool {
+    span.0 <= target && target < span.1
+}
+
+/// Appends the always-executed token spans of `s` — the part of an
+/// earlier sibling that is guaranteed to run before control reaches a
+/// later statement.
+fn push_executed(s: &Stmt, out: &mut Vec<(usize, usize)>) {
+    match &s.kind {
+        StmtKind::Plain | StmtKind::Block(_) => out.push(s.span),
+        StmtKind::If { cond, .. } => out.push(*cond),
+        StmtKind::Loop { header, .. } => out.push(*header),
+        StmtKind::Match { scrutinee, .. } => out.push(*scrutinee),
+    }
+}
+
+/// Collects the token spans that *dominate* the token at `target`:
+/// always-executed parts of earlier siblings at every enclosing level,
+/// plus the headers of enclosing `if`/loop/`match` statements. Returns
+/// whether `target` was found inside `stmts`.
+pub fn dominating_spans(stmts: &[Stmt], target: usize, out: &mut Vec<(usize, usize)>) -> bool {
+    for s in stmts {
+        if target >= s.span.1 {
+            push_executed(s, out);
+            continue;
+        }
+        if target < s.span.0 {
+            return false;
+        }
+        match &s.kind {
+            StmtKind::Plain => {}
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                if !within(*cond, target) {
+                    out.push(*cond);
+                    // Recurse into a scratch buffer and commit only the
+                    // branch that actually contains the target — a sibling
+                    // branch the target is *past* must not leak its
+                    // statements as dominators.
+                    if !commit_if_found(then_branch, target, out) {
+                        commit_if_found(else_branch, target, out);
+                    }
+                }
+            }
+            StmtKind::Loop { header, body } => {
+                if !within(*header, target) {
+                    out.push(*header);
+                    dominating_spans(body, target, out);
+                }
+            }
+            StmtKind::Match { scrutinee, arms } => {
+                if !within(*scrutinee, target) {
+                    out.push(*scrutinee);
+                    for arm in arms {
+                        if commit_if_found(arm, target, out) {
+                            break;
+                        }
+                    }
+                }
+            }
+            StmtKind::Block(inner) => {
+                dominating_spans(inner, target, out);
+            }
+        }
+        return true;
+    }
+    false
+}
+
+/// Runs [`dominating_spans`] into a scratch buffer and appends the result
+/// to `out` only when `target` was found — used for `if`/`match` branch
+/// lists, where a branch the target merely lies *after* must not
+/// contribute dominators.
+fn commit_if_found(stmts: &[Stmt], target: usize, out: &mut Vec<(usize, usize)>) -> bool {
+    let mut scratch = Vec::new();
+    if dominating_spans(stmts, target, &mut scratch) {
+        out.extend(scratch);
+        true
+    } else {
+        false
+    }
+}
+
+/// How a reaching assignment classifies its right-hand side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignClass {
+    /// The value flows from a pool acquire or an explicit recycle
+    /// (`…pool….get(…)`, `mem::take(…)`): capacity is warm by contract.
+    Pool,
+    /// A fresh empty growable container (`Vec::new()`, `String::new()`):
+    /// the first push is guaranteed to allocate.
+    FreshEmpty,
+    /// Anything else — fields, parameters, sized constructors.
+    Unknown,
+}
+
+/// May-analysis over program order: every assignment to `name` in
+/// `toks[start..target)` — `name = rhs`, `*name = rhs`, `let [mut] name
+/// [: T] = rhs` — classified by RHS. Branch-local assignments count (a
+/// pool acquire on *any* path to the use warms the buffer on that path;
+/// the regression harness covers the rest).
+pub fn reaching_assignments(
+    toks: &[Tok],
+    start: usize,
+    target: usize,
+    name: &str,
+) -> Vec<AssignClass> {
+    let mut out = Vec::new();
+    let end = target.min(toks.len());
+    for i in start..end {
+        if !toks[i].is_ident(name) {
+            continue;
+        }
+        // Field positions (`x.name = …`, `s { name: … }`) are not this
+        // binding.
+        if lex::back(toks, i, 1).is_some_and(|p| p.is_punct(".") || p.is_punct("::")) {
+            continue;
+        }
+        // Optional `: Type` annotation between the name and the `=`.
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|n| n.is_punct(":")) {
+            let mut depth = 0i32;
+            j += 1;
+            while j < end {
+                let t = &toks[j];
+                if t.is_punct("<") || t.is_punct("(") || t.is_punct("[") {
+                    depth += 1;
+                } else if t.is_punct(">") || t.is_punct(")") || t.is_punct("]") {
+                    depth -= 1;
+                } else if depth <= 0 && (t.is_punct("=") || t.is_punct(";") || t.is_punct(",")) {
+                    break;
+                }
+                j += 1;
+            }
+        }
+        if !toks.get(j).is_some_and(|n| n.is_punct("="))
+            || toks.get(j + 1).is_some_and(|n| n.is_punct("="))
+            || lex::back(toks, j, 1).is_some_and(|p| {
+                p.is_punct("=") || p.is_punct("!") || p.is_punct("<") || p.is_punct(">")
+            })
+        {
+            continue;
+        }
+        // RHS: to the next `;` at depth 0.
+        let mut depth = 0i32;
+        let mut k = j + 1;
+        let rhs_start = k;
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            } else if depth == 0 && t.is_punct(";") {
+                break;
+            }
+            k += 1;
+        }
+        out.push(classify_rhs(&toks[rhs_start..k]));
+    }
+    out
+}
+
+fn classify_rhs(rhs: &[Tok]) -> AssignClass {
+    for (i, t) in rhs.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let low = t.text.to_ascii_lowercase();
+        if low.contains("pool") {
+            return AssignClass::Pool;
+        }
+        if t.text == "take" && i >= 1 && rhs.get(i - 1).is_some_and(|p| p.is_punct("::")) {
+            return AssignClass::Pool; // mem::take recycle
+        }
+    }
+    let fresh = rhs.windows(3).any(|w| {
+        (w[0].is_ident("Vec") || w[0].is_ident("String") || w[0].is_ident("VecDeque"))
+            && w[1].is_punct("::")
+            && w[2].is_ident("new")
+    });
+    if fresh {
+        AssignClass::FreshEmpty
+    } else {
+        AssignClass::Unknown
+    }
+}
+
+/// Walks a method-call chain backwards from the `.` before a method name
+/// at `method_idx`, returning the index of the chain's head identifier
+/// (`bucket` for `bucket.push(…)`, `self` for `self.free.push(…)`).
+/// `None` when the chain starts from a parenthesized expression or a
+/// literal.
+pub fn chain_head(toks: &[Tok], method_idx: usize) -> Option<usize> {
+    let mut dot = method_idx.checked_sub(1)?;
+    if !toks.get(dot).is_some_and(|t| t.is_punct(".")) {
+        return None;
+    }
+    loop {
+        let mut k = dot.checked_sub(1)?;
+        // Trailing `?` of a previous segment.
+        while toks.get(k).is_some_and(|t| t.is_punct("?")) {
+            k = k.checked_sub(1)?;
+        }
+        if toks
+            .get(k)
+            .is_some_and(|t| t.is_punct(")") || t.is_punct("]"))
+        {
+            let open = matching_open(toks, k)?;
+            k = open.checked_sub(1)?;
+            if !toks.get(k).is_some_and(|t| t.kind == TokKind::Ident) {
+                return None; // `(expr).method()` — no nameable head
+            }
+        }
+        if toks.get(k).is_some_and(|t| t.kind == TokKind::Literal) {
+            return None;
+        }
+        if !toks.get(k).is_some_and(|t| t.kind == TokKind::Ident) {
+            return None;
+        }
+        match lex::back(toks, k, 1) {
+            Some(p) if p.is_punct(".") => dot = k - 1,
+            Some(p) if p.is_punct("::") => {
+                // Walk the path to its first segment.
+                let mut h = k;
+                while lex::back(toks, h, 1).is_some_and(|p| p.is_punct("::"))
+                    && lex::back(toks, h, 2).is_some_and(|p| p.kind == TokKind::Ident)
+                {
+                    h -= 2;
+                }
+                return Some(h);
+            }
+            _ => return Some(k),
+        }
+    }
+}
+
+/// Finds the opener matching the closing bracket at `close_idx`.
+fn matching_open(toks: &[Tok], close_idx: usize) -> Option<usize> {
+    let (open, close) = if toks[close_idx].is_punct(")") {
+        ("(", ")")
+    } else {
+        ("[", "]")
+    };
+    let mut depth = 0i32;
+    let mut i = close_idx;
+    loop {
+        if toks[i].is_punct(close) {
+            depth += 1;
+        } else if toks[i].is_punct(open) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+        i = i.checked_sub(1)?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex;
+
+    fn body_tree(src: &str) -> (Vec<Tok>, Vec<Stmt>) {
+        let toks = lex::lex(src).tokens;
+        let stmts = parse_stmts(&toks, 0, toks.len());
+        (toks, stmts)
+    }
+
+    fn idx_of(toks: &[Tok], ident: &str) -> usize {
+        toks.iter().position(|t| t.is_ident(ident)).unwrap()
+    }
+
+    #[test]
+    fn statement_tree_shapes() {
+        let (_, stmts) = body_tree(
+            "let a = 1; if c { x(); } else { y(); } for i in 0..3 { z(i); } match m { A => p(), B => { q(); } }",
+        );
+        assert!(matches!(stmts[0].kind, StmtKind::Plain));
+        assert!(matches!(stmts[1].kind, StmtKind::If { .. }));
+        assert!(matches!(stmts[2].kind, StmtKind::Loop { .. }));
+        let StmtKind::Match { ref arms, .. } = stmts[3].kind else {
+            panic!("expected match, got {:?}", stmts[3].kind);
+        };
+        assert_eq!(arms.len(), 2);
+    }
+
+    #[test]
+    fn condition_dominates_its_branch_but_earlier_branches_do_not_dominate() {
+        let src = "if guard() { prep(); } target(); ";
+        let (toks, stmts) = body_tree(src);
+        let mut spans = Vec::new();
+        assert!(dominating_spans(
+            &stmts,
+            idx_of(&toks, "target"),
+            &mut spans
+        ));
+        let dominated_idents: Vec<&str> = spans
+            .iter()
+            .flat_map(|&(s, e)| toks[s..e].iter())
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        // The if's condition always runs; its then-branch may not.
+        assert!(dominated_idents.contains(&"guard"), "{dominated_idents:?}");
+        assert!(!dominated_idents.contains(&"prep"), "{dominated_idents:?}");
+
+        let src2 = "if guard() { target(); } ";
+        let (toks2, stmts2) = body_tree(src2);
+        let mut spans2 = Vec::new();
+        assert!(dominating_spans(
+            &stmts2,
+            idx_of(&toks2, "target"),
+            &mut spans2
+        ));
+        let doms2: Vec<&str> = spans2
+            .iter()
+            .flat_map(|&(s, e)| toks2[s..e].iter())
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(doms2.contains(&"guard"), "{doms2:?}");
+    }
+
+    #[test]
+    fn match_arms_do_not_dominate_each_other() {
+        let src = "match sel() { A => first(), B => target(), } ";
+        let (toks, stmts) = body_tree(src);
+        let mut spans = Vec::new();
+        assert!(dominating_spans(
+            &stmts,
+            idx_of(&toks, "target"),
+            &mut spans
+        ));
+        let doms: Vec<&str> = spans
+            .iter()
+            .flat_map(|&(s, e)| toks[s..e].iter())
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(doms.contains(&"sel"), "{doms:?}");
+        assert!(!doms.contains(&"first"), "{doms:?}");
+    }
+
+    #[test]
+    fn reaching_assignments_classify_pool_fresh_unknown() {
+        let src = "let mut a = Vec::new(); let b = self.pool.get(); let c = field; if x { a = std::mem::take(&mut spare); } use_all(a, b, c);";
+        let toks = lex::lex(src).tokens;
+        let target = toks.iter().position(|t| t.is_ident("use_all")).unwrap();
+        let a = reaching_assignments(&toks, 0, target, "a");
+        assert_eq!(a, vec![AssignClass::FreshEmpty, AssignClass::Pool]);
+        let b = reaching_assignments(&toks, 0, target, "b");
+        assert_eq!(b, vec![AssignClass::Pool]);
+        let c = reaching_assignments(&toks, 0, target, "c");
+        assert_eq!(c, vec![AssignClass::Unknown]);
+    }
+
+    #[test]
+    fn chain_head_walks_methods_calls_and_paths() {
+        let toks = lex::lex("bucket.push(e); self.free.push(b); s.lock().unwrap().push(v); std::mem::take(&mut x).push(w);").tokens;
+        let heads: Vec<Option<String>> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("push"))
+            .map(|(i, _)| chain_head(&toks, i).map(|h| toks[h].text.clone()))
+            .collect();
+        assert_eq!(
+            heads,
+            vec![
+                Some("bucket".to_string()),
+                Some("self".to_string()),
+                Some("s".to_string()),
+                Some("std".to_string()),
+            ]
+        );
+    }
+}

@@ -146,6 +146,13 @@ pub struct FnNode {
     /// Whether the fn is a public-API entry point: `pub fn` or a
     /// trait-impl method (dynamic dispatch) in non-test, non-bin code.
     pub entry: bool,
+    /// Whether a `// sslint: hot-path — why` marker names this fn as a
+    /// root of the hot-path-alloc reachability set.
+    pub hot_root: bool,
+    /// Whether a `// sslint: pool-boundary — why` marker names this fn as
+    /// a pool acquire: hot-path traversal stops here and the fn's own
+    /// (amortized) allocations are sanctioned.
+    pub pool_boundary: bool,
     /// Outgoing call edges (global fn ids), sorted and deduplicated.
     pub calls: Vec<FnId>,
     /// Potential panics in this fn's own body.
@@ -201,12 +208,22 @@ impl Graph {
                     let entry = !item.in_test
                         && !file.is_bin
                         && (item.vis == Vis::Pub || item.is_trait_impl_fn());
+                    let marked = |marker_lines: &[u32]| {
+                        marker_lines.iter().any(|&m| {
+                            m < item.line
+                                && !files[ki][fi].items.iter().any(|o| {
+                                    o.kind == ItemKind::Fn && m < o.line && o.line < item.line
+                                })
+                        })
+                    };
                     fns.push(FnNode {
                         krate: ki,
                         file: fi,
                         item: ii,
                         name: item.name.clone(),
                         entry,
+                        hot_root: !item.in_test && marked(&file.lexed.hot_paths),
+                        pool_boundary: marked(&file.lexed.pool_boundaries),
                         calls: Vec::new(),
                         panics: Vec::new(),
                     });
@@ -298,6 +315,43 @@ impl Graph {
             let (hops, _) = state[id].unwrap_or((0, None));
             for &next in &self.fns[id].calls {
                 if state[next].is_none() {
+                    state[next] = Some((hops + 1, Some(id)));
+                    queue.push_back(next);
+                }
+            }
+        }
+        state
+    }
+
+    /// Multi-source BFS from every `// sslint: hot-path` root, pruned at
+    /// `// sslint: pool-boundary` fns: a pool acquire is never entered, so
+    /// neither its body nor anything only reachable through it is in the
+    /// hot set. Same result shape as [`Graph::reach_from_entries`].
+    pub fn reach_from_hot(&self) -> Vec<Option<(u32, Option<FnId>)>> {
+        let mut state: Vec<Option<(u32, Option<FnId>)>> = vec![None; self.fns.len()];
+        let mut queue: std::collections::VecDeque<FnId> = std::collections::VecDeque::new();
+        for (id, f) in self.fns.iter().enumerate() {
+            if f.hot_root && !f.pool_boundary {
+                state[id] = Some((0, None));
+                queue.push_back(id);
+            }
+        }
+        while let Some(id) = queue.pop_front() {
+            let (hops, _) = state[id].unwrap_or((0, None));
+            for &next in &self.fns[id].calls {
+                // Constructor-named callees are setup-by-convention: the
+                // syntactic resolver maps `Direction::default()` onto every
+                // same-named fn in the crate, so following them would drag
+                // cold constructors into the hot set. The runtime
+                // allocs/event counter backstops any constructor that truly
+                // runs per-event.
+                if matches!(
+                    self.fns[next].name.as_str(),
+                    "new" | "default" | "with_capacity"
+                ) {
+                    continue;
+                }
+                if state[next].is_none() && !self.fns[next].pool_boundary {
                     state[next] = Some((hops + 1, Some(id)));
                     queue.push_back(next);
                 }

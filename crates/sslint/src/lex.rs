@@ -60,6 +60,16 @@ pub struct Lexed {
     pub allows: BTreeMap<u32, Vec<String>>,
     /// Lines carrying an allow comment with an empty reason.
     pub reasonless_allows: Vec<u32>,
+    /// Lines of `// SAFETY: …` comments (the unsafe-contract rule
+    /// requires one adjacent to every `unsafe` construct).
+    pub safety_comments: Vec<u32>,
+    /// Lines of `// sslint: hot-path — why` markers: the next fn item is a
+    /// root of the hot-path-alloc reachability set.
+    pub hot_paths: Vec<u32>,
+    /// Lines of `// sslint: pool-boundary — why` markers: the next fn item
+    /// is a pool acquire — hot-path traversal stops there and its own
+    /// (amortized, cold) allocations are sanctioned.
+    pub pool_boundaries: Vec<u32>,
 }
 
 /// Scans `src` into tokens. The scanner never fails: unexpected bytes
@@ -323,13 +333,39 @@ fn ident_continue(c: u8) -> bool {
     c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
 }
 
-/// Parses `sslint: allow(rule[, rule…]) — reason` out of a line comment.
+/// Parses the sslint line-comment directives — `sslint: allow(rule[,
+/// rule…]) — reason`, `sslint: hot-path — why`, `sslint: pool-boundary —
+/// why` — plus plain `SAFETY:` contract comments.
 fn scan_allow_comment(comment: &str, line: u32, out: &mut Lexed) {
     let t = comment.trim_start();
+    // `// SAFETY: …` contract comments, plus the rustdoc `# Safety`
+    // section header conventionally carried by `unsafe fn` docs.
+    if t.starts_with("SAFETY:")
+        || t.trim_start_matches('/')
+            .trim_start()
+            .starts_with("# Safety")
+    {
+        out.safety_comments.push(line);
+        return;
+    }
+    // A line comment directly under a SAFETY line continues the block, so
+    // multi-line contracts keep the whole run adjacent to the construct.
+    if out.safety_comments.last() == Some(&(line - 1)) && !t.starts_with("sslint:") {
+        out.safety_comments.push(line);
+        return;
+    }
     let Some(rest) = t.strip_prefix("sslint:") else {
         return;
     };
     let rest = rest.trim_start();
+    if rest.starts_with("hot-path") {
+        out.hot_paths.push(line);
+        return;
+    }
+    if rest.starts_with("pool-boundary") {
+        out.pool_boundaries.push(line);
+        return;
+    }
     let Some(rest) = rest.strip_prefix("allow") else {
         return;
     };
@@ -537,6 +573,21 @@ mod tests {
             .find(|(t, _)| t.is_ident("live2"))
             .map(|(_, m)| *m);
         assert_eq!(live2, Some(false));
+    }
+
+    #[test]
+    fn safety_and_flow_markers_are_collected() {
+        let src = "// SAFETY: ptr is in bounds\n\
+                   unsafe { x() }\n\
+                   // sslint: hot-path — event loop root\n\
+                   fn step() {}\n\
+                   // sslint: pool-boundary — sanctioned cold alloc\n\
+                   fn get() {}\n";
+        let l = lex(src);
+        assert_eq!(l.safety_comments, vec![1]);
+        assert_eq!(l.hot_paths, vec![3]);
+        assert_eq!(l.pool_boundaries, vec![5]);
+        assert!(l.allows.is_empty());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | H — hermeticity & layering | `dep-hermetic`, `layering`, `unsafe-forbid` |
 //! | T — trace conventions | `trace-kind` |
 //! | G — graph semantics | `panic-reach`, `rng-provenance`, `trace-coverage`, `dead-pub` |
+//! | F — flow (pass 3) | `hot-path-alloc`, `thread-capture`, `unsafe-contract`, `float-determinism` |
 //!
 //! Violations can be justified two ways: inline with
 //! `// sslint: allow(<rule>) — <reason>` (covers its own line plus the
@@ -30,6 +31,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
+pub mod flow;
 pub mod graph;
 pub mod lex;
 pub mod manifest;
@@ -156,8 +159,15 @@ pub fn run(root: &Path, allowlist_path: &str) -> io::Result<Report> {
 /// Like [`run`], lexing source files on `jobs` worker threads. The
 /// report is byte-identical for any worker count.
 pub fn run_jobs(root: &Path, allowlist_path: &str, jobs: usize) -> io::Result<Report> {
+    let allow_text = match std::fs::read_to_string(root.join(allowlist_path)) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(e),
+    };
+    let (entries, malformed) = parse_allowlist(&allow_text);
+
     let ws = workspace::load_jobs(root, jobs)?;
-    let raw = rules::run_all(&ws);
+    let raw = rules::run_all(&ws, &entries);
 
     // Inline allow map: file → (first, last, rules) coverage intervals.
     // An allow comment covers its own line plus the statement that starts
@@ -179,12 +189,6 @@ pub fn run_jobs(root: &Path, allowlist_path: &str, jobs: usize) -> io::Result<Re
         }
     }
 
-    let allow_text = match std::fs::read_to_string(root.join(allowlist_path)) {
-        Ok(text) => text,
-        Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
-        Err(e) => return Err(e),
-    };
-    let (entries, malformed) = parse_allowlist(&allow_text);
     let mut entry_used = vec![false; entries.len()];
 
     let mut findings = Vec::new();

@@ -1,5 +1,5 @@
 //! CLI entry point: `sslint [--root <dir>] [--format text|jsonl|sarif]
-//! [--allow <file>] [--jobs <n>] [--list-rules]`.
+//! [--allow <file>] [--jobs <n>] [--no-cache] [--list-rules]`.
 //!
 //! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
 
@@ -15,6 +15,7 @@ fn main() -> ExitCode {
     let mut format = Format::Text;
     let mut allow = sslint::ALLOWLIST_FILE.to_string();
     let mut jobs = 1usize;
+    let mut use_cache = true;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -37,6 +38,7 @@ fn main() -> ExitCode {
                 Some(n) if n >= 1 => jobs = n,
                 _ => return usage("--jobs needs a worker count >= 1"),
             },
+            "--no-cache" => use_cache = false,
             "--list-rules" => {
                 for r in sslint::rules::RULES {
                     println!("{:<18} {:<8} {}", r.id, r.group, r.desc);
@@ -51,8 +53,9 @@ fn main() -> ExitCode {
         }
     }
 
-    let report = match sslint::run_jobs(&root, &allow, jobs) {
-        Ok(r) => r,
+    let cache_path = use_cache.then(|| root.join("target").join("sslint-cache.json"));
+    let report = match sslint::cache::run_cached(&root, &allow, jobs, cache_path.as_deref()) {
+        Ok((r, _status)) => r,
         Err(e) => {
             eprintln!("sslint: cannot audit {}: {e}", root.display());
             return ExitCode::from(2);
@@ -101,7 +104,7 @@ const HELP: &str = "\
 sslint — in-tree determinism & hygiene auditor
 
 USAGE: sslint [--root <dir>] [--format text|jsonl|sarif] [--allow <file>]
-              [--jobs <n>] [--list-rules]
+              [--jobs <n>] [--no-cache] [--list-rules]
 
   --root <dir>     workspace root to audit (default: .)
   --format <fmt>   `text` (default), `jsonl` (one finding per line) or
@@ -109,6 +112,8 @@ USAGE: sslint [--root <dir>] [--format text|jsonl|sarif] [--allow <file>]
   --allow <file>   allowlist path relative to the root (default: sslint.allow)
   --jobs <n>       lexer worker threads (default: 1); output is
                    byte-identical for any value
+  --no-cache       skip the <root>/target/sslint-cache.json fingerprint
+                   snapshot and always run cold
   --list-rules     print the rule catalogue (id, group, description) and exit
 
 Exit codes: 0 clean, 1 findings, 2 usage or I/O error.";

@@ -12,6 +12,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use crate::flow::{self, AssignClass};
 use crate::graph::{Graph, ItemKind, Vis};
 use crate::lex::{self, Tok, TokKind};
 use crate::workspace::{CrateInfo, SrcFile, Workspace};
@@ -61,6 +62,20 @@ pub const RULE_RNG_PROVENANCE: &str = "rng-provenance";
 pub const RULE_TRACE_COVERAGE: &str = "trace-coverage";
 /// Rule G: pub items of internal crates with zero cross-crate references.
 pub const RULE_DEAD_PUB: &str = "dead-pub";
+/// Rule F: heap-allocating constructs reachable from a `// sslint:
+/// hot-path` root without passing through a pool acquire.
+pub const RULE_HOT_PATH_ALLOC: &str = "hot-path-alloc";
+/// Rule F: nondeterministic shared-state captures in closures handed to
+/// `thread::scope`/`spawn` (unmediated writes, `&mut`, `RefCell`/`Cell`,
+/// completion-order result pushes).
+pub const RULE_THREAD_CAPTURE: &str = "thread-capture";
+/// Rule F: every `unsafe` construct needs an adjacent `// SAFETY:`
+/// comment, a sanctioned allowlist row with a cross-check test, and a
+/// dominating feature guard for gated dispatch.
+pub const RULE_UNSAFE_CONTRACT: &str = "unsafe-contract";
+/// Rule F: floating-point accumulation in sim crates must use a fixed
+/// iteration order — no `f64` folds over hash-ordered collections.
+pub const RULE_FLOAT_DETERMINISM: &str = "float-determinism";
 
 /// One rule's catalogue entry, for `--list-rules`, SARIF metadata and the
 /// DESIGN.md §7 sync test.
@@ -142,6 +157,26 @@ pub const RULES: &[RuleInfo] = &[
         group: "G",
         desc: "no pub item of an internal crate with zero cross-crate references",
     },
+    RuleInfo {
+        id: RULE_HOT_PATH_ALLOC,
+        group: "F",
+        desc: "no heap allocation reachable from a hot-path root without a pool acquire (call path reported)",
+    },
+    RuleInfo {
+        id: RULE_THREAD_CAPTURE,
+        group: "F",
+        desc: "spawned closures must not capture &mut/RefCell/Cell, write captured state, or push in completion order",
+    },
+    RuleInfo {
+        id: RULE_UNSAFE_CONTRACT,
+        group: "F",
+        desc: "every unsafe construct carries an adjacent SAFETY: comment, a cross-checked allow row, and its guard",
+    },
+    RuleInfo {
+        id: RULE_FLOAT_DETERMINISM,
+        group: "F",
+        desc: "sim-crate float accumulation folds in a fixed order, never over hash-ordered collections",
+    },
 ];
 
 /// Every rule id, for `--help` and allowlist validation.
@@ -159,6 +194,10 @@ pub const ALL_RULES: &[&str] = &[
     RULE_RNG_PROVENANCE,
     RULE_TRACE_COVERAGE,
     RULE_DEAD_PUB,
+    RULE_HOT_PATH_ALLOC,
+    RULE_THREAD_CAPTURE,
+    RULE_UNSAFE_CONTRACT,
+    RULE_FLOAT_DETERMINISM,
 ];
 
 /// The layering DAG: each crate's layer number; a crate may only depend
@@ -206,8 +245,10 @@ pub fn is_sim_crate(dir_name: &str) -> bool {
 }
 
 /// Runs every rule over the workspace: the single-file token rules, then
-/// the graph-semantic rules over a freshly built [`Graph`].
-pub fn run_all(ws: &Workspace) -> Vec<Finding> {
+/// the graph-semantic rules over a freshly built [`Graph`], then the
+/// flow-aware pass-3 rules ([`crate::flow`]). `allow` is the parsed root
+/// allowlist — the unsafe-contract rule audits its unsafe-forbid rows.
+pub fn run_all(ws: &Workspace, allow: &[crate::AllowEntry]) -> Vec<Finding> {
     let mut findings = Vec::new();
     let declared = declared_trace_variants(ws);
     let declared_kinds = declared.as_ref().map(|d| d.names.clone());
@@ -217,11 +258,13 @@ pub fn run_all(ws: &Workspace) -> Vec<Finding> {
         unsafe_forbid(krate, &mut findings);
         for file in &krate.files {
             allow_hygiene(file, &mut findings);
+            thread_capture(file, &mut findings);
             if is_sim_crate(&krate.dir_name) {
                 wall_clock(file, &mut findings);
                 let hash_names = collect_hash_names(file);
                 hash_iter(file, &hash_names, &mut findings);
                 rng_provenance(file, &mut findings);
+                float_determinism(file, &hash_names, &mut findings);
             }
             if !file.is_bin {
                 panic_hygiene(file, &mut findings);
@@ -233,6 +276,8 @@ pub fn run_all(ws: &Workspace) -> Vec<Finding> {
     panic_reach(ws, &graph, &mut findings);
     trace_coverage(ws, &graph, &declared, &mut findings);
     dead_pub(ws, &graph, &mut findings);
+    hot_path_alloc(ws, &graph, &mut findings);
+    unsafe_contract(ws, &graph, allow, &mut findings);
     findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     findings
 }
@@ -1036,6 +1081,805 @@ fn dead_pub(ws: &Workspace, graph: &Graph, findings: &mut Vec<Finding>) {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Rule F — flow-aware (pass 3)
+// ---------------------------------------------------------------------------
+
+/// Rule F `hot-path-alloc`: the static twin of `alloc_regression.rs`.
+/// Walks the call graph from every `// sslint: hot-path` root (pruned at
+/// `// sslint: pool-boundary` acquires) and flags heap-allocating
+/// constructs in reachable bodies: `Vec::new`/`vec!`, `Box::new`,
+/// `String::new`/`from`, `.to_vec()`/`.to_string()`/`.to_owned()`,
+/// `.clone()` and `format!` are flagged outright; `.push(…)` only when
+/// dataflow shows the receiver was freshly constructed empty in this fn
+/// and never (re)filled from a pool — a warm field or pool-acquired
+/// buffer pushes into reserved capacity, which the runtime counter
+/// verifies. Sized `with_capacity` pre-allocation is the sanctioned
+/// setup idiom and is not flagged.
+fn hot_path_alloc(ws: &Workspace, graph: &Graph, findings: &mut Vec<Finding>) {
+    let reach = graph.reach_from_hot();
+    for (id, f) in graph.fns.iter().enumerate() {
+        if reach.get(id).is_none_or(Option::is_none) {
+            continue;
+        }
+        let Some(item) = graph
+            .files
+            .get(f.krate)
+            .and_then(|files| files.get(f.file))
+            .and_then(|gf| gf.items.get(f.item))
+        else {
+            continue;
+        };
+        let Some((bs, be)) = item.body else {
+            continue;
+        };
+        let Some(file) = ws.crates.get(f.krate).and_then(|k| k.files.get(f.file)) else {
+            continue;
+        };
+        let toks = &file.lexed.tokens;
+        let be = be.min(toks.len());
+        let path = graph.path_to(&reach, id);
+        let mut flag = |line: u32, what: &str| {
+            findings.push(Finding {
+                rule: RULE_HOT_PATH_ALLOC,
+                file: file.rel.clone(),
+                line,
+                msg: format!(
+                    "{what} allocates on the hot path `{path}` — recycle \
+                     through a pool, hoist out of the event loop, or justify \
+                     with an sslint allow comment"
+                ),
+            });
+        };
+        for (i, t) in toks.iter().enumerate().take(be).skip(bs) {
+            if file.mask.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let prev_is_dot = lex::back(toks, i, 1).is_some_and(|p| p.is_punct("."));
+            let next_is_paren = toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+            let next_is_bang = toks.get(i + 1).is_some_and(|n| n.is_punct("!"));
+            // `Vec::new()`, `String::new()`, `String::from(…)`, `Box::new(…)`.
+            if matches!(t.text.as_str(), "Vec" | "VecDeque" | "String" | "Box")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                && toks
+                    .get(i + 2)
+                    .is_some_and(|n| n.is_ident("new") || n.is_ident("from"))
+                && toks.get(i + 3).is_some_and(|n| n.is_punct("("))
+            {
+                let Some(method) = toks.get(i + 2) else {
+                    continue;
+                };
+                flag(t.line, &format!("`{}::{}(…)`", t.text, method.text));
+                continue;
+            }
+            if (t.text == "vec" || t.text == "format") && next_is_bang {
+                flag(t.line, &format!("`{}!`", t.text));
+                continue;
+            }
+            if prev_is_dot && next_is_paren {
+                match t.text.as_str() {
+                    "to_vec" | "to_string" | "to_owned" | "clone" => {
+                        flag(t.line, &format!("`.{}()`", t.text));
+                        continue;
+                    }
+                    "push" | "push_back" | "push_front" => {
+                        let Some(h) = flow::chain_head(toks, i) else {
+                            continue;
+                        };
+                        let Some(head) = toks.get(h) else {
+                            continue;
+                        };
+                        let name = &head.text;
+                        if name == "self" || head.kind != TokKind::Ident {
+                            continue; // field/unknown receiver: warm by contract
+                        }
+                        let classes = flow::reaching_assignments(toks, bs, i, name);
+                        let fresh = classes.contains(&AssignClass::FreshEmpty);
+                        let pooled = classes.contains(&AssignClass::Pool);
+                        if fresh && !pooled {
+                            flag(
+                                t.line,
+                                &format!("`{name}.{}(…)` into a freshly-emptied buffer", t.text),
+                            );
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Identifier heads that mark a mediated (race-free, order-free) access
+/// inside a spawned closure.
+const CAPTURE_MEDIATORS: &[&str] = &[
+    "lock",
+    "fetch_add",
+    "fetch_sub",
+    "store",
+    "load",
+    "compare_exchange",
+    "swap",
+    "send",
+];
+
+/// Rule F `thread-capture`: audits every closure handed to
+/// `thread::scope`/`scope.spawn`/`thread::spawn`. Flags (a) `&mut`
+/// captures, (b) `RefCell`/`Cell` interior mutability crossing into a
+/// thread, (c) direct writes to captured bindings (mediated chains
+/// through `.lock()`/atomics/channels naturally escape the pattern), and
+/// (d) the ordering hazard of `.push(…)` onto a captured collection —
+/// results land in completion order, not declared order; the sanctioned
+/// idiom is a pre-sized slot table indexed by work item.
+fn thread_capture(file: &SrcFile, findings: &mut Vec<Finding>) {
+    let toks = &file.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if file.mask[i] || !t.is_ident("spawn") {
+            continue;
+        }
+        if !lex::back(toks, i, 1).is_some_and(|p| p.is_punct(".") || p.is_punct("::")) {
+            continue;
+        }
+        if !toks.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+            continue;
+        }
+        let mut j = i + 2;
+        if toks.get(j).is_some_and(|n| n.is_ident("move")) {
+            j += 1;
+        }
+        if !toks.get(j).is_some_and(|n| n.is_punct("|")) {
+            continue; // not a literal closure argument
+        }
+        // Closure parameters up to the closing `|`.
+        let mut locals: BTreeSet<String> = BTreeSet::new();
+        let mut k = j + 1;
+        while k < toks.len() && !toks[k].is_punct("|") {
+            if toks[k].kind == TokKind::Ident && !matches!(toks[k].text.as_str(), "mut" | "ref") {
+                locals.insert(toks[k].text.clone());
+            }
+            k += 1;
+        }
+        let body_start = k + 1;
+        let body_end = closure_body_end(toks, i + 1, body_start);
+        collect_closure_locals(toks, body_start, body_end, &mut locals);
+
+        for n in body_start..body_end {
+            let tn = &toks[n];
+            // (a) `&mut captured` aliased into the thread.
+            if tn.is_punct("&")
+                && toks.get(n + 1).is_some_and(|x| x.is_ident("mut"))
+                && toks.get(n + 2).is_some_and(|x| {
+                    x.kind == TokKind::Ident && x.text != "self" && !locals.contains(&x.text)
+                })
+            {
+                let Some(name) = toks.get(n + 2) else {
+                    continue;
+                };
+                findings.push(Finding {
+                    rule: RULE_THREAD_CAPTURE,
+                    file: file.rel.clone(),
+                    line: name.line,
+                    msg: format!(
+                        "spawned closure captures `&mut {}` — route writes \
+                         through a Mutex/atomic or a per-task slot",
+                        name.text
+                    ),
+                });
+                continue;
+            }
+            // (b) interior mutability that is not Sync.
+            if tn.is_ident("RefCell") || tn.is_ident("Cell") {
+                findings.push(Finding {
+                    rule: RULE_THREAD_CAPTURE,
+                    file: file.rel.clone(),
+                    line: tn.line,
+                    msg: format!(
+                        "`{}` inside a spawned closure — interior mutability \
+                         crossing a thread boundary needs a Mutex or atomic",
+                        tn.text
+                    ),
+                });
+                continue;
+            }
+            if tn.kind != TokKind::Ident {
+                continue;
+            }
+            // (d) completion-order pushes onto a captured collection.
+            if matches!(tn.text.as_str(), "push" | "push_back")
+                && lex::back(toks, n, 1).is_some_and(|p| p.is_punct("."))
+                && toks.get(n + 1).is_some_and(|x| x.is_punct("("))
+            {
+                if let Some(h) = flow::chain_head(toks, n) {
+                    let head = &toks[h];
+                    let is_path = toks.get(h + 1).is_some_and(|x| x.is_punct("::"));
+                    if !is_path && head.text != "self" && !locals.contains(&head.text) {
+                        findings.push(Finding {
+                            rule: RULE_THREAD_CAPTURE,
+                            file: file.rel.clone(),
+                            line: tn.line,
+                            msg: format!(
+                                "`{}.push(…)` inside a spawned closure keys \
+                                 results by completion order — assign into a \
+                                 pre-sized slot indexed by the work item \
+                                 instead",
+                                head.text
+                            ),
+                        });
+                    }
+                }
+                continue;
+            }
+            // (c) direct write to a captured binding.
+            if locals.contains(&tn.text)
+                || tn.text == "self"
+                || CAPTURE_MEDIATORS.contains(&tn.text.as_str())
+                || lex::back(toks, n, 1).is_some_and(|p| {
+                    p.is_punct(".")
+                        || p.is_punct("::")
+                        || p.is_punct("&")
+                        || p.kind == TokKind::Ident
+                })
+            {
+                continue;
+            }
+            let mut w = n + 1;
+            if toks.get(w).is_some_and(|x| x.is_punct("[")) {
+                w = skip_index(toks, w);
+            }
+            let op_start = w;
+            if toks.get(w).is_some_and(|x| {
+                x.is_punct("+")
+                    || x.is_punct("-")
+                    || x.is_punct("*")
+                    || x.is_punct("/")
+                    || x.is_punct("%")
+                    || x.is_punct("^")
+            }) {
+                w += 1;
+            }
+            let is_assign = toks.get(w).is_some_and(|x| x.is_punct("="))
+                && !toks
+                    .get(w + 1)
+                    .is_some_and(|x| x.is_punct("=") || x.is_punct(">"));
+            // Plain `x = …` must not be a `let` initializer or comparison
+            // tail; compound `x += …` is always a write.
+            if is_assign && (w > op_start || !is_let_target(toks, n)) {
+                findings.push(Finding {
+                    rule: RULE_THREAD_CAPTURE,
+                    file: file.rel.clone(),
+                    line: tn.line,
+                    msg: format!(
+                        "spawned closure writes captured binding `{}` without \
+                         a Mutex/atomic/channel — a data race the scope only \
+                         hides by convention",
+                        tn.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Token index just past a closure body that starts at `body_start`,
+/// where `open_paren` is the `spawn(` paren enclosing the closure: a
+/// braced body ends at its balanced `}`, an expression body at the
+/// argument list's `,` or `)`.
+fn closure_body_end(toks: &[Tok], open_paren: usize, body_start: usize) -> usize {
+    if toks.get(body_start).is_some_and(|n| n.is_punct("{")) {
+        let mut depth = 0usize;
+        let mut i = body_start;
+        while i < toks.len() {
+            if toks[i].is_punct("{") {
+                depth += 1;
+            } else if toks[i].is_punct("}") {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+        return toks.len();
+    }
+    let mut depth = 1i32; // we are inside `spawn(`
+    let mut i = open_paren + 1;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        } else if depth == 1 && t.is_punct(",") && i >= body_start {
+            return i;
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Adds `let`/`for`-bound names and nested-closure parameters within
+/// `toks[start..end)` to `locals`.
+fn collect_closure_locals(toks: &[Tok], start: usize, end: usize, locals: &mut BTreeSet<String>) {
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        if t.is_ident("let") || t.is_ident("for") {
+            let mut n = i + 1;
+            while n < end {
+                let tn = &toks[n];
+                if tn.is_punct("=") || tn.is_ident("in") || tn.is_punct(":") || tn.is_punct(";") {
+                    break;
+                }
+                if tn.kind == TokKind::Ident && !matches!(tn.text.as_str(), "mut" | "ref") {
+                    locals.insert(tn.text.clone());
+                }
+                n += 1;
+            }
+        }
+        // Nested closure params: `|a, b|` after `(`, `,` or `=`.
+        if t.is_punct("|")
+            && lex::back(toks, i, 1)
+                .is_some_and(|p| p.is_punct("(") || p.is_punct(",") || p.is_punct("="))
+        {
+            let mut n = i + 1;
+            while n < end && !toks[n].is_punct("|") {
+                if toks[n].kind == TokKind::Ident && !matches!(toks[n].text.as_str(), "mut" | "ref")
+                {
+                    locals.insert(toks[n].text.clone());
+                }
+                n += 1;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Whether the ident at `i` is the binding target of a `let` (scanning
+/// back over pattern tokens to the `let` keyword on the same statement).
+fn is_let_target(toks: &[Tok], i: usize) -> bool {
+    let mut k = i;
+    while let Some(p) = lex::back(toks, k, 1) {
+        if p.is_ident("let") {
+            return true;
+        }
+        if p.kind == TokKind::Ident && matches!(p.text.as_str(), "mut" | "ref") {
+            k -= 1;
+            continue;
+        }
+        if p.is_punct("(") || p.is_punct(",") {
+            k -= 1;
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// Skips a balanced `[…]` starting at `open`. Returns the index past `]`.
+fn skip_index(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].is_punct("[") {
+            depth += 1;
+        } else if toks[i].is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Rule F `unsafe-contract`: three obligations per `unsafe` construct.
+/// (1) Every non-test `unsafe` block/fn/impl needs a `// SAFETY:` comment
+/// within the three preceding lines (multi-line SAFETY comments extend
+/// the window; `unsafe fn` signatures *inside* an `unsafe impl` inherit
+/// the impl-level contract). (2) Every unsafe-containing crate must be
+/// sanctioned by an `unsafe-forbid` allowlist row whose reason cites a
+/// cross-check test that actually references the unsafe module. (3) An
+/// unsafe block dispatching into a feature-gated module (one declaring an
+/// `available()` probe) must be dominated by a call to that guard.
+fn unsafe_contract(
+    ws: &Workspace,
+    graph: &Graph,
+    allow: &[crate::AllowEntry],
+    findings: &mut Vec<Finding>,
+) {
+    for (ki, krate) in ws.crates.iter().enumerate() {
+        // Guard modules of this crate: inline `mod m` or sibling file `m.rs`
+        // declaring a fn named `available`.
+        let mut guard_mods: BTreeSet<String> = BTreeSet::new();
+        for (fi, file) in krate.files.iter().enumerate() {
+            let items = &graph.files[ki][fi].items;
+            for item in items {
+                if item.kind == ItemKind::Fn && item.name == "available" {
+                    match item.parent {
+                        Some(p) if items[p].kind == ItemKind::Mod => {
+                            guard_mods.insert(items[p].name.clone());
+                        }
+                        None => {
+                            if let Some(stem) = file_stem(&file.rel) {
+                                guard_mods.insert(stem.to_string());
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+
+        let mut unsafe_files: Vec<usize> = Vec::new();
+        for (fi, file) in krate.files.iter().enumerate() {
+            let toks = &file.lexed.tokens;
+            let items = &graph.files[ki][fi].items;
+            let mut saw_unsafe = false;
+            for (i, t) in toks.iter().enumerate() {
+                if file.mask[i] || !t.is_ident("unsafe") {
+                    continue;
+                }
+                saw_unsafe = true;
+                let next = toks.get(i + 1);
+                let in_unsafe_impl = items.iter().any(|it| {
+                    it.kind == ItemKind::Impl
+                        && it.span.0 <= i
+                        && i < it.span.1
+                        && lex::back(toks, it.span.0, 1).is_some_and(|p| p.is_ident("unsafe"))
+                });
+                let is_required_sig =
+                    next.is_some_and(|n| n.is_ident("fn")) && in_unsafe_impl && i != 0;
+                let covered = file
+                    .lexed
+                    .safety_comments
+                    .iter()
+                    .any(|&s| s <= t.line && t.line - s <= 3);
+                if !covered && !is_required_sig {
+                    let what = match next {
+                        Some(n) if n.is_punct("{") => "unsafe block",
+                        Some(n) if n.is_ident("fn") => "unsafe fn",
+                        Some(n) if n.is_ident("impl") => "unsafe impl",
+                        Some(n) if n.is_ident("trait") => "unsafe trait",
+                        _ => "unsafe construct",
+                    };
+                    findings.push(Finding {
+                        rule: RULE_UNSAFE_CONTRACT,
+                        file: file.rel.clone(),
+                        line: t.line,
+                        msg: format!(
+                            "{what} without an adjacent `// SAFETY:` comment — \
+                             state the invariant that makes it sound"
+                        ),
+                    });
+                }
+                // Guard dominance for feature-gated dispatch.
+                if next.is_some_and(|n| n.is_punct("{")) {
+                    check_guard_dominance(file, items, &guard_mods, i, findings);
+                }
+            }
+            if saw_unsafe {
+                unsafe_files.push(fi);
+            }
+        }
+        if unsafe_files.is_empty() {
+            continue;
+        }
+
+        // (2) The crate-level sanction and its cross-check test.
+        let lib_rel = krate
+            .files
+            .iter()
+            .find(|f| f.rel.ends_with("src/lib.rs"))
+            .map(|f| f.rel.clone());
+        let row = allow
+            .iter()
+            .find(|e| e.rule == RULE_UNSAFE_FORBID && Some(&e.path) == lib_rel.as_ref());
+        if row.is_none() {
+            findings.push(Finding {
+                rule: RULE_UNSAFE_CONTRACT,
+                file: lib_rel.unwrap_or_else(|| krate.manifest_rel.clone()),
+                line: 1,
+                msg: format!(
+                    "crate `{}` contains unsafe code but no `unsafe-forbid` \
+                     allowlist row sanctions it — add a reasoned row or \
+                     remove the unsafe",
+                    krate.dir_name
+                ),
+            });
+        }
+        for &fi in &unsafe_files {
+            let file = &krate.files[fi];
+            let Some(stem) = file_stem(&file.rel) else {
+                continue;
+            };
+            // Cross-check tests: the reference corpus (crate tests/benches
+            // or root tests/examples) or in-crate `#[cfg(test)]` code
+            // naming the module.
+            let mut citing: BTreeSet<String> = BTreeSet::new();
+            for rf in &ws.ref_files {
+                let owned =
+                    rf.owner.as_deref() == Some(krate.dir_name.as_str()) || rf.owner.is_none();
+                if owned && references_stem(&rf.lexed.tokens, stem) {
+                    if let Some(s) = file_stem(&rf.rel) {
+                        citing.insert(s.to_string());
+                    }
+                }
+            }
+            let in_crate_test_ref = krate.files.iter().any(|f| {
+                f.lexed
+                    .tokens
+                    .iter()
+                    .zip(&f.mask)
+                    .any(|(t, &m)| m && t.kind == TokKind::Ident && eq_stem(&t.text, stem))
+            });
+            if citing.is_empty() && !in_crate_test_ref {
+                findings.push(Finding {
+                    rule: RULE_UNSAFE_CONTRACT,
+                    file: file.rel.clone(),
+                    line: 1,
+                    msg: format!(
+                        "unsafe module `{stem}` has no cross-check test \
+                         reference — add a test exercising it against the \
+                         safe implementation"
+                    ),
+                });
+            } else if let Some(row) = row {
+                if !citing.is_empty() && !citing.iter().any(|c| cites_word(&row.reason, c)) {
+                    findings.push(Finding {
+                        rule: RULE_UNSAFE_CONTRACT,
+                        file: crate::ALLOWLIST_FILE.to_string(),
+                        line: row.line,
+                        msg: format!(
+                            "unsafe-forbid row for `{}` must cite its \
+                             cross-check test in the reason (one of: {})",
+                            krate.dir_name,
+                            citing
+                                .iter()
+                                .map(String::as_str)
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Flags an unsafe block that calls into a guard module without a
+/// dominating `available()` probe.
+fn check_guard_dominance(
+    file: &SrcFile,
+    items: &[crate::graph::Item],
+    guard_mods: &BTreeSet<String>,
+    unsafe_idx: usize,
+    findings: &mut Vec<Finding>,
+) {
+    let toks = &file.lexed.tokens;
+    let open = unsafe_idx + 1;
+    let close = {
+        let mut depth = 0usize;
+        let mut i = open;
+        loop {
+            if i >= toks.len() {
+                break i;
+            }
+            if toks[i].is_punct("{") {
+                depth += 1;
+            } else if toks[i].is_punct("}") {
+                depth -= 1;
+                if depth == 0 {
+                    break i + 1;
+                }
+            }
+            i += 1;
+        }
+    };
+    // Gated dispatch inside the block: `m::f(…)` with `m` a guard module.
+    let mut gated: Option<&str> = None;
+    for i in open..close.min(toks.len()) {
+        if toks[i].kind == TokKind::Ident
+            && guard_mods.contains(&toks[i].text)
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+        {
+            gated = Some(toks[i].text.as_str());
+            break;
+        }
+    }
+    let Some(module) = gated else {
+        return;
+    };
+    // Enclosing fn body → statement tree → dominating spans.
+    let encl = items
+        .iter()
+        .filter(|it| it.kind == ItemKind::Fn)
+        .filter_map(|it| it.body)
+        .find(|&(bs, be)| bs <= unsafe_idx && unsafe_idx < be);
+    let guarded = match encl {
+        Some((bs, be)) => {
+            let stmts = flow::parse_stmts(toks, bs, be.min(toks.len()));
+            let mut spans = Vec::new();
+            flow::dominating_spans(&stmts, unsafe_idx, &mut spans);
+            spans.iter().any(|&(s, e)| {
+                toks[s..e.min(toks.len())]
+                    .iter()
+                    .any(|t| t.is_ident("available"))
+            })
+        }
+        None => false,
+    };
+    if !guarded {
+        findings.push(Finding {
+            rule: RULE_UNSAFE_CONTRACT,
+            file: file.rel.clone(),
+            line: toks[unsafe_idx].line,
+            msg: format!(
+                "unsafe dispatch into `{module}` is not dominated by its \
+                 `{module}::available()` guard — gate the call on the \
+                 feature probe"
+            ),
+        });
+    }
+}
+
+/// The file stem of a workspace-relative path (`crates/x/src/sha1.rs` →
+/// `sha1`).
+fn file_stem(rel: &str) -> Option<&str> {
+    rel.rsplit('/').next()?.strip_suffix(".rs")
+}
+
+/// Whether `reason` names `stem` as a whole word (identifier-boundary
+/// match, so `module` does not count as a citation of a `mod.rs`).
+fn cites_word(reason: &str, stem: &str) -> bool {
+    reason
+        .split(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+        .any(|w| w == stem)
+}
+
+/// Whether a token stream names `stem` (case-insensitively, so the type
+/// `Sha1` counts as a reference to module `sha1`).
+fn references_stem(toks: &[Tok], stem: &str) -> bool {
+    toks.iter()
+        .any(|t| t.kind == TokKind::Ident && eq_stem(&t.text, stem))
+}
+
+fn eq_stem(ident: &str, stem: &str) -> bool {
+    ident.eq_ignore_ascii_case(stem)
+}
+
+/// Fold terminals that accumulate floats.
+const FOLD_TERMINALS: &[&str] = &["sum", "product", "fold"];
+
+/// Rule F `float-determinism`: in sim crates, a float fold over a
+/// hash-ordered collection produces run-to-run different rounding even
+/// with identical inputs (f64 addition is not associative). `hash-iter`
+/// already bans iterating hash *bindings*; this rule closes the flow
+/// gap — folds whose chain head is a *call* to a fn returning
+/// `HashMap`/`HashSet` (no binding for `hash-iter` to see) with float
+/// evidence: an `::<f64>` turbofish, a float fold seed, an `as f64`
+/// cast in the chain, or a float value type on the returning fn.
+fn float_determinism(file: &SrcFile, hash_names: &BTreeSet<String>, findings: &mut Vec<Finding>) {
+    let toks = &file.lexed.tokens;
+    let hash_fns = collect_hash_returning_fns(file);
+    for (i, t) in toks.iter().enumerate() {
+        if file.mask[i]
+            || t.kind != TokKind::Ident
+            || !FOLD_TERMINALS.contains(&t.text.as_str())
+            || !lex::back(toks, i, 1).is_some_and(|p| p.is_punct("."))
+        {
+            continue;
+        }
+        let mut float = false;
+        // `::<f64>` turbofish on the terminal.
+        if toks.get(i + 1).is_some_and(|n| n.is_punct("::")) {
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct(">") {
+                if toks[j].is_ident("f64") || toks[j].is_ident("f32") {
+                    float = true;
+                }
+                j += 1;
+            }
+        }
+        // `fold(0.0, …)` float seed.
+        if t.text == "fold" {
+            if let Some(seed) = toks
+                .iter()
+                .skip(i + 1)
+                .find(|x| x.kind == TokKind::Literal || x.is_punct(")"))
+            {
+                if seed.kind == TokKind::Literal && seed.text.contains('.') {
+                    float = true;
+                }
+            }
+        }
+        let Some(h) = flow::chain_head(toks, i) else {
+            continue;
+        };
+        let head = &toks[h];
+        let head_is_call = toks.get(h + 1).is_some_and(|n| n.is_punct("("));
+        let hash_ordered = if head_is_call {
+            match hash_fns.get(&head.text) {
+                Some(&value_has_float) => {
+                    float |= value_has_float;
+                    true
+                }
+                None => false,
+            }
+        } else {
+            hash_names.contains(&head.text)
+        };
+        // `as f64` anywhere between head and terminal.
+        if !float {
+            float = toks[h..i]
+                .windows(2)
+                .any(|w| w[0].is_ident("as") && (w[1].is_ident("f64") || w[1].is_ident("f32")));
+        }
+        if hash_ordered && float {
+            findings.push(Finding {
+                rule: RULE_FLOAT_DETERMINISM,
+                file: file.rel.clone(),
+                line: t.line,
+                msg: format!(
+                    "float `.{}(…)` over the hash-ordered `{}` — f64 \
+                     addition is order-sensitive; collect into a BTreeMap \
+                     or sort before folding",
+                    t.text, head.text
+                ),
+            });
+        }
+    }
+}
+
+/// Fns in this file whose return type is a hash-ordered collection,
+/// mapped to whether the value generics mention a float type.
+fn collect_hash_returning_fns(file: &SrcFile) -> BTreeMap<String, bool> {
+    let toks = &file.lexed.tokens;
+    let mut out = BTreeMap::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("fn") {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+            continue;
+        };
+        // Scan the signature (to the body `{` or `;` at depth 0) for a
+        // hash return type and float value generics.
+        let mut depth = 0i32;
+        let mut j = i + 2;
+        let mut is_hash = false;
+        let mut has_float = false;
+        let mut after_arrow = false;
+        while j < toks.len() {
+            let tj = &toks[j];
+            if tj.is_punct("(") || tj.is_punct("[") {
+                depth += 1;
+            } else if tj.is_punct(")") || tj.is_punct("]") {
+                depth -= 1;
+            } else if depth == 0 && (tj.is_punct("{") || tj.is_punct(";")) {
+                break;
+            } else if tj.is_punct("-") && toks.get(j + 1).is_some_and(|n| n.is_punct(">")) {
+                after_arrow = true;
+            } else if after_arrow && HASH_TYPES.contains(&tj.text.as_str()) {
+                is_hash = true;
+            } else if after_arrow && is_hash && (tj.is_ident("f64") || tj.is_ident("f32")) {
+                has_float = true;
+            }
+            j += 1;
+        }
+        if is_hash {
+            out.insert(name.text.clone(), has_float);
+        }
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------

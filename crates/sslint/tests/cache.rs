@@ -1,0 +1,160 @@
+//! Incremental-cache contract tests: a warm run must be byte-identical
+//! to the cold run that wrote the snapshot, and any input or rule-binary
+//! change must invalidate it. Fixtures are copied into a scratch dir so
+//! edits and cache files never touch the source tree.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use sslint::cache::{run_cached, CacheStatus};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Copies fixture `name` into a per-test scratch directory and returns
+/// the copy's root.
+fn scratch_copy(fixture_name: &str, test_name: &str) -> PathBuf {
+    let dst = std::env::temp_dir().join(format!(
+        "sslint-cache-{}-{test_name}-{fixture_name}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dst);
+    copy_dir(&fixture(fixture_name), &dst).expect("copy fixture");
+    dst
+}
+
+fn copy_dir(src: &Path, dst: &Path) -> std::io::Result<()> {
+    fs::create_dir_all(dst)?;
+    for entry in fs::read_dir(src)? {
+        let entry = entry?;
+        let to = dst.join(entry.file_name());
+        if entry.path().is_dir() {
+            copy_dir(&entry.path(), &to)?;
+        } else {
+            fs::copy(entry.path(), &to)?;
+        }
+    }
+    Ok(())
+}
+
+fn cache_file(root: &Path) -> PathBuf {
+    root.join("target").join("sslint-cache.json")
+}
+
+fn run_binary(root: &Path, format: &str, jobs: &str) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_sslint"))
+        .args(["--root"])
+        .arg(root)
+        .args(["--format", format, "--jobs", jobs])
+        .output()
+        .expect("spawn sslint")
+}
+
+/// For every output format: a cold run writes the snapshot and a warm
+/// rerun replays it byte-identically on stdout AND stderr.
+#[test]
+fn warm_output_is_byte_identical_to_cold_across_formats() {
+    let root = scratch_copy("hot-path-alloc", "formats");
+    for format in ["text", "jsonl", "sarif"] {
+        let _ = fs::remove_file(cache_file(&root));
+        let cold = run_binary(&root, format, "1");
+        assert!(
+            cache_file(&root).is_file(),
+            "{format}: cold run must write the snapshot"
+        );
+        let warm = run_binary(&root, format, "1");
+        assert_eq!(cold.status.code(), warm.status.code(), "{format}");
+        assert_eq!(cold.stdout, warm.stdout, "{format}: stdout must match");
+        assert_eq!(cold.stderr, warm.stderr, "{format}: stderr must match");
+        assert_eq!(
+            cold.status.code(),
+            Some(1),
+            "{format}: fixture has findings"
+        );
+    }
+}
+
+/// `--jobs 1` and `--jobs 4` agree byte for byte whether the snapshot is
+/// cold, warm, or absent — the cache must not leak scheduling.
+#[test]
+fn jobs_are_byte_identical_with_cache_on() {
+    let root = scratch_copy("hot-path-alloc", "jobs");
+    let _ = fs::remove_file(cache_file(&root));
+    let cold_serial = run_binary(&root, "jsonl", "1");
+    let _ = fs::remove_file(cache_file(&root));
+    let cold_parallel = run_binary(&root, "jsonl", "4");
+    assert_eq!(cold_serial.stdout, cold_parallel.stdout, "cold runs");
+    let warm_serial = run_binary(&root, "jsonl", "1");
+    let warm_parallel = run_binary(&root, "jsonl", "4");
+    assert_eq!(warm_serial.stdout, cold_serial.stdout, "warm vs cold");
+    assert_eq!(warm_serial.stdout, warm_parallel.stdout, "warm runs");
+}
+
+/// Library API: Cold on first run, Warm on rerun, Cold again after any
+/// source edit — even a comment-only one (content hashing, not parsing).
+#[test]
+fn cache_invalidates_on_file_edit() {
+    let root = scratch_copy("hot-path-alloc", "edit");
+    let cache = cache_file(&root);
+    let (first, s1) = run_cached(&root, sslint::ALLOWLIST_FILE, 1, Some(&cache)).unwrap();
+    assert_eq!(s1, CacheStatus::Cold);
+    let (second, s2) = run_cached(&root, sslint::ALLOWLIST_FILE, 1, Some(&cache)).unwrap();
+    assert_eq!(s2, CacheStatus::Warm);
+    assert_eq!(first.findings.len(), second.findings.len());
+
+    let lib = root.join("crates/simnet/src/lib.rs");
+    let mut text = fs::read_to_string(&lib).unwrap();
+    text.push_str("// touched\n");
+    fs::write(&lib, text).unwrap();
+    let (third, s3) = run_cached(&root, sslint::ALLOWLIST_FILE, 1, Some(&cache)).unwrap();
+    assert_eq!(s3, CacheStatus::Cold, "edited input must invalidate");
+    assert_eq!(third.findings.len(), first.findings.len());
+    let (_, s4) = run_cached(&root, sslint::ALLOWLIST_FILE, 1, Some(&cache)).unwrap();
+    assert_eq!(s4, CacheStatus::Warm, "rewritten snapshot warms again");
+}
+
+/// A snapshot written by a different sslint build (tampered fingerprint)
+/// must be treated as stale, as must unparseable cache bytes.
+#[test]
+fn cache_invalidates_on_build_fingerprint_change() {
+    let root = scratch_copy("float-determinism", "fingerprint");
+    let cache = cache_file(&root);
+    let (_, s1) = run_cached(&root, sslint::ALLOWLIST_FILE, 1, Some(&cache)).unwrap();
+    assert_eq!(s1, CacheStatus::Cold);
+
+    let text = fs::read_to_string(&cache).unwrap();
+    let fp = format!("{:016x}", sslint::cache::build_fingerprint());
+    assert!(text.contains(&fp), "snapshot records the build fingerprint");
+    fs::write(&cache, text.replace(&fp, "0000000000000000")).unwrap();
+    let (_, s2) = run_cached(&root, sslint::ALLOWLIST_FILE, 1, Some(&cache)).unwrap();
+    assert_eq!(s2, CacheStatus::Cold, "foreign fingerprint must invalidate");
+
+    fs::write(&cache, "not json at all").unwrap();
+    let (_, s3) = run_cached(&root, sslint::ALLOWLIST_FILE, 1, Some(&cache)).unwrap();
+    assert_eq!(s3, CacheStatus::Cold, "corrupt snapshot must invalidate");
+    let (_, s4) = run_cached(&root, sslint::ALLOWLIST_FILE, 1, Some(&cache)).unwrap();
+    assert_eq!(s4, CacheStatus::Warm);
+}
+
+/// `--no-cache` must not read or write the snapshot.
+#[test]
+fn no_cache_flag_bypasses_the_snapshot() {
+    let root = scratch_copy("unsafe-contract", "nocache");
+    let out = Command::new(env!("CARGO_BIN_EXE_sslint"))
+        .args(["--root"])
+        .arg(&root)
+        .args(["--format", "jsonl", "--no-cache"])
+        .output()
+        .expect("spawn sslint");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        !cache_file(&root).exists(),
+        "--no-cache must not write a snapshot"
+    );
+    let (_, status) = run_cached(&root, sslint::ALLOWLIST_FILE, 1, None).unwrap();
+    assert_eq!(status, CacheStatus::Disabled);
+}

@@ -98,6 +98,26 @@ fn dead_pub_fixture() {
     assert_exactly("dead-pub", "dead-pub");
 }
 
+#[test]
+fn hot_path_alloc_fixture() {
+    assert_exactly("hot-path-alloc", "hot-path-alloc");
+}
+
+#[test]
+fn thread_capture_fixture() {
+    assert_exactly("thread-capture", "thread-capture");
+}
+
+#[test]
+fn unsafe_contract_fixture() {
+    assert_exactly("unsafe-contract", "unsafe-contract");
+}
+
+#[test]
+fn float_determinism_fixture() {
+    assert_exactly("float-determinism", "float-determinism");
+}
+
 /// Every bad fixture must make the *binary* exit 1 and name its rule in
 /// the JSONL output — the exact contract CI relies on.
 #[test]
@@ -116,11 +136,15 @@ fn binary_exits_nonzero_on_every_fixture() {
         "rng-provenance",
         "trace-coverage",
         "dead-pub",
+        "hot-path-alloc",
+        "thread-capture",
+        "unsafe-contract",
+        "float-determinism",
     ] {
         let out = Command::new(env!("CARGO_BIN_EXE_sslint"))
             .args(["--root"])
             .arg(fixture(rule))
-            .args(["--format", "jsonl"])
+            .args(["--format", "jsonl", "--no-cache"])
             .output()
             .expect("spawn sslint");
         assert_eq!(
@@ -144,12 +168,27 @@ fn sarif_golden_matches() {
     let out = Command::new(env!("CARGO_BIN_EXE_sslint"))
         .args(["--root"])
         .arg(fixture("dead-pub"))
-        .args(["--format", "sarif"])
+        .args(["--format", "sarif", "--no-cache"])
         .output()
         .expect("spawn sslint");
     assert_eq!(out.status.code(), Some(1));
     let got = String::from_utf8(out.stdout).expect("sarif is utf-8");
     assert_eq!(got, include_str!("golden/dead-pub.sarif"));
+}
+
+/// Same contract for the pass-3 flagship rule: hot-path-alloc SARIF must
+/// match its golden byte for byte, call-path message included.
+#[test]
+fn hot_path_alloc_sarif_golden_matches() {
+    let out = Command::new(env!("CARGO_BIN_EXE_sslint"))
+        .args(["--root"])
+        .arg(fixture("hot-path-alloc"))
+        .args(["--format", "sarif", "--no-cache"])
+        .output()
+        .expect("spawn sslint");
+    assert_eq!(out.status.code(), Some(1));
+    let got = String::from_utf8(out.stdout).expect("sarif is utf-8");
+    assert_eq!(got, include_str!("golden/hot-path-alloc.sarif"));
 }
 
 /// Parallel lexing must not leak into the output: `--jobs 1` and
@@ -163,7 +202,7 @@ fn jobs_output_is_byte_identical() {
             Command::new(env!("CARGO_BIN_EXE_sslint"))
                 .args(["--root"])
                 .arg(&root)
-                .args(["--format", format, "--jobs", jobs])
+                .args(["--format", format, "--jobs", jobs, "--no-cache"])
                 .output()
                 .expect("spawn sslint")
         };
@@ -193,4 +232,42 @@ fn live_workspace_is_clean() {
             .join("\n")
     );
     assert!(report.files_audited > 50, "suspiciously few files audited");
+}
+
+/// Pass 3 actually covers the live workspace: the simnet hot-path
+/// annotations must yield a non-trivial hot reachability set, and the
+/// pool boundary must prune it (BufPool::get's own fresh `Vec::new` is
+/// sanctioned, so it must not be hot-reachable).
+#[test]
+fn live_workspace_pass3_coverage() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let ws = sslint::workspace::load(&root).expect("workspace loads");
+    let graph = sslint::graph::Graph::build(&ws);
+    let hot_roots: Vec<&str> = graph
+        .fns
+        .iter()
+        .filter(|f| f.hot_root)
+        .map(|f| f.name.as_str())
+        .collect();
+    for expected in ["step", "transmit", "push", "pop", "put"] {
+        assert!(
+            hot_roots.contains(&expected),
+            "`{expected}` is not annotated as a hot-path root; got {hot_roots:?}"
+        );
+    }
+    let reach = graph.reach_from_hot();
+    let reached = reach.iter().filter(|r| r.is_some()).count();
+    assert!(
+        reached > hot_roots.len(),
+        "hot reachability must extend beyond the roots, got {reached}"
+    );
+    for (id, f) in graph.fns.iter().enumerate() {
+        if f.pool_boundary {
+            assert!(
+                reach[id].is_none(),
+                "pool boundary `{}` must not be hot-reachable",
+                f.name
+            );
+        }
+    }
 }

@@ -1,0 +1,13 @@
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+
+fn weights() -> HashMap<u64, f64> {
+    HashMap::new()
+}
+
+/// Sums cache weights in hash-iteration order — run-to-run rounding
+/// drift the float-determinism rule rejects.
+pub fn total_weight() -> f64 {
+    weights().values().sum()
+}

@@ -1,0 +1,19 @@
+#![forbid(unsafe_code)]
+
+pub struct Engine {
+    count: u64,
+}
+
+impl Engine {
+    // sslint: hot-path — fixture root: per-event dispatch
+    pub fn step(&mut self) -> u64 {
+        self.count += 1;
+        dispatch(self.count)
+    }
+}
+
+fn dispatch(seq: u64) -> u64 {
+    let mut scratch = Vec::new();
+    scratch.push(seq);
+    scratch.len() as u64
+}

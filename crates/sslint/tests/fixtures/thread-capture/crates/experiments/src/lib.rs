@@ -1,0 +1,21 @@
+#![forbid(unsafe_code)]
+
+use std::sync::{Mutex, PoisonError};
+
+/// Doubles every item, collecting results in whatever order the workers
+/// happen to finish — the completion-order bug thread-capture rejects.
+pub fn fan_out(items: &[u64]) -> Vec<u64> {
+    let results = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for &item in items {
+            scope.spawn(|| {
+                let doubled = item * 2;
+                results
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(doubled);
+            });
+        }
+    });
+    results.into_inner().unwrap_or_else(PoisonError::into_inner)
+}

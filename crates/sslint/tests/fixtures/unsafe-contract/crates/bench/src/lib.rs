@@ -1,0 +1,9 @@
+pub mod raw;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn raw_roundtrip() {
+        assert_eq!(crate::raw::read(&7), 7);
+    }
+}

@@ -1,0 +1,5 @@
+/// Reads through a raw pointer without stating why that is sound.
+pub fn read(v: &u64) -> u64 {
+    let p: *const u64 = v;
+    unsafe { *p }
+}

@@ -11,8 +11,13 @@ cargo fmt --check
 echo "== tier-1: release build =="
 cargo build --release --offline
 
-echo "== sslint (determinism & hygiene audit) =="
-cargo run -q -p sslint --release --offline
+echo "== sslint (determinism & hygiene audit): cold vs warm cache =="
+# Cold run (target/sslint-cache.json removed) then a warm replay of the
+# snapshot; fails unless the two JSONL reports are byte-identical (or the
+# audit itself finds anything), and records both wall-clocks as the
+# sslint entry in BENCH_reproduce.json.
+cargo build -q --release --offline -p sslint
+scripts/bench_reproduce.sh sslint
 
 echo "== sslint: trace-coverage obligation is in force =="
 # The overload path added trace kinds (stage_reject, stage_timeout,
