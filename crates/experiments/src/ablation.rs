@@ -46,6 +46,7 @@ fn shallow() -> SoftStageConfig {
             initial_depth: 2,
             max_depth: 3,
             alpha: 0.3,
+            ..CoordinatorConfig::default()
         },
         ..SoftStageConfig::default()
     }
@@ -155,6 +156,7 @@ mod tests {
                     initial_depth: 2,
                     max_depth: 3,
                     alpha: 0.3,
+                    ..CoordinatorConfig::default()
                 },
                 ..SoftStageConfig::default()
             },

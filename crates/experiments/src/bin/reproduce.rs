@@ -1,7 +1,7 @@
 //! Regenerates the SoftStage paper's tables and figures.
 //!
 //! ```text
-//! reproduce [fig5|fig6|fig6a..fig6f|handoff|fig7|ablation|overload|smoke|all]
+//! reproduce [fig5|fig6|fig6a..fig6f|handoff|fig7|ablation|overload|smoke|fleet|fleet-smoke|all]
 //!           [--seed N] [--seeds K] [--jobs N] [--json PATH]
 //! ```
 //!
@@ -13,7 +13,7 @@
 use std::io::Write as _;
 
 use softstage_experiments::exec::{execute, ExecConfig, TableSpec};
-use softstage_experiments::{ablation, fig5, fig6, fig7, handoff, overload, smoke};
+use softstage_experiments::{ablation, exec, fig5, fig6, fig7, fleet, handoff, overload, smoke};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -80,6 +80,8 @@ fn main() {
         "ablation" => vec![ablation::spec()],
         "overload" => vec![overload::spec()],
         "smoke" => vec![smoke::spec()],
+        "fleet" => vec![fleet::spec()],
+        "fleet-smoke" => vec![fleet::smoke_spec()],
         "all" => {
             let mut all = vec![fig5::spec()];
             all.extend(fig6::specs());
@@ -105,7 +107,7 @@ fn main() {
         });
 
     let config = ExecConfig {
-        jobs: jobs.unwrap_or_else(default_jobs),
+        jobs: jobs.unwrap_or_else(|| exec::default_jobs(&specs, seeds)),
         seeds,
         base_seed: seed,
     };
@@ -124,16 +126,11 @@ fn main() {
     }
 }
 
-/// Default worker count: all available cores.
-fn default_jobs() -> usize {
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-}
-
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: reproduce [fig5|fig6|fig6a..fig6f|handoff|fig7|ablation|overload|smoke|all] \
-         [--seed N] [--seeds K] [--jobs N] [--json PATH]"
+        "usage: reproduce [fig5|fig6|fig6a..fig6f|handoff|fig7|ablation|overload|smoke|fleet|\
+         fleet-smoke|all] [--seed N] [--seeds K] [--jobs N] [--json PATH]"
     );
     std::process::exit(2);
 }

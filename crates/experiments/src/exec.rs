@@ -169,6 +169,22 @@ fn seed_key(spec: &TableSpec, cell: &Cell) -> String {
         .unwrap_or_else(|| format!("{}/{}", spec.id, cell.id))
 }
 
+/// Runnable `(cell, replicate)` pairs in `specs` at `seeds` replicates —
+/// the most workers that can ever be busy at once.
+pub(crate) fn runnable_cells(specs: &[TableSpec], seeds: u32) -> usize {
+    specs.iter().map(|s| s.cells.len()).sum::<usize>() * seeds.max(1) as usize
+}
+
+/// The default worker count for a run: `min(available cores, runnable
+/// cells)`, at least 1. Spawning more workers than cores is a measured
+/// pessimization (lock and scheduler churn on few-core hosts), and more
+/// workers than cells can never help; an explicit `--jobs N` still
+/// overrides this.
+pub fn default_jobs(specs: &[TableSpec], seeds: u32) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    cores.min(runnable_cells(specs, seeds)).max(1)
+}
+
 /// Evaluates every `(cell, replicate)` pair of `specs` on a pool of
 /// `config.jobs` scoped threads and merges the values into [`Table`]s in
 /// declared order. Output is a pure function of `(specs, seeds,
@@ -184,25 +200,37 @@ pub fn execute(specs: &[TableSpec], config: &ExecConfig) -> Vec<Table> {
             }
         }
     }
-    let results: Mutex<Vec<Option<f64>>> = Mutex::new(vec![None; items.len()]);
-    let next = AtomicUsize::new(0);
+    let eval_item = |&(si, ci, r): &(usize, usize, u32)| -> f64 {
+        let (spec, cell) = (&specs[si], &specs[si].cells[ci]);
+        let seed = util::seed::derive(config.base_seed, &seed_key(spec, cell), r);
+        (cell.eval)(seed)
+    };
     let workers = config.jobs.clamp(1, items.len().max(1));
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&(si, ci, r)) = items.get(i) else {
-                    break;
-                };
-                let (spec, cell) = (&specs[si], &specs[si].cells[ci]);
-                let seed = util::seed::derive(config.base_seed, &seed_key(spec, cell), r);
-                let value = (cell.eval)(seed);
-                let mut slots = results.lock().unwrap_or_else(PoisonError::into_inner);
-                slots[i] = Some(value);
-            });
-        }
-    });
-    let results = results.into_inner().unwrap_or_else(PoisonError::into_inner);
+    let results: Vec<Option<f64>> = if workers == 1 {
+        // Serial path: one effective worker gains nothing from a thread
+        // pool and measurably loses to it on few-core hosts (spawn,
+        // lock and scheduler churn on every item) — evaluate inline.
+        // The seed derivation is identical, so output is byte-identical
+        // to the pooled path.
+        items.iter().map(|item| Some(eval_item(item))).collect()
+    } else {
+        let results: Mutex<Vec<Option<f64>>> = Mutex::new(vec![None; items.len()]);
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else {
+                        break;
+                    };
+                    let value = eval_item(item);
+                    let mut slots = results.lock().unwrap_or_else(PoisonError::into_inner);
+                    slots[i] = Some(value);
+                });
+            }
+        });
+        results.into_inner().unwrap_or_else(PoisonError::into_inner)
+    };
 
     // Merge back in declared order. Every slot is filled: a panicking
     // cell unwinds out of the scope above before we get here.
@@ -378,6 +406,34 @@ mod tests {
             (sq_row.measured - v_row.measured * v_row.measured).abs() > 1e-12,
             "per-replicate fold must not collapse to mean-of-means"
         );
+    }
+
+    #[test]
+    fn serial_path_is_byte_identical_to_pooled() {
+        // Regression for the few-core pessimization fix: jobs = 1 now
+        // takes an inline path with no thread pool at all; its output
+        // must stay byte-identical to any pooled run.
+        let config = |jobs| ExecConfig {
+            jobs,
+            seeds: 3,
+            base_seed: 42,
+        };
+        let serial = json(&execute(&[spec()], &config(1)));
+        let pooled = json(&execute(&[spec()], &config(4)));
+        assert_eq!(serial, pooled, "serial inline path must match the pool");
+    }
+
+    #[test]
+    fn default_jobs_clamps_to_runnable_cells() {
+        // 4 cells × 1 seed = 4 runnable items; never more workers than
+        // that, regardless of core count — and never fewer than 1.
+        let one = spec();
+        assert_eq!(runnable_cells(std::slice::from_ref(&one), 1), 4);
+        assert_eq!(runnable_cells(std::slice::from_ref(&one), 3), 12);
+        assert!(default_jobs(std::slice::from_ref(&one), 1) <= 4);
+        assert!(default_jobs(&[], 1) >= 1, "empty spec list still gets 1");
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        assert!(default_jobs(std::slice::from_ref(&one), 64) <= cores);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! | Fig. 7 | [`fig7`] | Trace-driven wardriving replay |
 //! | (extra) | [`ablation`] | Design-choice ablations (DESIGN.md §5) |
 //! | (extra) | [`overload`] | Graceful degradation under staging-queue caps |
+//! | (extra) | [`fleet`] | Fleet-scale shared-cache contention ([`workload`] drives it) |
 //!
 //! [`testbed`] builds the paper's Fig. 4 topology; [`params`] holds the
 //! Table III parameter set. Every module declares its table as a list of
@@ -26,12 +27,14 @@ pub mod exec;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod fleet;
 pub mod handoff;
 pub mod overload;
 pub mod params;
 pub mod report;
 pub mod smoke;
 pub mod testbed;
+pub mod workload;
 
 pub use exec::{execute, Cell, DerivedRow, ExecConfig, TableSpec};
 pub use params::{ExperimentParams, MB, MBPS};

@@ -329,6 +329,14 @@ pub enum TraceEvent {
         /// Content tag.
         chunk: Tag,
     },
+    /// The node's bounded evicted-CID log overflowed between flushes:
+    /// `dropped` evictions happened whose `ChunkEvicted` records were
+    /// lost. Oracle rules that count evictions treat the trace as
+    /// lower-bounded from this record on.
+    EvictOverflow {
+        /// Evictions whose individual records were dropped.
+        dropped: u64,
+    },
     /// The content service answered a chunk request from its cache.
     ChunkServed {
         /// Content tag.
@@ -430,6 +438,7 @@ impl TraceEvent {
             TraceEvent::Staged { .. } => "staged",
             TraceEvent::StageFailed { .. } => "stage_failed",
             TraceEvent::ChunkEvicted { .. } => "chunk_evicted",
+            TraceEvent::EvictOverflow { .. } => "evict_overflow",
             TraceEvent::ChunkServed { .. } => "chunk_served",
             TraceEvent::FetchStart { .. } => "fetch_start",
             TraceEvent::FetchComplete { .. } => "fetch_complete",
@@ -534,6 +543,9 @@ impl ToJson for TraceRecord {
             TraceEvent::Staged { chunk, bytes } | TraceEvent::ChunkServed { chunk, bytes } => {
                 fields.push(("chunk", int(chunk.0)));
                 fields.push(("bytes", int(bytes)));
+            }
+            TraceEvent::EvictOverflow { dropped } => {
+                fields.push(("dropped", int(dropped)));
             }
             TraceEvent::FetchStart { chunk, source } => {
                 fields.push(("chunk", int(chunk.0)));
@@ -675,6 +687,9 @@ impl FromJson for TraceRecord {
             },
             "chunk_evicted" => TraceEvent::ChunkEvicted {
                 chunk: req_tag(v, "chunk")?,
+            },
+            "evict_overflow" => TraceEvent::EvictOverflow {
+                dropped: req_u64(v, "dropped")?,
             },
             "chunk_served" => TraceEvent::ChunkServed {
                 chunk: req_tag(v, "chunk")?,
@@ -1223,6 +1238,11 @@ mod tests {
                 source: FetchSource::EdgeCache,
                 ok: true,
             },
+        );
+        s.record(
+            SimTime::from_micros(11),
+            NodeId(3),
+            TraceEvent::EvictOverflow { dropped: 512 },
         );
         let text = s.to_jsonl();
         let parsed = parse_jsonl(&text).expect("parse");

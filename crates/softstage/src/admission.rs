@@ -118,6 +118,49 @@ mod tests {
     }
 
     #[test]
+    fn cold_fleet_is_not_admitted_past_a_hopeless_backlog() {
+        // Regression for the cold-start hole: the client used to stamp
+        // `deadline_us = 0` until its first fetch estimate existed, which
+        // reached this policy as `deadline: None` — unconditional
+        // admission at exactly the thundering-herd moment. The coordinator
+        // now substitutes its cold-start horizon, so this test fails
+        // against the pre-fix client behavior (final assertion below).
+        use crate::coordinator::{CoordinatorConfig, StagingCoordinator};
+        let mut p = DeadlineAware;
+        let coord = StagingCoordinator::new(CoordinatorConfig::default());
+        let now = SimTime::from_micros(5_000_000);
+        let deadline = SimTime::from_micros(coord.deadline_us_for(now, 2));
+        // A VNF with a measured 1.5 s staging latency and a 12-deep
+        // backlog lands this job ~19.5 s out — past the 10 s cold
+        // horizon: shed.
+        let hopeless = AdmissionSnapshot {
+            depth: 12,
+            max_depth: 64,
+            bytes: 0,
+            max_bytes: u64::MAX,
+            now,
+            deadline: Some(deadline),
+            est_stage: Some(SimDuration::from_millis(1500)),
+        };
+        assert_eq!(p.admit(&hopeless), Some(RejectReason::Deadline));
+        // The same cold request onto a short queue admits (~4.5 s ≤ 10 s):
+        // the horizon is generous enough that fresh fleets are not
+        // mass-shed either.
+        let healthy = AdmissionSnapshot {
+            depth: 2,
+            ..hopeless
+        };
+        assert_eq!(p.admit(&healthy), None);
+        // What the pre-fix client sent (no deadline at all) admits even the
+        // hopeless backlog — the hole this change closes.
+        let pre_fix = AdmissionSnapshot {
+            deadline: None,
+            ..hopeless
+        };
+        assert_eq!(p.admit(&pre_fix), None);
+    }
+
+    #[test]
     fn deadline_aware_sheds_only_on_evidence() {
         let mut p = DeadlineAware;
         // No deadline or no estimate: admit.

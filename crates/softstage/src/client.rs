@@ -70,6 +70,11 @@ pub struct SoftStageConfig {
     pub prestage_depth: usize,
     /// Housekeeping tick period.
     pub tick: SimDuration,
+    /// Identifier stamped into this client's [`ClientStats`]. A
+    /// single-client testbed leaves it 0; fleet worlds assign each client
+    /// its index so per-client metrics stay attributable after
+    /// aggregation.
+    pub client_id: u32,
 }
 
 impl Default for SoftStageConfig {
@@ -83,6 +88,7 @@ impl Default for SoftStageConfig {
             breaker: BreakerConfig::default(),
             prestage_depth: 4,
             tick: SimDuration::from_millis(500),
+            client_id: 0,
         }
     }
 }
@@ -147,6 +153,8 @@ impl SoftStageConfig {
 /// Download progress and diagnostics.
 #[derive(Debug, Clone, Default)]
 pub struct ClientStats {
+    /// The owning client's [`SoftStageConfig::client_id`].
+    pub client_id: u32,
     /// When every chunk had been fetched.
     pub finished: Option<SimTime>,
     /// `(completion time, chunk index, was fetched from a staged copy)`.
@@ -241,6 +249,7 @@ impl SoftStageClient {
         for (cid, dag) in chunks {
             profile.register(cid, dag);
         }
+        let config_client_id = config.client_id;
         SoftStageClient {
             coordinator: StagingCoordinator::new(config.coordinator),
             roamer: Roamer::new(config.roam),
@@ -259,7 +268,10 @@ impl SoftStageClient {
             stage_retry_spent: 0,
             sent_tokens: BTreeMap::new(),
             detached_at: None,
-            stats: ClientStats::default(),
+            stats: ClientStats {
+                client_id: config_client_id,
+                ..ClientStats::default()
+            },
             done: false,
             content_hash: Sha1::new(),
         }
@@ -490,19 +502,15 @@ impl SoftStageClient {
             util::trace_event!(ctx, TraceEvent::StageRequest { chunk: tag(cid) });
         }
         // RICH-style usefulness deadline: the chunk `k` positions ahead is
-        // needed in about `k · L_fetch`; the VNF's deadline-aware admission
-        // can shed work that cannot land in time. Zero until a fetch
-        // estimate exists (no deadline — admit on evidence only).
-        let deadline_us = match self.coordinator.fetch_estimate() {
-            Some(fetch) => {
-                let ahead = idxs
-                    .first()
-                    .map_or(0, |&i| i.saturating_sub(self.next_fetch) as u64)
-                    + idxs.len() as u64;
-                (ctx.now() + fetch * ahead).as_micros()
-            }
-            None => 0,
-        };
+        // needed in about `k · L_fetch`. Before a fetch estimate exists the
+        // coordinator substitutes its cold-start horizon, so fresh clients
+        // still carry a deadline a backlogged deadline-aware VNF can shed
+        // against instead of admitting a whole cold fleet up to the caps.
+        let ahead = idxs
+            .first()
+            .map_or(0, |&i| i.saturating_sub(self.next_fetch) as u64)
+            + idxs.len() as u64;
+        let deadline_us = self.coordinator.deadline_us_for(ctx.now(), ahead);
         let msg = StagingMsg::Request {
             chunks,
             deadline_us,

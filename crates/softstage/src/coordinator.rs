@@ -15,7 +15,7 @@
 //! behind the paper's 9.9x gain at 15 Mbps — with no mobility prediction
 //! anywhere.
 
-use simnet::SimDuration;
+use simnet::{SimDuration, SimTime};
 
 /// Exponentially weighted moving average over durations.
 #[derive(Debug, Clone, Copy)]
@@ -64,6 +64,15 @@ pub struct CoordinatorConfig {
     pub max_depth: usize,
     /// EWMA smoothing factor for all three estimators.
     pub alpha: f64,
+    /// Usefulness-deadline horizon used before a fetch estimate exists
+    /// (the cold start). A fresh client cannot predict when a staged
+    /// chunk stops being useful, so its first requests carry
+    /// `now + cold_deadline` instead of no deadline at all: a
+    /// deadline-aware VNF admits them onto any healthy queue but can
+    /// still shed them from a backlog too deep to land within the
+    /// horizon — without this, a fleet of cold clients is admitted
+    /// without limit up to the hard caps.
+    pub cold_deadline: SimDuration,
 }
 
 impl Default for CoordinatorConfig {
@@ -72,6 +81,7 @@ impl Default for CoordinatorConfig {
             initial_depth: 2,
             max_depth: 32,
             alpha: 0.3,
+            cold_deadline: SimDuration::from_secs(10),
         }
     }
 }
@@ -168,6 +178,20 @@ impl StagingCoordinator {
     pub fn stage_estimate(&self) -> Option<SimDuration> {
         self.stage.value()
     }
+
+    /// The RICH-style usefulness deadline (µs since sim start) for a
+    /// staging request whose furthest chunk sits `ahead` positions past
+    /// the fetch cursor: the client will want it in about
+    /// `ahead · L_fetch`. Before a fetch estimate exists the configured
+    /// [`CoordinatorConfig::cold_deadline`] horizon applies — never 0
+    /// ("no deadline"), which would exempt exactly the thundering-herd
+    /// moment (a fleet of fresh clients) from deadline-aware admission.
+    pub(crate) fn deadline_us_for(&self, now: SimTime, ahead: u64) -> u64 {
+        match self.fetch.value() {
+            Some(fetch) => (now + fetch * ahead).as_micros(),
+            None => (now + self.config.cold_deadline).as_micros(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -221,6 +245,7 @@ mod tests {
             initial_depth: 2,
             max_depth: 4,
             alpha: 1.0,
+            ..CoordinatorConfig::default()
         });
         c.observe_fetch(SimDuration::from_millis(1));
         c.observe_stage(SimDuration::from_secs(100));
@@ -228,5 +253,30 @@ mod tests {
         c.observe_stage(SimDuration::from_micros(1));
         c.observe_fetch(SimDuration::from_secs(100));
         assert_eq!(c.target_depth(), 2, "clamped at min");
+    }
+
+    #[test]
+    fn cold_start_carries_a_real_deadline() {
+        // Before the cold-start fix this returned 0 ("no deadline"):
+        // a fleet of fresh clients was exempt from deadline-aware
+        // admission at exactly the moment it storms a shared VNF.
+        let c = StagingCoordinator::new(CoordinatorConfig::default());
+        let now = SimTime::from_micros(3_000_000);
+        let d = c.deadline_us_for(now, 4);
+        assert_ne!(d, 0, "cold start must not disable the deadline");
+        assert_eq!(
+            d,
+            now.as_micros() + CoordinatorConfig::default().cold_deadline.as_micros(),
+            "cold deadline is the configured horizon from now"
+        );
+    }
+
+    #[test]
+    fn warm_deadline_scales_with_lookahead() {
+        let mut c = StagingCoordinator::new(CoordinatorConfig::default());
+        c.observe_fetch(SimDuration::from_millis(500));
+        let now = SimTime::from_micros(1_000_000);
+        assert_eq!(c.deadline_us_for(now, 2), 2_000_000);
+        assert_eq!(c.deadline_us_for(now, 6), 4_000_000);
     }
 }

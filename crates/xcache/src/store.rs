@@ -39,6 +39,13 @@ pub struct StoreStats {
     pub insertions: u64,
     /// Chunks evicted to make room.
     pub evictions: u64,
+    /// High-water mark of stored bytes — how hard a shared cache was
+    /// pressed by its clients' combined working set.
+    pub peak_used_bytes: u64,
+    /// Evicted-CID log entries dropped past [`EVICTED_LOG_CAP`] before the
+    /// host could drain them (each drop is a `ChunkEvicted` trace record
+    /// that never reached the flight recorder).
+    pub evict_log_dropped: u64,
 }
 
 /// A bounded chunk store: the heart of XCache.
@@ -71,10 +78,15 @@ pub struct ChunkStore {
     /// CIDs lost to eviction or wipe since the last [`ChunkStore::take_evicted`],
     /// bounded by [`EVICTED_LOG_CAP`] so an undrained store stays small.
     evicted_log: Vec<Xid>,
+    /// Log entries dropped past the cap since the last
+    /// [`ChunkStore::take_evicted_dropped`] — fleet-scale eviction churn
+    /// between host flushes must surface in the trace, not vanish.
+    evicted_dropped: u64,
 }
 
 /// Upper bound on the pending evicted-CID log (drained by the host's
-/// flight-recorder flush; entries beyond the cap are silently dropped).
+/// flight-recorder flush; entries beyond the cap are counted and reported
+/// as one aggregate overflow record instead of individual CIDs).
 const EVICTED_LOG_CAP: usize = 4096;
 
 impl ChunkStore {
@@ -88,6 +100,7 @@ impl ChunkStore {
             clock: 0,
             stats: StoreStats::default(),
             evicted_log: Vec::new(),
+            evicted_dropped: 0,
         }
     }
 
@@ -169,6 +182,7 @@ impl ChunkStore {
             }
         }
         self.used_bytes += need;
+        self.stats.peak_used_bytes = self.stats.peak_used_bytes.max(self.used_bytes as u64);
         self.stats.insertions += 1;
         self.entries.insert(
             cid,
@@ -262,6 +276,9 @@ impl ChunkStore {
     fn log_evicted(&mut self, cid: Xid) {
         if self.evicted_log.len() < EVICTED_LOG_CAP {
             self.evicted_log.push(cid);
+        } else {
+            self.evicted_dropped += 1;
+            self.stats.evict_log_dropped += 1;
         }
     }
 
@@ -270,6 +287,14 @@ impl ChunkStore {
     /// this into the flight recorder after each dispatch.
     pub fn take_evicted(&mut self) -> Vec<Xid> {
         std::mem::take(&mut self.evicted_log)
+    }
+
+    /// Drains the count of evicted CIDs the bounded log had to drop since
+    /// the last call. The host turns a non-zero count into one aggregate
+    /// `EvictOverflow` trace record, so overflow never silently desyncs
+    /// the trace's eviction accounting.
+    pub fn take_evicted_dropped(&mut self) -> u64 {
+        std::mem::take(&mut self.evicted_dropped)
     }
 
     /// CIDs currently stored, in ascending CID order.
@@ -431,5 +456,39 @@ mod tests {
         }
         assert_eq!(s.len(), 100);
         assert_eq!(s.stats().evictions, 0);
+    }
+
+    #[test]
+    fn peak_used_bytes_is_a_high_water_mark() {
+        let mut s = ChunkStore::new(100, EvictionPolicy::Lru);
+        let (c1, d1) = chunk(1, 60);
+        let (c2, d2) = chunk(2, 30);
+        s.insert(c1, d1);
+        s.insert(c2, d2);
+        assert_eq!(s.stats().peak_used_bytes, 90);
+        s.remove(&c1);
+        assert_eq!(s.used_bytes(), 30);
+        assert_eq!(s.stats().peak_used_bytes, 90, "peak survives removals");
+    }
+
+    #[test]
+    fn evicted_log_overflow_is_counted_not_silent() {
+        // A 1-chunk store churned past the log cap: every eviction beyond
+        // EVICTED_LOG_CAP must be accounted for, not dropped on the floor.
+        let mut s = ChunkStore::new(8, EvictionPolicy::Lru);
+        let total = EVICTED_LOG_CAP + 100;
+        for i in 0..=total {
+            let data = Bytes::from(vec![(i % 251) as u8, (i / 251) as u8, 7, 7, 0, 0, 0, 1]);
+            assert!(s.insert(Xid::for_content(&data), data));
+        }
+        // `total` evictions happened; the log holds the cap, the rest are
+        // counted as drops.
+        assert_eq!(s.stats().evictions, total as u64);
+        assert_eq!(s.stats().evict_log_dropped, 100);
+        assert_eq!(s.take_evicted().len(), EVICTED_LOG_CAP);
+        assert_eq!(s.take_evicted_dropped(), 100);
+        // Draining resets both; eviction accounting adds up exactly.
+        assert!(s.take_evicted().is_empty());
+        assert_eq!(s.take_evicted_dropped(), 0);
     }
 }

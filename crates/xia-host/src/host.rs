@@ -440,6 +440,7 @@ impl Host {
     fn flush_trace(&mut self, ctx: &mut SimContext<'_, XiaPacket>) {
         use simnet::{Tag, TraceEvent};
         let evicted = self.store.take_evicted();
+        let evicted_dropped = self.store.take_evicted_dropped();
         let served = self.server.take_served();
         if !util::trace_compiled() || !ctx.tracing() {
             return;
@@ -447,6 +448,13 @@ impl Host {
         for cid in evicted {
             ctx.trace(TraceEvent::ChunkEvicted {
                 chunk: Tag::of(cid.id()),
+            });
+        }
+        if evicted_dropped > 0 {
+            // Fleet-scale churn can evict faster than the bounded log can
+            // be drained; surface the shortfall instead of losing it.
+            ctx.trace(TraceEvent::EvictOverflow {
+                dropped: evicted_dropped,
             });
         }
         for (cid, bytes) in served {

@@ -124,6 +124,23 @@ speedup=$(awk -v a="$serial_secs" -v b="$par_secs" \
 entry=$(printf '    "%s": {"serial_secs": %s, "parallel_secs": %s, "parallel_jobs": %s, "seeds": %s, "speedup": %s, "host_cores": %s, "byte_identical": true}' \
     "$TARGET" "$serial_secs" "$par_secs" "$PAR" "$SEEDS" "$speedup" "$CORES")
 
+# Fleet targets also record simulation throughput: the table's
+# "clients simulated (count)" row times the replicate count, over the
+# parallel run's wall-clock.
+case "$TARGET" in
+fleet | fleet-smoke)
+    clients=$(awk -F': ' '
+        /"label": "clients simulated \(count\)"/ { grab = 1; next }
+        grab && /"measured"/ { sub(/,$/, "", $2); sub(/\.0+$/, "", $2); print $2; exit }
+    ' "$j1")
+    if [ -n "$clients" ]; then
+        cps=$(awk -v c="$clients" -v s="$SEEDS" -v t="$par_secs" \
+            'BEGIN { printf "%.1f", (t > 0) ? c * s / t : 0 }')
+        entry="${entry%\}}, \"clients_simulated\": $clients, \"clients_per_sec\": $cps}"
+    fi
+    ;;
+esac
+
 write_entry "$TARGET" "$entry"
 
 echo "bench_reproduce: $TARGET jobs=1 ${serial_secs}s, jobs=$PAR ${par_secs}s" \

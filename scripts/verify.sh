@@ -62,6 +62,11 @@ scripts/bench_reproduce.sh smoke 2 2
 # The overload table (completion vs staging-queue cap) rides along as a
 # second recorded row: graceful degradation stays benchmarked.
 scripts/bench_reproduce.sh overload 2 1
+# Fleet smoke: ~200 concurrent clients sharing edge caches, end to end.
+# Records wall-clock and clients-simulated/sec; fails unless --jobs 1 and
+# --jobs 2 stay byte-identical. The full 1000-client sweep is the `fleet`
+# target: scripts/bench_reproduce.sh fleet 4
+scripts/bench_reproduce.sh fleet-smoke 2 1
 # Scheduler microbenchmark: events/sec and allocs/event for both queue
 # backends (heap = the pre-wheel baseline), recorded as the sched entry.
 scripts/bench_reproduce.sh sched
