@@ -16,14 +16,14 @@
 //!   trace) share a [`Cell::seed_key`], guaranteeing both sides of a
 //!   ratio simulate the same world at every replicate.
 //!
-//! Threads are confined to this layer: simulation crates stay free of
-//! `std::thread` (audited by sslint), and a panicking cell —
-//! figure drivers assert on invalid runs — propagates out of
-//! [`std::thread::scope`] and aborts the reproduction, exactly like the
-//! old serial loop.
+//! Threads are confined to [`util::sync`]'s pool (the `sync-shim` rule
+//! audits every crate for stray `std::thread`/`std::sync` use, and the
+//! pool itself is model-checked by `ssmc`): simulation crates stay
+//! single-threaded, and a panicking cell — figure drivers assert on
+//! invalid runs — propagates out of the scoped pool and aborts the
+//! reproduction, exactly like the old serial loop.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
+use util::sync::parallel_map;
 
 use crate::report::{Spread, Table};
 
@@ -181,8 +181,14 @@ pub(crate) fn runnable_cells(specs: &[TableSpec], seeds: u32) -> usize {
 /// workers than cells can never help; an explicit `--jobs N` still
 /// overrides this.
 pub fn default_jobs(specs: &[TableSpec], seeds: u32) -> usize {
-    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    cores.min(runnable_cells(specs, seeds)).max(1)
+    default_jobs_with(util::sync::available_parallelism(), specs, seeds)
+}
+
+/// [`default_jobs`] with the core count injected: `None` — the platform
+/// cannot report one — degrades to a single worker rather than
+/// guessing, then flows through the same clamp as the happy path.
+pub(crate) fn default_jobs_with(cores: Option<usize>, specs: &[TableSpec], seeds: u32) -> usize {
+    cores.unwrap_or(1).min(runnable_cells(specs, seeds)).max(1)
 }
 
 /// Evaluates every `(cell, replicate)` pair of `specs` on a pool of
@@ -205,32 +211,11 @@ pub fn execute(specs: &[TableSpec], config: &ExecConfig) -> Vec<Table> {
         let seed = util::seed::derive(config.base_seed, &seed_key(spec, cell), r);
         (cell.eval)(seed)
     };
-    let workers = config.jobs.clamp(1, items.len().max(1));
-    let results: Vec<Option<f64>> = if workers == 1 {
-        // Serial path: one effective worker gains nothing from a thread
-        // pool and measurably loses to it on few-core hosts (spawn,
-        // lock and scheduler churn on every item) — evaluate inline.
-        // The seed derivation is identical, so output is byte-identical
-        // to the pooled path.
-        items.iter().map(|item| Some(eval_item(item))).collect()
-    } else {
-        let results: Mutex<Vec<Option<f64>>> = Mutex::new(vec![None; items.len()]);
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(item) = items.get(i) else {
-                        break;
-                    };
-                    let value = eval_item(item);
-                    let mut slots = results.lock().unwrap_or_else(PoisonError::into_inner);
-                    slots[i] = Some(value);
-                });
-            }
-        });
-        results.into_inner().unwrap_or_else(PoisonError::into_inner)
-    };
+    // The shared index-keyed pool: jobs = 1 evaluates inline (one
+    // effective worker gains nothing from a pool and measurably loses
+    // to it on few-core hosts), and the seed derivation is identical
+    // either way, so output is byte-identical across worker counts.
+    let results: Vec<f64> = parallel_map(items.len(), config.jobs, |i| eval_item(&items[i]));
 
     // Merge back in declared order. Every slot is filled: a panicking
     // cell unwinds out of the scope above before we get here.
@@ -244,7 +229,7 @@ pub fn execute(specs: &[TableSpec], config: &ExecConfig) -> Vec<Table> {
             let values: Vec<f64> = (0..reps)
                 .map(|r| {
                     let idx = base + ci * reps as usize + r as usize;
-                    results[idx].unwrap_or(f64::NAN)
+                    results[idx]
                 })
                 .collect();
             for (r, &v) in values.iter().enumerate() {
@@ -432,8 +417,24 @@ mod tests {
         assert_eq!(runnable_cells(std::slice::from_ref(&one), 3), 12);
         assert!(default_jobs(std::slice::from_ref(&one), 1) <= 4);
         assert!(default_jobs(&[], 1) >= 1, "empty spec list still gets 1");
-        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let cores = util::sync::available_parallelism().unwrap_or(1);
         assert!(default_jobs(std::slice::from_ref(&one), 64) <= cores);
+    }
+
+    #[test]
+    fn default_jobs_degrades_to_one_worker_when_cores_unknown() {
+        // Regression: the `available_parallelism` error arm must clamp
+        // to 1 through the same min(cores, runnable cells) path as the
+        // happy path — not panic, not zero.
+        let one = spec();
+        assert_eq!(default_jobs_with(None, std::slice::from_ref(&one), 3), 1);
+        assert_eq!(default_jobs_with(None, &[], 1), 1);
+        // And the injected happy path still clamps both ways.
+        assert_eq!(
+            default_jobs_with(Some(64), std::slice::from_ref(&one), 1),
+            4
+        );
+        assert_eq!(default_jobs_with(Some(2), std::slice::from_ref(&one), 3), 2);
     }
 
     #[test]

@@ -25,8 +25,9 @@
 //! overhead. [`spec`] sweeps fleet size × Zipf skew to find the point
 //! where the edge-vs-origin gain row drops through 1.0.
 
-use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::sync::Arc;
+
+use util::sync::MemoMap;
 
 use simnet::{LinkConfig, NodeId, SimDuration, SimTime, Simulator};
 use softstage::StagingVnf;
@@ -525,36 +526,25 @@ impl FleetWorld {
 /// cache keeps that one simulation per world instead of one per row.
 /// Results are a pure function of the key, so memoization can never
 /// change output, only wall-clock.
-type SummarySlot = Arc<OnceLock<Arc<FleetSummary>>>;
+static CACHE: MemoMap<String, FleetSummary> = MemoMap::new();
 
-fn cache() -> &'static Mutex<BTreeMap<String, SummarySlot>> {
-    static CACHE: OnceLock<Mutex<BTreeMap<String, SummarySlot>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(BTreeMap::new()))
-}
-
-/// The summary for `params`, simulated at most once per key. The map
-/// lock is only held to hand out the key's slot; concurrent callers for
-/// one key then block on the slot's `OnceLock`, so a world is never
+/// The summary for `params`, simulated at most once per key. The memo's
+/// map lock is only held to hand out the key's slot; concurrent callers
+/// for one key then block on the slot's `OnceLock`, so a world is never
 /// simulated twice — several workers asking for different metrics of
-/// the same world cost one simulation, not one each.
+/// the same world cost one simulation, not one each. (This per-key slot
+/// pattern is exactly what ssmc model-checks race-free in the
+/// `ssmc_model` suite; the plain-map variant it replaced is kept there
+/// as the known-bad fixture.)
 pub fn summary(params: &FleetParams) -> Arc<FleetSummary> {
-    let slot = cache()
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner)
-        .entry(params.key())
-        .or_default()
-        .clone();
-    Arc::clone(slot.get_or_init(|| Arc::new(build(params).run())))
+    CACHE.get_or_compute(params.key(), || build(params).run())
 }
 
 /// Empties the memo cache. Determinism tests call this between runs so
 /// a jobs-1-vs-jobs-N comparison actually re-simulates instead of
 /// trivially replaying cached summaries.
 pub fn reset_summary_cache() {
-    cache()
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner)
-        .clear();
+    CACHE.clear();
 }
 
 /// The sweep grid: fleet sizes × Zipf skews.

@@ -7,8 +7,8 @@
 //! sources, the reference corpus, the allowlist) plus the serialized
 //! [`Report`]. A warm run re-hashes the inputs — cheap, no lexing — and
 //! when the file *list* and every hash match, and the cache was written
-//! by this exact sslint build (rule catalogue + crate version + binary
-//! len/mtime fingerprint), the stored report is replayed verbatim. Any
+//! by this exact sslint build (rule catalogue + crate version + a hash
+//! of the binary's contents), the stored report is replayed verbatim. Any
 //! mismatch — an edited file, a new file, a deleted file, a rebuilt
 //! linter — falls back to a full cold run that rewrites the snapshot.
 //!
@@ -61,9 +61,12 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 }
 
 /// Fingerprint of the running sslint build: the rule catalogue (ids,
-/// groups, descriptions), the crate version, and the executable's length
-/// and mtime. Editing a rule, bumping the version, or rebuilding the
-/// binary all invalidate the snapshot.
+/// groups, descriptions), the crate version, and an FNV-1a hash of the
+/// executable's *contents*. Editing a rule, bumping the version, or
+/// rebuilding the binary with different code all invalidate the
+/// snapshot — while a rebuild that reproduces identical bytes, or a CI
+/// artifact restore that perturbs only mtimes, keeps warm caches warm
+/// (the old length+mtime scheme spuriously went cold there).
 pub fn build_fingerprint() -> u64 {
     let mut acc = String::new();
     for r in rules::RULES {
@@ -75,18 +78,22 @@ pub fn build_fingerprint() -> u64 {
         acc.push('\n');
     }
     acc.push_str(env!("CARGO_PKG_VERSION"));
-    let mut h = fnv1a64(acc.as_bytes());
-    if let Ok(exe) = std::env::current_exe() {
-        if let Ok(meta) = fs::metadata(&exe) {
-            h ^= fnv1a64(&meta.len().to_le_bytes());
-            if let Ok(mtime) = meta.modified() {
-                if let Ok(d) = mtime.duration_since(std::time::UNIX_EPOCH) {
-                    h ^= fnv1a64(&d.as_nanos().to_le_bytes());
-                }
-            }
-        }
-    }
-    h
+    fnv1a64(acc.as_bytes()) ^ exe_hash()
+}
+
+/// FNV-1a over the running executable's bytes, memoized per process (a
+/// running binary's file cannot change underneath it on the platforms
+/// we support, and `build_fingerprint` is on the warm path). An
+/// unreadable executable hashes as 0 — the catalogue+version component
+/// above still guards rule edits.
+fn exe_hash() -> u64 {
+    static EXE_HASH: util::sync::OnceLock<u64> = util::sync::OnceLock::new();
+    *EXE_HASH.get_or_init(|| {
+        std::env::current_exe()
+            .ok()
+            .and_then(|exe| fs::read(exe).ok())
+            .map_or(0, |bytes| fnv1a64(&bytes))
+    })
 }
 
 /// One hashed lint input.

@@ -55,7 +55,16 @@ fn main() -> ExitCode {
 
     let cache_path = use_cache.then(|| root.join("target").join("sslint-cache.json"));
     let report = match sslint::cache::run_cached(&root, &allow, jobs, cache_path.as_deref()) {
-        Ok((r, _status)) => r,
+        Ok((r, status)) => {
+            // Opt-in diagnostic: scripts asserting warm replays (the
+            // rebuild-keeps-warm cache test, CI cache tuning) set
+            // SSLINT_CACHE_STATUS=1. Off by default so cold and warm
+            // runs stay byte-identical on stderr too.
+            if std::env::var_os("SSLINT_CACHE_STATUS").is_some() {
+                eprintln!("sslint: cache {}", status.label());
+            }
+            r
+        }
         Err(e) => {
             eprintln!("sslint: cannot audit {}: {e}", root.display());
             return ExitCode::from(2);
@@ -115,6 +124,10 @@ USAGE: sslint [--root <dir>] [--format text|jsonl|sarif] [--allow <file>]
   --no-cache       skip the <root>/target/sslint-cache.json fingerprint
                    snapshot and always run cold
   --list-rules     print the rule catalogue (id, group, description) and exit
+
+Setting SSLINT_CACHE_STATUS=1 prints `sslint: cache cold|warm|disabled`
+to stderr after the audit (off by default, so cold and warm runs stay
+byte-identical on stderr as well as stdout).
 
 Exit codes: 0 clean, 1 findings, 2 usage or I/O error.";
 

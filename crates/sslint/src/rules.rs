@@ -76,6 +76,11 @@ pub const RULE_UNSAFE_CONTRACT: &str = "unsafe-contract";
 /// Rule F: floating-point accumulation in sim crates must use a fixed
 /// iteration order — no `f64` folds over hash-ordered collections.
 pub const RULE_FLOAT_DETERMINISM: &str = "float-determinism";
+/// Rule G: concurrency primitives come from `util::sync`, never
+/// directly from `std::sync`/`std::thread` — so every lock, atomic and
+/// spawn in the workspace is model-checkable by `ssmc` under
+/// `--cfg model`.
+pub const RULE_SYNC_SHIM: &str = "sync-shim";
 
 /// One rule's catalogue entry, for `--list-rules`, SARIF metadata and the
 /// DESIGN.md §7 sync test.
@@ -177,6 +182,11 @@ pub const RULES: &[RuleInfo] = &[
         group: "F",
         desc: "sim-crate float accumulation folds in a fixed order, never over hash-ordered collections",
     },
+    RuleInfo {
+        id: RULE_SYNC_SHIM,
+        group: "G",
+        desc: "concurrency primitives come from util::sync (model-checked by ssmc), never std::sync/std::thread directly",
+    },
 ];
 
 /// Every rule id, for `--help` and allowlist validation.
@@ -198,27 +208,29 @@ pub const ALL_RULES: &[&str] = &[
     RULE_THREAD_CAPTURE,
     RULE_UNSAFE_CONTRACT,
     RULE_FLOAT_DETERMINISM,
+    RULE_SYNC_SHIM,
 ];
 
 /// The layering DAG: each crate's layer number; a crate may only depend
 /// on crates in strictly lower layers. New crates must be added here
 /// consciously — an unknown crate is a layering finding, not a pass.
 const LAYERS: &[(&str, u32)] = &[
-    ("util", 0),
-    ("sslint", 1),
-    ("xia-addr", 1),
-    ("simnet", 1),
-    ("xia-wire", 2),
-    ("xia-transport", 3),
-    ("xcache", 3),
-    ("xia-host", 4),
-    ("xia-router", 5),
-    ("vehicular", 5),
-    ("softstage", 6),
-    ("apps", 7),
-    ("experiments", 8),
-    ("bench", 9),
-    ("suite", 9),
+    ("ssmc", 0),
+    ("util", 1),
+    ("sslint", 2),
+    ("xia-addr", 2),
+    ("simnet", 2),
+    ("xia-wire", 3),
+    ("xia-transport", 4),
+    ("xcache", 4),
+    ("xia-host", 5),
+    ("xia-router", 6),
+    ("vehicular", 6),
+    ("softstage", 7),
+    ("apps", 8),
+    ("experiments", 9),
+    ("bench", 10),
+    ("suite", 10),
 ];
 
 /// Maps a dependency key or package name to its crate directory name.
@@ -259,6 +271,11 @@ pub fn run_all(ws: &Workspace, allow: &[crate::AllowEntry]) -> Vec<Finding> {
         for file in &krate.files {
             allow_hygiene(file, &mut findings);
             thread_capture(file, &mut findings);
+            // The model checker itself implements the shim twins — it is
+            // the one crate that legitimately wraps std primitives.
+            if krate.dir_name != "ssmc" {
+                sync_shim(file, &mut findings);
+            }
             if is_sim_crate(&krate.dir_name) {
                 wall_clock(file, &mut findings);
                 let hash_names = collect_hash_names(file);
@@ -343,6 +360,119 @@ fn wall_clock(file: &SrcFile, findings: &mut Vec<Finding>) {
                     msg: format!(
                         "`std::{module}` in a simulation crate — threads and \
                          process environment break reproducibility"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule G — sync-shim: concurrency only through util::sync
+// ---------------------------------------------------------------------------
+
+/// `std::sync` items that are plain shared-ownership plumbing, not
+/// synchronization operations — safe to name anywhere.
+const SYNC_SHIM_SYNC_ALLOWED: &[&str] = &[
+    "Arc",
+    "Weak",
+    "PoisonError",
+    "LockResult",
+    "TryLockError",
+    "TryLockResult",
+];
+/// `std::thread` items with no scheduling or spawning semantics.
+const SYNC_SHIM_THREAD_ALLOWED: &[&str] = &["LocalKey", "AccessError", "ThreadId"];
+
+fn sync_shim_flag(findings: &mut Vec<Finding>, file: &SrcFile, tok: &Tok, module: &str) {
+    findings.push(Finding {
+        rule: RULE_SYNC_SHIM,
+        file: file.rel.clone(),
+        line: tok.line,
+        msg: format!(
+            "`std::{module}::{}` outside `util::sync` — take the primitive \
+             from the shim instead, so `--cfg model` routes it through the \
+             ssmc schedule explorer",
+            tok.text
+        ),
+    });
+}
+
+/// Rule `sync-shim`: every lock, atomic, memo slot and spawn must come
+/// from `util::sync`, the workspace's single doorway to concurrency —
+/// that is what lets `RUSTFLAGS="--cfg model"` swap the whole workspace
+/// onto ssmc's instrumented twins and exhaustively explore its
+/// interleavings. Plain shared-ownership types (`Arc`, `Weak`) and the
+/// poison plumbing carry no scheduling semantics and stay allowed; the
+/// shim's own wrapper arm in `crates/util/src/sync.rs` is the one
+/// sanctioned (allowlisted) naming site, and `crates/ssmc` — which
+/// implements the twins — is exempt wholesale.
+fn sync_shim(file: &SrcFile, findings: &mut Vec<Finding>) {
+    let toks = &file.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if file.mask[i] || !t.is_ident("std") {
+            continue;
+        }
+        if !toks.get(i + 1).is_some_and(|n| n.is_punct("::")) {
+            continue;
+        }
+        let Some(module_tok) = toks.get(i + 2) else {
+            continue;
+        };
+        let (module, allowed): (&str, &[&str]) = match module_tok.text.as_str() {
+            "sync" if module_tok.kind == TokKind::Ident => ("sync", SYNC_SHIM_SYNC_ALLOWED),
+            "thread" if module_tok.kind == TokKind::Ident => ("thread", SYNC_SHIM_THREAD_ALLOWED),
+            _ => continue,
+        };
+        match toks.get(i + 3) {
+            // `std::sync::X…` — flag the first path segment unless it is
+            // pure plumbing (`atomic`, `mpsc` etc. are flagged here).
+            Some(p) if p.is_punct("::") => match toks.get(i + 4) {
+                Some(seg) if seg.kind == TokKind::Ident => {
+                    if !allowed.contains(&seg.text.as_str()) {
+                        sync_shim_flag(findings, file, seg, module);
+                    }
+                }
+                // `use std::sync::{Arc, Mutex, atomic::{…}}` — flag each
+                // top-level segment head; a flagged head covers its
+                // nested tree.
+                Some(brace) if brace.is_punct("{") => {
+                    let mut j = i + 5;
+                    let mut depth = 1usize;
+                    let mut head = true;
+                    while let Some(m) = toks.get(j) {
+                        if m.is_punct("{") {
+                            depth += 1;
+                            head = true;
+                        } else if m.is_punct("}") {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        } else if m.is_punct(",") {
+                            head = true;
+                        } else if m.kind == TokKind::Ident {
+                            if head && depth == 1 && !allowed.contains(&m.text.as_str()) {
+                                sync_shim_flag(findings, file, m, module);
+                            }
+                            head = false;
+                        }
+                        j += 1;
+                    }
+                }
+                _ => {}
+            },
+            // Bare `use std::thread;` — the whole module in scope.
+            _ => {
+                findings.push(Finding {
+                    rule: RULE_SYNC_SHIM,
+                    file: file.rel.clone(),
+                    line: module_tok.line,
+                    msg: format!(
+                        "bare `std::{module}` import outside `util::sync` — \
+                         take the primitives from the shim instead, so \
+                         `--cfg model` routes them through the ssmc schedule \
+                         explorer"
                     ),
                 });
             }

@@ -5,16 +5,16 @@
 //! dirs) that the cross-reference rules (`dead-pub`, `trace-coverage`)
 //! count identifier uses in without auditing it.
 //!
-//! File lexing is fanned out over a scoped worker pool (same
-//! work-stealing pattern as `experiments::exec`): paths are collected and
-//! sorted first, workers fill result slots by index, and the merged model
-//! is therefore byte-identical for any worker count.
+//! File lexing is fanned out over [`util::sync::parallel_map`] (the same
+//! model-checked pool `experiments::exec` runs on): paths are collected
+//! and sorted first, workers fill result slots by index, and the merged
+//! model is therefore byte-identical for any worker count.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
+
+use util::sync::parallel_map;
 
 use crate::lex::{self, Lexed};
 use crate::manifest::{self, Manifest};
@@ -191,44 +191,15 @@ pub fn load_jobs(root: &Path, jobs: usize) -> io::Result<Workspace> {
     })
 }
 
-/// Lexes `texts` on `jobs` scoped worker threads with atomic
-/// work-stealing; slot `i` always holds the result for `texts[i]`, so the
-/// output order never depends on scheduling.
+/// Lexes `texts` on `jobs` scoped worker threads via
+/// [`util::sync::parallel_map`]; slot `i` always holds the result for
+/// `texts[i]`, so the output order never depends on scheduling.
 fn lex_pool(texts: &[String], jobs: usize) -> Vec<(Lexed, Vec<bool>)> {
-    let workers = jobs.clamp(1, texts.len().max(1));
-    if workers == 1 {
-        return texts
-            .iter()
-            .map(|text| {
-                let lexed = lex::lex(text);
-                let mask = lex::test_mask(&lexed.tokens);
-                (lexed, mask)
-            })
-            .collect();
-    }
-    let slots: Mutex<Vec<Option<(Lexed, Vec<bool>)>>> =
-        Mutex::new((0..texts.len()).map(|_| None).collect());
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(text) = texts.get(i) else {
-                    break;
-                };
-                let lexed = lex::lex(text);
-                let mask = lex::test_mask(&lexed.tokens);
-                let mut slots = slots.lock().unwrap_or_else(PoisonError::into_inner);
-                slots[i] = Some((lexed, mask));
-            });
-        }
-    });
-    slots
-        .into_inner()
-        .unwrap_or_else(PoisonError::into_inner)
-        .into_iter()
-        .map(|s| s.unwrap_or_default())
-        .collect()
+    parallel_map(texts.len(), jobs, |i| {
+        let lexed = lex::lex(&texts[i]);
+        let mask = lex::test_mask(&lexed.tokens);
+        (lexed, mask)
+    })
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {

@@ -140,6 +140,54 @@ fn cache_invalidates_on_build_fingerprint_change() {
     assert_eq!(s4, CacheStatus::Warm);
 }
 
+/// A "rebuild" (or CI artifact restore) that reproduces the executable
+/// byte for byte must keep the cache warm: the build fingerprint hashes
+/// the binary's contents, not its length+mtime. Simulated by re-copying
+/// the sslint binary over itself at a scratch path — same bytes, fresh
+/// mtime and inode — between two runs.
+#[test]
+fn identical_binary_bytes_keep_the_cache_warm() {
+    let root = scratch_copy("hot-path-alloc", "rebuild");
+    let exe_copy = std::env::temp_dir().join(format!(
+        "sslint-rebuilt-{}{}",
+        std::process::id(),
+        std::env::consts::EXE_SUFFIX
+    ));
+    fs::copy(env!("CARGO_BIN_EXE_sslint"), &exe_copy).expect("stage binary copy");
+    let run = |label: &str| {
+        let out = Command::new(&exe_copy)
+            .args(["--root"])
+            .arg(&root)
+            .args(["--format", "jsonl", "--jobs", "1"])
+            .env("SSLINT_CACHE_STATUS", "1")
+            .output()
+            .expect("spawn staged sslint");
+        assert_eq!(out.status.code(), Some(1), "{label}: fixture has findings");
+        (
+            out.stdout,
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    };
+    let _ = fs::remove_file(cache_file(&root));
+    let cold = run("cold");
+    assert!(
+        cold.1.contains("sslint: cache cold"),
+        "first run must be cold, got stderr: {}",
+        cold.1
+    );
+    // "Rebuild": identical bytes land at the same path with a new mtime.
+    fs::remove_file(&exe_copy).expect("drop staged binary");
+    fs::copy(env!("CARGO_BIN_EXE_sslint"), &exe_copy).expect("restage binary copy");
+    let warm = run("warm");
+    assert_eq!(cold.0, warm.0, "stdout must replay byte-identically");
+    assert!(
+        warm.1.contains("sslint: cache warm"),
+        "second run must be a warm replay, got stderr: {}",
+        warm.1
+    );
+    let _ = fs::remove_file(&exe_copy);
+}
+
 /// `--no-cache` must not read or write the snapshot.
 #[test]
 fn no_cache_flag_bypasses_the_snapshot() {

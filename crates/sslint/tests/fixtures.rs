@@ -118,6 +118,11 @@ fn float_determinism_fixture() {
     assert_exactly("float-determinism", "float-determinism");
 }
 
+#[test]
+fn sync_shim_fixture() {
+    assert_exactly("sync-shim", "sync-shim");
+}
+
 /// Every bad fixture must make the *binary* exit 1 and name its rule in
 /// the JSONL output — the exact contract CI relies on.
 #[test]
@@ -140,6 +145,7 @@ fn binary_exits_nonzero_on_every_fixture() {
         "thread-capture",
         "unsafe-contract",
         "float-determinism",
+        "sync-shim",
     ] {
         let out = Command::new(env!("CARGO_BIN_EXE_sslint"))
             .args(["--root"])

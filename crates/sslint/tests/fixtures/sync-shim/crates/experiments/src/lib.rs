@@ -1,0 +1,47 @@
+#![forbid(unsafe_code)]
+
+// Every concurrency primitive here is named straight off std instead of
+// through util::sync, so none of it is visible to the ssmc schedule
+// explorer under `--cfg model` — exactly what sync-shim rejects.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread;
+
+/// A tally cell shared across workers.
+pub struct Tally {
+    total: Mutex<u64>,
+    touches: AtomicUsize,
+}
+
+impl Tally {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Tally {
+            total: Mutex::new(0),
+            touches: AtomicUsize::new(0),
+        })
+    }
+
+    pub fn add(&self, amount: u64) {
+        self.touches.fetch_add(1, Ordering::Relaxed);
+        *self.total.lock().unwrap_or_else(PoisonError::into_inner) += amount;
+    }
+
+    pub fn snapshot(&self) -> (u64, usize) {
+        let total = *self.total.lock().unwrap_or_else(PoisonError::into_inner);
+        (total, self.touches.load(Ordering::Relaxed))
+    }
+}
+
+/// Hands each worker its own result slot over a raw channel.
+pub fn fan_out(items: &[u64]) -> u64 {
+    let (tx, rx) = std::sync::mpsc::channel();
+    for &item in items {
+        let tx = tx.clone();
+        thread::spawn(move || {
+            let _ = tx.send(item * 2);
+        });
+    }
+    drop(tx);
+    rx.iter().sum()
+}

@@ -1,0 +1,55 @@
+//! Schedule-exploration throughput microbenchmark.
+//!
+//! Explores a canonical contended workload — three workers advancing a
+//! shared cursor and publishing into a mutex-guarded slot table, the
+//! shape of the `experiments` fan-out pool — with an *unbounded*
+//! preemption budget, and reports schedules explored per second as one
+//! JSON object (consumed by `scripts/bench_reproduce.sh ssmc`).
+
+use ssmc::sync::{scope, AtomicUsize, Mutex, Ordering};
+
+fn main() {
+    // Keep the workload byte-stable: fixed shape, no CLI knobs. Any
+    // argument is accepted and ignored so the bench harness can pass
+    // `--json` uniformly.
+    let mut cfg = ssmc::Config::new("ssmc-bench");
+    cfg.preemption_bound = None;
+    cfg.max_schedules = 1_000_000;
+    let start = std::time::Instant::now();
+    let result = ssmc::explore(cfg, || {
+        let slots = Mutex::new([0u32; 3]);
+        let next = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= 3 {
+                        break;
+                    }
+                    slots.lock()[i] = (i as u32 + 1) * 10;
+                });
+            }
+        });
+        slots.into_inner()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    match result {
+        Ok(stats) => {
+            let explored = stats.schedules + stats.pruned;
+            let rate = if elapsed > 0.0 {
+                explored as f64 / elapsed
+            } else {
+                0.0
+            };
+            println!(
+                "{{\"schedules\": {}, \"pruned\": {}, \"elapsed_secs\": {:.3}, \
+                 \"schedules_per_sec\": {:.0}}}",
+                stats.schedules, stats.pruned, elapsed, rate
+            );
+        }
+        Err(failure) => {
+            eprintln!("ssmc_bench workload failed: {failure}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Vector clocks for the happens-before engine.
+//!
+//! Component `i` of a clock is the number of events of thread `i` the
+//! clock's owner has (transitively) observed. An access stamped
+//! `(tid, c)` happened-before the current point of a thread iff
+//! `c <= vc.get(tid)` — otherwise the two are concurrent.
+
+/// A vector clock over the (small, per-execution) thread id space.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock {
+    counts: Vec<u64>,
+}
+
+impl VClock {
+    pub(crate) fn new() -> Self {
+        VClock { counts: Vec::new() }
+    }
+
+    /// The last observed event count of thread `tid`.
+    pub(crate) fn get(&self, tid: usize) -> u64 {
+        self.counts.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Advances this clock's own component for `tid` by one event.
+    pub(crate) fn bump(&mut self, tid: usize) {
+        if self.counts.len() <= tid {
+            self.counts.resize(tid + 1, 0);
+        }
+        self.counts[tid] += 1;
+    }
+
+    /// Pointwise maximum: after the join, everything `other` had
+    /// observed counts as observed here too.
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            if self.counts[i] < c {
+                self.counts[i] = c;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VClock::new();
+        a.bump(0);
+        a.bump(0);
+        let mut b = VClock::new();
+        b.bump(2);
+        a.join(&b);
+        assert_eq!((a.get(0), a.get(1), a.get(2)), (2, 0, 1));
+        b.join(&a);
+        assert_eq!((b.get(0), b.get(2)), (2, 1));
+    }
+}

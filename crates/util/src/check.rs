@@ -17,7 +17,8 @@
 //! ```
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
+
+use crate::sync::Mutex;
 
 /// Number of shrink candidates tried after a failure before giving up.
 const SHRINK_BUDGET: usize = 2000;
@@ -172,7 +173,7 @@ pub fn check(name: &str, cases: usize, prop: impl Fn(&mut Gen)) {
         Err(_) => fnv1a(name),
     };
 
-    let _serial = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _serial = HOOK_LOCK.lock();
     let saved_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {})); // quiet during search + shrink
     let outcome = run_all(base, cases, &prop).map(|(case, tape, msg)| {

@@ -16,7 +16,11 @@
 //! - [`bench`]: a wall-clock micro-benchmark harness, replacing
 //!   `criterion` for the reproduction's figure benches,
 //! - [`seed`]: splitmix64-based seed derivation for replicated
-//!   experiment grids (one base seed, per-cell/per-replicate streams).
+//!   experiment grids (one base seed, per-cell/per-replicate streams),
+//! - [`sync`]: the workspace's doorway to `std::sync`/`std::thread` —
+//!   zero-cost re-exports in normal builds that swap to the `ssmc`
+//!   model checker's instrumented twins under `--cfg model`, plus the
+//!   shared [`sync::parallel_map`] pool and [`sync::MemoMap`] memo.
 //!
 //! Everything here is deterministic where it matters: the property harness
 //! derives its cases from a fixed per-property seed, so CI failures
@@ -30,6 +34,7 @@ pub mod bytes;
 pub mod check;
 pub mod json;
 pub mod seed;
+pub mod sync;
 
 /// Whether trace emitters are compiled into this build.
 ///

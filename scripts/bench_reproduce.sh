@@ -81,6 +81,20 @@ if [ "$TARGET" = sslint ]; then
     exit 0
 fi
 
+# `ssmc` is the model-checker throughput microbenchmark: unbounded
+# exploration of the canonical 3-worker pool shape, reporting schedules
+# explored per second.
+if [ "$TARGET" = ssmc ]; then
+    MBIN=target/release/ssmc_bench
+    if [ ! -x "$MBIN" ]; then
+        cargo build -q --release --offline -p ssmc --bin ssmc_bench
+    fi
+    payload=$("$MBIN" --json)
+    write_entry ssmc "    \"ssmc\": $payload"
+    echo "bench_reproduce: ssmc -> $OUT"
+    exit 0
+fi
+
 # `sched` is a different shape of target: the scheduler microbenchmark
 # (events/sec + allocs/event, wheel vs heap — heap being the pre-wheel
 # baseline) rather than a paired reproduce run.

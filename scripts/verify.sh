@@ -29,6 +29,14 @@ echo "== sslint: trace-coverage obligation is in force =="
 cargo run -q -p sslint --release --offline -- --list-rules | grep '^trace-coverage' > /dev/null \
     || { echo "verify: sslint trace-coverage rule missing" >&2; exit 1; }
 
+echo "== sslint: sync-shim obligation is in force =="
+# The sync-shim rule is what makes every lock, atomic and spawn in the
+# workspace reachable by the ssmc schedule explorer (`util::sync` is the
+# only sanctioned std::sync/std::thread naming site). Fail loudly if it
+# ever drops out of the catalogue.
+cargo run -q -p sslint --release --offline -- --list-rules | grep '^sync-shim' > /dev/null \
+    || { echo "verify: sslint sync-shim rule missing" >&2; exit 1; }
+
 echo "== tier-1: workspace tests =="
 cargo test -q --offline
 
@@ -47,6 +55,21 @@ cargo test -q --offline --release -p softstage-bench --test alloc_regression
 
 echo "== overload suite (backpressure, admission, circuit breaker, release) =="
 cargo test -q --offline --release -p softstage-suite --test overload
+
+echo "== ssmc model checking (bounded schedule exploration, release) =="
+# Detection power (the known-bad plain-map memo must be flagged with both
+# racing sites) plus exhaustive byte-identity of the real concurrent
+# structures (work-stealing cursor, OnceLock memo) and the choice-driven
+# breaker walk — all under the preemption-bound-2 CI budget, seconds not
+# minutes.
+cargo test -q --offline --release -p softstage-suite --test ssmc_model
+
+echo "== util::sync under the model cfg (shim routed through ssmc) =="
+# Rebuilds util with `--cfg model` into its own target dir (so the main
+# build cache stays warm) and explores parallel_map and MemoMap through
+# the exact shim the production sites use.
+RUSTFLAGS="--cfg model" CARGO_TARGET_DIR=target/model \
+    cargo test -q --offline -p softstage-util --test model
 
 echo "== golden traces (flight recorder + invariant oracle, release) =="
 cargo test -q --offline --release -p softstage-suite --test golden_trace
@@ -70,5 +93,8 @@ scripts/bench_reproduce.sh fleet-smoke 2 1
 # Scheduler microbenchmark: events/sec and allocs/event for both queue
 # backends (heap = the pre-wheel baseline), recorded as the sched entry.
 scripts/bench_reproduce.sh sched
+# Model-checker throughput: schedules explored per second on the
+# canonical pool shape, recorded as the ssmc entry.
+scripts/bench_reproduce.sh ssmc
 
 echo "verify: OK"

@@ -166,40 +166,205 @@ fn unpinched_vnf_sees_no_backpressure() {
 
 #[test]
 fn breaker_walks_the_full_state_machine() {
-    // The breaker is a pure state machine on the sim clock; walk it
-    // through every edge: trip on consecutive failures, hold while open,
-    // half-open probe re-opens on failure, an aborted (lost) probe frees
-    // the slot without a verdict, and a successful probe heals it shut.
-    let mut b = Breaker::new(BreakerConfig {
-        threshold: 3,
-        open_for: SimDuration::from_secs(3),
-    });
-    let t = |secs: u64| SimTime::ZERO + SimDuration::from_secs(secs);
-    assert_eq!(b.state(), BreakerState::Closed);
-    assert!(b.can_request() && !b.is_probe());
-    assert_eq!(b.on_failure(t(1)), None);
-    assert_eq!(b.on_failure(t(2)), None);
-    assert_eq!(b.on_failure(t(3)), Some(BreakerState::Open));
-    assert!(!b.can_request());
-    // The open window holds until `open_for` elapses…
-    assert_eq!(b.poll(t(5)), None);
-    assert_eq!(b.poll(t(6)), Some(BreakerState::HalfOpen));
-    assert!(b.can_request() && b.is_probe());
-    b.note_probe_sent();
-    assert!(!b.can_request(), "only one probe may be in flight");
-    // …a failed probe re-opens for a fresh window…
-    assert_eq!(b.on_failure(t(7)), Some(BreakerState::Open));
-    assert_eq!(b.poll(t(10)), Some(BreakerState::HalfOpen));
-    b.note_probe_sent();
-    // …a probe lost to a coverage gap is no verdict on the edge: the
-    // slot frees for another probe instead of deadlocking half-open…
-    b.abort_probe();
-    assert_eq!(b.state(), BreakerState::HalfOpen);
-    assert!(b.can_request() && b.is_probe());
-    b.note_probe_sent();
-    // …and a successful probe closes the breaker for good.
-    assert_eq!(b.on_success(), Some(BreakerState::Closed));
-    assert!(b.can_request() && !b.is_probe());
+    // The breaker is a pure state machine on the sim clock. Instead of a
+    // hand-enumerated walk, `ssmc::choice` drives *every* event sequence
+    // of bounded depth — failures, successes, early and late polls,
+    // probe sends, probe aborts (a probe lost to a coverage gap must free
+    // the slot without a verdict), and edge-switch resets — and compares
+    // the real breaker against an independently-coded spec of the
+    // documented contract at every step.
+    use std::cell::Cell;
+
+    #[derive(Clone, Copy, Debug)]
+    enum Ev {
+        Failure,
+        Success,
+        Poll,
+        PollLate,
+        NoteProbeSent,
+        AbortProbe,
+        Reset,
+    }
+    const EVENTS: [Ev; 7] = [
+        Ev::Failure,
+        Ev::Success,
+        Ev::Poll,
+        Ev::PollLate,
+        Ev::NoteProbeSent,
+        Ev::AbortProbe,
+        Ev::Reset,
+    ];
+    const DEPTH: usize = 5;
+    const THRESHOLD: u32 = 2;
+
+    // The spec: a line-by-line transcription of the breaker's *documented*
+    // contract (module docs + method docs), written without looking at
+    // the implementation's structure.
+    struct Spec {
+        state: BreakerState,
+        consecutive: u32,
+        opened_at: SimTime,
+        probe_inflight: bool,
+    }
+    impl Spec {
+        fn can_request(&self) -> bool {
+            match self.state {
+                BreakerState::Closed => true,
+                BreakerState::Open => false,
+                BreakerState::HalfOpen => !self.probe_inflight,
+            }
+        }
+        fn goto(&mut self, next: BreakerState) -> Option<BreakerState> {
+            if self.state == next {
+                return None;
+            }
+            self.state = next;
+            Some(next)
+        }
+    }
+
+    // Coverage accumulated across all explored sequences: states seen,
+    // transitions taken, and the aborted-probe-frees-the-slot path.
+    let seen = Cell::new(0u32);
+    let mark = |bit: u32| seen.set(seen.get() | 1 << bit);
+    const COVERAGE_BITS: u32 = 9;
+
+    let mut cfg = ssmc::Config::new("breaker-walk");
+    cfg.check_results = false; // `choice` injects data nondeterminism
+    let open_for = SimDuration::from_secs(3);
+
+    let stats = ssmc::explore(cfg, || {
+        let mut b = Breaker::new(BreakerConfig {
+            threshold: THRESHOLD,
+            open_for,
+        });
+        let mut spec = Spec {
+            state: BreakerState::Closed,
+            consecutive: 0,
+            opened_at: SimTime::ZERO,
+            probe_inflight: false,
+        };
+        let mut now = SimTime::ZERO;
+        for step in 0..DEPTH {
+            now = now + SimDuration::from_secs(1);
+            let ev = EVENTS[ssmc::choice(EVENTS.len())];
+            let before = spec.state;
+            let (got, want) = match ev {
+                Ev::Failure => (
+                    b.on_failure(now),
+                    match spec.state {
+                        BreakerState::HalfOpen => {
+                            spec.probe_inflight = false;
+                            spec.opened_at = now;
+                            spec.goto(BreakerState::Open)
+                        }
+                        BreakerState::Closed => {
+                            spec.consecutive = spec.consecutive.saturating_add(1);
+                            if spec.consecutive >= THRESHOLD {
+                                spec.opened_at = now;
+                                spec.goto(BreakerState::Open)
+                            } else {
+                                None
+                            }
+                        }
+                        BreakerState::Open => None,
+                    },
+                ),
+                Ev::Success => (b.on_success(), {
+                    spec.consecutive = 0;
+                    spec.probe_inflight = false;
+                    spec.goto(BreakerState::Closed)
+                }),
+                Ev::Poll | Ev::PollLate => {
+                    if matches!(ev, Ev::PollLate) {
+                        // Jump the clock to the end of the open window
+                        // (monotonically — never backwards).
+                        let end = spec.opened_at + open_for;
+                        if end > now {
+                            now = end;
+                        }
+                    }
+                    (
+                        b.poll(now),
+                        if spec.state == BreakerState::Open && now >= spec.opened_at + open_for {
+                            spec.probe_inflight = false;
+                            spec.goto(BreakerState::HalfOpen)
+                        } else {
+                            None
+                        },
+                    )
+                }
+                Ev::NoteProbeSent => (
+                    {
+                        b.note_probe_sent();
+                        None
+                    },
+                    {
+                        if spec.state == BreakerState::HalfOpen {
+                            spec.probe_inflight = true;
+                        }
+                        None
+                    },
+                ),
+                Ev::AbortProbe => {
+                    if spec.state == BreakerState::HalfOpen && spec.probe_inflight {
+                        mark(8); // an in-flight probe was genuinely aborted
+                    }
+                    b.abort_probe();
+                    spec.probe_inflight = false;
+                    (None, None)
+                }
+                Ev::Reset => (b.reset(), {
+                    spec.consecutive = 0;
+                    spec.probe_inflight = false;
+                    spec.goto(BreakerState::Closed)
+                }),
+            };
+            assert_eq!(got, want, "step {step}: {ev:?} transition diverged");
+            assert_eq!(b.state(), spec.state, "step {step}: {ev:?} state");
+            assert_eq!(
+                b.can_request(),
+                spec.can_request(),
+                "step {step}: {ev:?} can_request (state {:?}, probe {})",
+                spec.state,
+                spec.probe_inflight
+            );
+            assert_eq!(
+                b.is_probe(),
+                spec.state == BreakerState::HalfOpen,
+                "step {step}: {ev:?} is_probe"
+            );
+            match spec.state {
+                BreakerState::Closed => mark(0),
+                BreakerState::Open => mark(1),
+                BreakerState::HalfOpen => mark(2),
+            }
+            match (before, spec.state) {
+                (BreakerState::Closed, BreakerState::Open) => mark(3),
+                (BreakerState::Open, BreakerState::HalfOpen) => mark(4),
+                (BreakerState::HalfOpen, BreakerState::Open) => mark(5),
+                (BreakerState::HalfOpen, BreakerState::Closed) => mark(6),
+                (BreakerState::Open, BreakerState::Closed) => mark(7),
+                _ => {}
+            }
+        }
+    })
+    .unwrap_or_else(|f| panic!("breaker diverged from its spec: {f}"));
+
+    // Every depth-5 event sequence is one explored schedule.
+    assert_eq!(
+        stats.schedules,
+        (EVENTS.len() as u64).pow(DEPTH as u32),
+        "the walk must be exhaustive: {stats:?}"
+    );
+    assert!(!stats.capped, "the walk must not hit the schedule cap");
+    assert_eq!(
+        seen.get(),
+        (1 << COVERAGE_BITS) - 1,
+        "every state, every transition and the probe-abort path must be \
+         covered, got bitmap {:#b}",
+        seen.get()
+    );
 }
 
 #[test]
